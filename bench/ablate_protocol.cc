@@ -1,0 +1,45 @@
+// Ablations of DrTM+R's design choices (DESIGN.md §5), all on TPC-C with
+// 6 machines x 8 threads:
+//  * read-set locking (C.1 locks remote *read* records; the paper's addition
+//    over FaRM-style validate-only — required for strict serializability
+//    given C.3/C.4 run later inside HTM) — cost of the extra CASes;
+//  * one-sided commit vs message-passing commit (FaRM-style RPCs would also
+//    interrupt target CPUs and abort HTM regions; here we charge only their
+//    latency, so the printed gap is a *lower bound* on the real one);
+//  * pointer-swap local updates (§6.4) — shrinks the HTM write cost for
+//    always-local tables.
+#include "bench/harness.h"
+
+int main() {
+  using namespace drtmr::bench;
+  PrintHeader("Ablations (TPC-C, 6 machines x 8 threads)", "variant     cross%     throughput");
+
+  for (uint32_t cross : {1u, 10u, 50u}) {
+    TpccBenchConfig cfg;
+    cfg.cross_no_pct = cross;
+    cfg.txns_per_thread = 250;
+    PrintTpccRow("baseline", cross, RunTpccDrtmR(cfg));
+
+    cfg.lock_remote_read_set = false;
+    PrintTpccRow("no-rs-lock", cross, RunTpccDrtmR(cfg));
+    cfg.lock_remote_read_set = true;
+
+    cfg.message_passing_commit = true;
+    PrintTpccRow("msg-commit", cross, RunTpccDrtmR(cfg));
+    cfg.message_passing_commit = false;
+
+    // §4.4: with IBV_ATOMIC_GLOB the lock is fused into the seqnum CAS.
+    cfg.fused_seq_lock = true;
+    PrintTpccRow("glob-fused", cross, RunTpccDrtmR(cfg));
+    cfg.fused_seq_lock = false;
+  }
+
+  {
+    TpccBenchConfig cfg;
+    cfg.txns_per_thread = 250;
+    PrintTpccRow("no-ptrswap", 1, RunTpccDrtmR(cfg));
+    cfg.ptr_swap_local_tables = true;
+    PrintTpccRow("ptrswap", 1, RunTpccDrtmR(cfg));
+  }
+  return 0;
+}

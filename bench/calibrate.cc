@@ -1,0 +1,26 @@
+// Calibration tool: runs TPC-C on DrTM+R with explicit knobs, printing
+// throughput plus protocol statistics. Used to attribute costs when tuning
+// the virtual-time model (see EXPERIMENTS.md).
+//
+// Usage: calibrate [machines] [threads] [cross_no_pct] [cross_pay_pct] [rep:0|1]
+#include <cstdlib>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace drtmr::bench;
+  TpccBenchConfig cfg;
+  cfg.machines = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 6;
+  cfg.threads = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 8;
+  cfg.cross_no_pct = argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 1;
+  cfg.cross_pay_pct = argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 15;
+  cfg.replication = argc > 5 && std::atoi(argv[5]) != 0;
+  cfg.txns_per_thread = 300;
+  cfg.print_stats = true;
+  const drtmr::workload::DriverResult r = RunTpccDrtmR(cfg);
+  PrintHeader("calibrate", "system      machines   throughput");
+  PrintTpccRow("DrTM+R", cfg.machines, r);
+  std::printf("per-machine total: %s tps\n",
+              drtmr::workload::FormatTps(r.ThroughputTps() / cfg.machines).c_str());
+  return 0;
+}

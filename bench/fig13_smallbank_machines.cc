@@ -1,0 +1,27 @@
+// Fig. 13: SmallBank throughput vs machines (no replication, 16 threads) for
+// cross-machine probabilities 1% / 5% / 10% on send-payment and amalgamate.
+// Paper: ~94M txns/s at 6x16 with 1% distributed; stable growth with higher
+// distributed fractions.
+#include "bench/harness.h"
+
+int main() {
+  using namespace drtmr::bench;
+  PrintHeader("Fig.13  SmallBank throughput vs machines (16 threads)",
+              "cross%      machines   throughput");
+  for (uint32_t cross : {1u, 5u, 10u}) {
+    for (uint32_t m = 1; m <= 6; ++m) {
+      SmallBankBenchConfig cfg;
+      cfg.machines = m;
+      cfg.threads = 16;
+      cfg.cross_pct = cross;
+      cfg.txns_per_thread = 400;
+      char label[16];
+      std::snprintf(label, sizeof(label), "%u%%", cross);
+      const auto r = RunSmallBankDrtmR(cfg);
+      std::printf("%-12s %4u  total %10s tps  p50 %7.1fus  p99 %7.1fus\n", label, m,
+                  drtmr::workload::FormatTps(r.ThroughputTps()).c_str(),
+                  r.latency.Percentile(50) / 1000.0, r.latency.Percentile(99) / 1000.0);
+    }
+  }
+  return 0;
+}

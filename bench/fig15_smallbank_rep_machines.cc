@@ -1,0 +1,28 @@
+// Fig. 15: SmallBank + 3-way replication vs machines (8 threads). Paper:
+// scales with machines but the replication WRITEs dominate these tiny
+// transactions (1 read + 1 write), so absolute throughput is far below
+// Fig. 13.
+#include "bench/harness.h"
+
+int main() {
+  using namespace drtmr::bench;
+  PrintHeader("Fig.15  SmallBank (3-way replication) vs machines (8 threads)",
+              "cross%      machines   throughput");
+  for (uint32_t cross : {1u, 5u, 10u}) {
+    for (uint32_t m = 3; m <= 6; ++m) {  // 3-way replication needs >= 3 machines
+      SmallBankBenchConfig cfg;
+      cfg.machines = m;
+      cfg.threads = 8;
+      cfg.cross_pct = cross;
+      cfg.replication = true;
+      cfg.txns_per_thread = 400;
+      char label[16];
+      std::snprintf(label, sizeof(label), "%u%%", cross);
+      const auto r = RunSmallBankDrtmR(cfg);
+      std::printf("%-12s %4u  total %10s tps  p50 %7.1fus  p99 %7.1fus\n", label, m,
+                  drtmr::workload::FormatTps(r.ThroughputTps()).c_str(),
+                  r.latency.Percentile(50) / 1000.0, r.latency.Percentile(99) / 1000.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 17: TPC-C new-order throughput vs probability of cross-warehouse
+// accesses (6 machines, 8 threads). Paper shapes: 100% cross-warehouse costs
+// 73.1% (with replication) / 81.7% (without) of throughput; 5% costs ~11%;
+// the DrTM-vs-DrTM+R gap narrows as distribution grows (both use the same
+// remote update mechanism).
+#include "bench/harness.h"
+
+int main() {
+  using namespace drtmr::bench;
+  const uint32_t kCross[] = {1, 5, 10, 25, 50, 75, 100};
+  PrintHeader("Fig.17  TPC-C throughput vs cross-warehouse access % (6 machines x 8 threads)",
+              "system      cross%     throughput");
+  for (uint32_t c : kCross) {
+    TpccBenchConfig cfg;
+    cfg.cross_no_pct = c;
+    cfg.txns_per_thread = 250;
+    PrintTpccRow("DrTM+R", c, RunTpccDrtmR(cfg));
+  }
+  for (uint32_t c : kCross) {
+    TpccBenchConfig cfg;
+    cfg.cross_no_pct = c;
+    cfg.txns_per_thread = 250;
+    cfg.replication = true;
+    PrintTpccRow("DrTM+R=3", c, RunTpccDrtmR(cfg));
+  }
+  for (uint32_t c : kCross) {
+    TpccBenchConfig cfg;
+    cfg.cross_no_pct = c;
+    cfg.txns_per_thread = 150;
+    PrintTpccRow("DrTM", c, RunTpccDrTm(cfg));
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fig. 18: high contention — one warehouse per machine, increasing worker
+// threads (6 machines). Paper shapes: DrTM+R outperforms DrTM below ~10
+// threads (DrTM falls back to its locking slow path more often under
+// contention); as threads grow, DrTM+R's optimistic scheme pays more
+// read-write conflict aborts in the commit phase.
+#include "bench/harness.h"
+
+int main() {
+  using namespace drtmr::bench;
+  const uint32_t kThreads[] = {1, 2, 4, 8, 10, 12, 16};
+  PrintHeader("Fig.18  TPC-C high contention: 1 warehouse/machine (6 machines)",
+              "system      threads    throughput");
+  for (uint32_t t : kThreads) {
+    TpccBenchConfig cfg;
+    cfg.threads = t;
+    cfg.warehouses_per_node = 1;  // contention grows with threads
+    cfg.txns_per_thread = 200;
+    PrintTpccRow("DrTM+R", t, RunTpccDrtmR(cfg));
+  }
+  for (uint32_t t : kThreads) {
+    TpccBenchConfig cfg;
+    cfg.threads = t;
+    cfg.warehouses_per_node = 1;
+    cfg.txns_per_thread = 200;
+    PrintTpccRow("DrTM", t, RunTpccDrTm(cfg));
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig. 19: TPC-C new-order throughput vs database size (warehouses per
+// machine up to 64; 6 machines x 8 threads). Paper shape: throughput is
+// stable and even rises slightly with more warehouses — a larger database
+// raises cache misses but lowers contention.
+#include "bench/harness.h"
+
+int main() {
+  using namespace drtmr::bench;
+  PrintHeader("Fig.19  TPC-C throughput vs warehouses/machine (6 machines x 8 threads)",
+              "system      wh/node    throughput");
+  for (uint32_t wpn : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    TpccBenchConfig cfg;
+    cfg.warehouses_per_node = wpn;
+    cfg.customers_per_district = 100;  // keep load time and memory in check
+    cfg.items = 2000;
+    cfg.memory_mb = wpn >= 32 ? 256 : 96;
+    cfg.txns_per_thread = 200;
+    PrintTpccRow("DrTM+R", wpn, RunTpccDrtmR(cfg));
+  }
+  for (uint32_t wpn : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    TpccBenchConfig cfg;
+    cfg.warehouses_per_node = wpn;
+    cfg.customers_per_district = 100;
+    cfg.items = 2000;
+    cfg.memory_mb = wpn >= 32 ? 256 : 96;
+    cfg.log_mb = 8;
+    cfg.txns_per_thread = 200;
+    cfg.replication = true;
+    PrintTpccRow("DrTM+R=3", wpn, RunTpccDrtmR(cfg));
+  }
+  return 0;
+}

@@ -1,0 +1,253 @@
+#include "bench/harness.h"
+
+#include <memory>
+#include <vector>
+
+#include "src/baseline/calvin.h"
+#include "src/baseline/drtm.h"
+#include "src/baseline/silo.h"
+#include "src/cluster/coordinator.h"
+#include "src/rep/primary_backup.h"
+#include "src/txn/transaction.h"
+
+namespace drtmr::bench {
+
+using workload::DriverOptions;
+using workload::DriverResult;
+using workload::RunWorkload;
+
+namespace {
+
+struct TpccStack {
+  explicit TpccStack(const TpccBenchConfig& cfg, uint32_t total_workers) {
+    ccfg.num_nodes = cfg.machines * cfg.logical_per_machine;
+    ccfg.workers_per_node = total_workers;
+    ccfg.memory_bytes = cfg.memory_mb << 20;
+    ccfg.log_bytes = cfg.log_mb << 20;
+    ccfg.logical_per_machine = cfg.logical_per_machine;
+    if (cfg.fused_seq_lock) {
+      ccfg.atomicity = sim::AtomicityLevel::kGlob;
+    }
+    cluster = std::make_unique<cluster::Cluster>(ccfg);
+    catalog = std::make_unique<store::Catalog>(cluster.get());
+    pmap = std::make_unique<cluster::PartitionMap>(ccfg.num_nodes);
+    coordinator = std::make_unique<cluster::Coordinator>();
+    for (uint32_t i = 0; i < ccfg.num_nodes; ++i) {
+      coordinator->Join(i, 0, ~0ull >> 2);
+    }
+    if (cfg.replication) {
+      rep::RepConfig rcfg;
+      rcfg.replicas = std::min<uint32_t>(3, ccfg.num_nodes);
+      replicator = std::make_unique<rep::PrimaryBackupReplicator>(cluster.get(), rcfg);
+    }
+    txn::TxnConfig tcfg;
+    tcfg.replication = cfg.replication;
+    tcfg.replicas = cfg.replication ? 3 : 1;
+    tcfg.lock_remote_read_set = cfg.lock_remote_read_set;
+    tcfg.message_passing_commit = cfg.message_passing_commit;
+    tcfg.fused_seq_lock = cfg.fused_seq_lock;
+    engine = std::make_unique<txn::TxnEngine>(cluster.get(), catalog.get(), tcfg,
+                                              coordinator.get(), replicator.get());
+
+    workload::TpccConfig tc;
+    tc.warehouses_per_node = cfg.warehouses_per_node;
+    tc.customers_per_district = cfg.customers_per_district;
+    tc.items = cfg.items;
+    tc.cross_warehouse_new_order_pct = cfg.cross_no_pct;
+    tc.cross_warehouse_payment_pct = cfg.cross_pay_pct;
+    tc.ptr_swap_local = cfg.ptr_swap_local_tables;
+    tpcc = std::make_unique<workload::TpccWorkload>(engine.get(), pmap.get(), tc);
+    tpcc->CreateTables();
+    tpcc->Load(replicator.get());
+    engine->StartServices();
+  }
+
+  ~TpccStack() { engine->StopServices(); }
+
+  cluster::ClusterConfig ccfg;
+  std::unique_ptr<cluster::Cluster> cluster;
+  std::unique_ptr<store::Catalog> catalog;
+  std::unique_ptr<cluster::PartitionMap> pmap;
+  std::unique_ptr<cluster::Coordinator> coordinator;
+  std::unique_ptr<rep::PrimaryBackupReplicator> replicator;
+  std::unique_ptr<txn::TxnEngine> engine;
+  std::unique_ptr<workload::TpccWorkload> tpcc;
+};
+
+DriverOptions MakeOptions(uint32_t threads, uint64_t txns, uint64_t warmup) {
+  DriverOptions opt;
+  opt.threads_per_node = threads;
+  opt.txns_per_thread = txns;
+  opt.warmup_per_thread = warmup;
+  opt.max_txn_types = workload::kTpccTxnTypes;
+  return opt;
+}
+
+}  // namespace
+
+DriverResult RunTpccDrtmR(const TpccBenchConfig& cfg) {
+  TpccStack stack(cfg, cfg.threads);
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  std::vector<txn::Transaction*> by_slot(stack.ccfg.num_nodes * cfg.threads);
+  for (uint32_t n = 0; n < stack.ccfg.num_nodes; ++n) {
+    for (uint32_t w = 0; w < cfg.threads; ++w) {
+      txns.push_back(std::make_unique<txn::Transaction>(stack.engine.get(),
+                                                        stack.cluster->node(n)->context(w)));
+      by_slot[n * cfg.threads + w] = txns.back().get();
+    }
+  }
+  DriverResult r = RunWorkload(stack.cluster.get(), MakeOptions(cfg.threads, cfg.txns_per_thread,
+                                                                cfg.warmup_per_thread),
+                               [&](sim::ThreadContext* ctx, uint32_t n, uint32_t w,
+                                   FastRand* rng) {
+                                 return stack.tpcc->RunOne(ctx, by_slot[n * cfg.threads + w], rng);
+                               });
+  if (cfg.print_stats) {
+    const txn::TxnStats& st = stack.engine->stats();
+    std::printf(
+        "stats: commits=%llu aborts_lock=%llu aborts_validation=%llu user=%llu fallbacks=%llu "
+        "htm_retries=%llu remote_reads=%llu local_reads=%llu htm[commits=%llu conflict=%llu "
+        "capacity=%llu explicit=%llu io=%llu]\n",
+        (unsigned long long)st.commits, (unsigned long long)st.aborts_lock,
+        (unsigned long long)st.aborts_validation, (unsigned long long)st.aborts_user,
+        (unsigned long long)st.fallbacks, (unsigned long long)st.htm_commit_retries,
+        (unsigned long long)st.remote_reads, (unsigned long long)st.local_reads,
+        (unsigned long long)stack.cluster->node(0)->htm()->stats().commits,
+        (unsigned long long)stack.cluster->node(0)->htm()->stats().aborts_conflict,
+        (unsigned long long)stack.cluster->node(0)->htm()->stats().aborts_capacity,
+        (unsigned long long)stack.cluster->node(0)->htm()->stats().aborts_explicit,
+        (unsigned long long)stack.cluster->node(0)->htm()->stats().aborts_io);
+  }
+  return r;
+}
+
+DriverResult RunTpccDrTm(const TpccBenchConfig& cfg) {
+  TpccStack stack(cfg, cfg.threads);
+  baseline::DrTmConfig dcfg;
+  baseline::DrTmEngine drtm(stack.engine.get(), dcfg);
+  return RunWorkload(stack.cluster.get(), MakeOptions(cfg.threads, cfg.txns_per_thread,
+                                                      cfg.warmup_per_thread),
+                     [&](sim::ThreadContext* ctx, uint32_t, uint32_t, FastRand* rng) {
+                       const uint64_t w = stack.tpcc->PickWarehouse(ctx, rng);
+                       const uint32_t type = stack.tpcc->PickType(rng);
+                       const FastRand snapshot = *rng;
+                       while (true) {
+                         if (drtm.Execute(ctx, [&](txn::TxnApi* api) {
+                               FastRand body_rng = snapshot;
+                               return stack.tpcc->RunType(type, ctx, api, &body_rng, w);
+                             })) {
+                           break;
+                         }
+                       }
+                       rng->Next();
+                       return type;
+                     });
+}
+
+DriverResult RunTpccCalvin(const TpccBenchConfig& cfg) {
+  TpccStack stack(cfg, cfg.threads);
+  baseline::CalvinConfig ccfg;
+  baseline::CalvinEngine calvin(stack.engine.get(), ccfg);
+  std::vector<std::unique_ptr<baseline::CalvinTxn>> txns;
+  std::vector<baseline::CalvinTxn*> by_slot(stack.ccfg.num_nodes * cfg.threads);
+  for (uint32_t n = 0; n < stack.ccfg.num_nodes; ++n) {
+    for (uint32_t w = 0; w < cfg.threads; ++w) {
+      txns.push_back(std::make_unique<baseline::CalvinTxn>(&calvin,
+                                                           stack.cluster->node(n)->context(w)));
+      by_slot[n * cfg.threads + w] = txns.back().get();
+    }
+  }
+  return RunWorkload(stack.cluster.get(), MakeOptions(cfg.threads, cfg.txns_per_thread,
+                                                      cfg.warmup_per_thread),
+                     [&](sim::ThreadContext* ctx, uint32_t n, uint32_t w, FastRand* rng) {
+                       return stack.tpcc->RunOne(ctx, by_slot[n * cfg.threads + w], rng);
+                     });
+}
+
+DriverResult RunTpccSilo(const TpccBenchConfig& config) {
+  TpccBenchConfig cfg = config;
+  cfg.machines = 1;
+  cfg.logical_per_machine = 1;
+  cfg.replication = false;
+  TpccStack stack(cfg, cfg.threads);
+  baseline::SiloEngine silo(stack.engine.get());
+  std::vector<std::unique_ptr<baseline::SiloTxn>> txns;
+  std::vector<baseline::SiloTxn*> by_slot(cfg.threads);
+  for (uint32_t w = 0; w < cfg.threads; ++w) {
+    txns.push_back(std::make_unique<baseline::SiloTxn>(&silo, stack.cluster->node(0)->context(w)));
+    by_slot[w] = txns.back().get();
+  }
+  return RunWorkload(stack.cluster.get(), MakeOptions(cfg.threads, cfg.txns_per_thread,
+                                                      cfg.warmup_per_thread),
+                     [&](sim::ThreadContext* ctx, uint32_t, uint32_t w, FastRand* rng) {
+                       return stack.tpcc->RunOne(ctx, by_slot[w], rng);
+                     });
+}
+
+DriverResult RunSmallBankDrtmR(const SmallBankBenchConfig& cfg) {
+  cluster::ClusterConfig ccfg;
+  ccfg.num_nodes = cfg.machines;
+  ccfg.workers_per_node = cfg.threads;
+  ccfg.memory_bytes = cfg.memory_mb << 20;
+  ccfg.log_bytes = cfg.log_mb << 20;
+  cluster::Cluster cluster(ccfg);
+  store::Catalog catalog(&cluster);
+  cluster::PartitionMap pmap(cfg.machines);
+  cluster::Coordinator coordinator;
+  for (uint32_t i = 0; i < cfg.machines; ++i) {
+    coordinator.Join(i, 0, ~0ull >> 2);
+  }
+  std::unique_ptr<rep::PrimaryBackupReplicator> replicator;
+  if (cfg.replication) {
+    rep::RepConfig rcfg;
+    rcfg.replicas = std::min<uint32_t>(3, cfg.machines);
+    replicator = std::make_unique<rep::PrimaryBackupReplicator>(&cluster, rcfg);
+  }
+  txn::TxnConfig tcfg;
+  tcfg.replication = cfg.replication;
+  tcfg.replicas = cfg.replication ? 3 : 1;
+  txn::TxnEngine engine(&cluster, &catalog, tcfg, &coordinator, replicator.get());
+
+  workload::SmallBankConfig sc;
+  sc.accounts_per_node = cfg.accounts_per_node;
+  sc.hot_accounts = cfg.hot_accounts;
+  sc.cross_machine_pct = cfg.cross_pct;
+  workload::SmallBankWorkload bank(&engine, &pmap, sc);
+  bank.CreateTables();
+  bank.Load(replicator.get());
+  engine.StartServices();
+
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  std::vector<txn::Transaction*> by_slot(cfg.machines * cfg.threads);
+  for (uint32_t n = 0; n < cfg.machines; ++n) {
+    for (uint32_t w = 0; w < cfg.threads; ++w) {
+      txns.push_back(std::make_unique<txn::Transaction>(&engine, cluster.node(n)->context(w)));
+      by_slot[n * cfg.threads + w] = txns.back().get();
+    }
+  }
+  DriverOptions opt;
+  opt.threads_per_node = cfg.threads;
+  opt.txns_per_thread = cfg.txns_per_thread;
+  opt.warmup_per_thread = cfg.warmup_per_thread;
+  opt.max_txn_types = workload::kSmallBankTxnTypes;
+  DriverResult r = RunWorkload(&cluster, opt,
+                               [&](sim::ThreadContext* ctx, uint32_t n, uint32_t w,
+                                   FastRand* rng) {
+                                 return bank.RunOne(ctx, by_slot[n * cfg.threads + w], rng);
+                               });
+  engine.StopServices();
+  return r;
+}
+
+void PrintHeader(const char* title, const char* columns) {
+  std::printf("\n=== %s ===\n%s\n", title, columns);
+}
+
+void PrintTpccRow(const char* label, uint32_t x, const DriverResult& r) {
+  std::printf("%-12s %4u  total %10s tps  new-order %10s tps  p50 %7.1fus  p99 %7.1fus\n", label,
+              x, workload::FormatTps(r.ThroughputTps()).c_str(),
+              workload::FormatTps(r.ThroughputTps(workload::kNewOrder)).c_str(),
+              r.latency.Percentile(50) / 1000.0, r.latency.Percentile(99) / 1000.0);
+}
+
+}  // namespace drtmr::bench

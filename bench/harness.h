@@ -1,0 +1,68 @@
+// Shared harness for the paper-reproduction benches: builds a fresh simulated
+// cluster per data point, loads the workload, runs the virtual-time driver,
+// and returns the aggregate result. One Run* function per (workload, system).
+#ifndef DRTMR_BENCH_HARNESS_H_
+#define DRTMR_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/workload/driver.h"
+#include "src/workload/smallbank.h"
+#include "src/workload/tpcc.h"
+
+namespace drtmr::bench {
+
+struct TpccBenchConfig {
+  uint32_t machines = 6;
+  uint32_t threads = 8;
+  uint32_t warehouses_per_node = 1;
+  uint32_t customers_per_district = 300;  // trimmed (shape-preserving) scale
+  uint32_t items = 20000;
+  uint32_t cross_no_pct = 1;   // cross-warehouse probability per new-order item
+  uint32_t cross_pay_pct = 15;
+  bool replication = false;    // DrTM+R=3 when true (3-way)
+  uint32_t logical_per_machine = 1;  // Fig. 12
+  uint64_t txns_per_thread = 300;
+  uint64_t warmup_per_thread = 30;
+  size_t memory_mb = 48;
+  size_t log_mb = 8;
+  // Ablation switches (DESIGN.md §5); defaults are the paper's protocol.
+  bool lock_remote_read_set = true;
+  bool ptr_swap_local_tables = false;
+  bool message_passing_commit = false;
+  bool fused_seq_lock = false;  // §4.4 GLOB-atomicity variant
+  // Diagnostics: print engine statistics (aborts, fallbacks) after the run.
+  bool print_stats = false;
+};
+
+struct SmallBankBenchConfig {
+  uint32_t machines = 6;
+  uint32_t threads = 8;
+  uint32_t cross_pct = 1;  // distributed probability for SP/AMG
+  bool replication = false;
+  uint64_t accounts_per_node = 20000;
+  uint64_t hot_accounts = 800;
+  uint64_t txns_per_thread = 500;
+  uint64_t warmup_per_thread = 50;
+  size_t memory_mb = 48;
+  size_t log_mb = 8;
+};
+
+// DrTM+R (optionally with 3-way replication).
+workload::DriverResult RunTpccDrtmR(const TpccBenchConfig& config);
+workload::DriverResult RunSmallBankDrtmR(const SmallBankBenchConfig& config);
+
+// Baselines (TPC-C only; the paper's comparisons are TPC-C).
+workload::DriverResult RunTpccDrTm(const TpccBenchConfig& config);
+workload::DriverResult RunTpccCalvin(const TpccBenchConfig& config);
+workload::DriverResult RunTpccSilo(const TpccBenchConfig& config);  // machines forced to 1
+
+// Row formatting for the reproduction tables.
+void PrintHeader(const char* title, const char* columns);
+void PrintTpccRow(const char* label, uint32_t x, const workload::DriverResult& r);
+
+}  // namespace drtmr::bench
+
+#endif  // DRTMR_BENCH_HARNESS_H_

@@ -1,0 +1,104 @@
+// Microbenchmarks of the simulated substrates (google-benchmark): HTM
+// begin/commit, conflict handling, one-sided verbs, and the memory stores.
+// These measure the *host* cost of the simulation (wall time), which bounds
+// how much virtual workload the benches can push per second.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/cluster/node.h"
+#include "src/store/btree_store.h"
+#include "src/store/hash_store.h"
+
+namespace drtmr {
+namespace {
+
+struct Env {
+  Env() {
+    cluster::ClusterConfig cfg;
+    cfg.num_nodes = 2;
+    cfg.workers_per_node = 2;
+    cfg.memory_bytes = 32 << 20;
+    cfg.log_bytes = 1 << 20;
+    cluster = std::make_unique<cluster::Cluster>(cfg);
+  }
+  std::unique_ptr<cluster::Cluster> cluster;
+};
+
+Env* env() {
+  static Env e;
+  return &e;
+}
+
+void BM_HtmBeginCommit(benchmark::State& state) {
+  cluster::Node* node = env()->cluster->node(0);
+  sim::ThreadContext* ctx = node->context(0);
+  for (auto _ : state) {
+    sim::HtmTxn* txn = node->htm()->Begin(ctx);
+    uint64_t v;
+    txn->ReadU64(4096, &v);
+    txn->WriteU64(4096, v + 1);
+    benchmark::DoNotOptimize(txn->Commit());
+  }
+}
+BENCHMARK(BM_HtmBeginCommit);
+
+void BM_BusRead64(benchmark::State& state) {
+  cluster::Node* node = env()->cluster->node(0);
+  sim::ThreadContext* ctx = node->context(0);
+  std::byte buf[64];
+  for (auto _ : state) {
+    node->bus()->Read(ctx, 8192, buf, sizeof(buf));
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_BusRead64);
+
+void BM_RdmaRead(benchmark::State& state) {
+  cluster::Node* node = env()->cluster->node(0);
+  sim::ThreadContext* ctx = node->context(0);
+  std::byte buf[128];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node->nic()->Read(ctx, 1, 0, buf, sizeof(buf)));
+  }
+}
+BENCHMARK(BM_RdmaRead);
+
+void BM_RdmaCas(benchmark::State& state) {
+  cluster::Node* node = env()->cluster->node(0);
+  sim::ThreadContext* ctx = node->context(0);
+  for (auto _ : state) {
+    uint64_t obs;
+    benchmark::DoNotOptimize(node->nic()->CompareSwap(ctx, 1, 64, 0, 0, &obs));
+  }
+}
+BENCHMARK(BM_RdmaCas);
+
+void BM_HashInsertLookup(benchmark::State& state) {
+  static store::HashStore hs(env()->cluster->node(0), 1 << 14, 40);
+  sim::ThreadContext* ctx = env()->cluster->node(0)->context(0);
+  uint64_t key = 1;
+  char value[40] = "v";
+  for (auto _ : state) {
+    hs.Insert(ctx, key, value, nullptr);
+    benchmark::DoNotOptimize(hs.Lookup(ctx, key));
+    key++;
+  }
+}
+BENCHMARK(BM_HashInsertLookup);
+
+void BM_BTreeInsertLookup(benchmark::State& state) {
+  static store::BTreeStore bt;
+  uint64_t key = 1;
+  for (auto _ : state) {
+    bt.Insert(nullptr, key, key);
+    benchmark::DoNotOptimize(bt.Lookup(nullptr, key));
+    key++;
+  }
+}
+BENCHMARK(BM_BTreeInsertLookup);
+
+}  // namespace
+}  // namespace drtmr
+
+BENCHMARK_MAIN();

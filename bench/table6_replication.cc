@@ -1,0 +1,39 @@
+// Table 6: the cost of 3-way replication for TPC-C on 6 machines x 8
+// threads: throughput plus per-type median/99th latency with and without
+// replication. Paper: at most 41% throughput overhead before the NIC
+// bottleneck; latency rises by the extra log-write round trips.
+#include "bench/harness.h"
+
+using namespace drtmr;
+
+namespace {
+
+void PrintLatencies(const char* label, const workload::DriverResult& r) {
+  static const char* kNames[] = {"new-order", "payment", "order-status", "delivery",
+                                 "stock-level"};
+  std::printf("%s: total %s tps, new-order %s tps\n", label,
+              workload::FormatTps(r.ThroughputTps()).c_str(),
+              workload::FormatTps(r.ThroughputTps(workload::kNewOrder)).c_str());
+  for (uint32_t t = 0; t < workload::kTpccTxnTypes; ++t) {
+    std::printf("  %-12s p50 %8.1fus   p99 %8.1fus\n", kNames[t],
+                r.latency_by_type[t].Percentile(50) / 1000.0,
+                r.latency_by_type[t].Percentile(99) / 1000.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace drtmr::bench;
+  PrintHeader("Table 6  impact of 3-way replication (TPC-C, 6 machines x 8 threads)", "");
+  TpccBenchConfig cfg;
+  cfg.txns_per_thread = 400;
+  const auto base = RunTpccDrtmR(cfg);
+  cfg.replication = true;
+  const auto rep = RunTpccDrtmR(cfg);
+  PrintLatencies("DrTM+R  ", base);
+  PrintLatencies("DrTM+R=3", rep);
+  std::printf("replication overhead: %.1f%%\n",
+              100.0 * (1.0 - rep.ThroughputTps() / base.ThroughputTps()));
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Failover demo: 3-way replication, a machine failure, and recovery — the
+// §5 machinery end to end. Data written before the failure survives it, the
+// dead machine's partition is revived on a survivor, and new transactions
+// keep running against the re-hosted records.
+//
+//   $ ./examples/failover_demo
+#include <cstdio>
+#include <memory>
+
+#include "src/cluster/coordinator.h"
+#include "src/cluster/partition_map.h"
+#include "src/rep/primary_backup.h"
+#include "src/rep/recovery.h"
+#include "src/txn/transaction.h"
+#include "src/txn/txn_engine.h"
+
+using namespace drtmr;
+
+struct Profile {
+  uint64_t version;
+  char name[40];
+};
+
+int main() {
+  constexpr uint32_t kNodes = 4;
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = kNodes;
+  cfg.workers_per_node = 2;
+  cfg.memory_bytes = 16 << 20;
+  cfg.log_bytes = 4 << 20;
+  cluster::Cluster cluster(cfg);
+  store::Catalog catalog(&cluster);
+  store::TableOptions opt;
+  opt.value_size = sizeof(Profile);
+  opt.hash_buckets = 256;
+  store::Table* profiles = catalog.CreateTable(1, opt);
+
+  cluster::Coordinator coordinator;
+  for (uint32_t i = 0; i < kNodes; ++i) {
+    coordinator.Join(i, 0, /*lease_ms=*/1u << 30);
+  }
+  rep::RepConfig rcfg;
+  rcfg.replicas = 3;
+  rep::PrimaryBackupReplicator replicator(&cluster, rcfg);
+  txn::TxnConfig tcfg;
+  tcfg.replication = true;
+  tcfg.replicas = 3;
+  txn::TxnEngine engine(&cluster, &catalog, tcfg, &coordinator, &replicator);
+  engine.StartServices();
+
+  // Write profiles hosted on machine 1 (backups land on machines 2 and 3).
+  sim::ThreadContext* ctx = cluster.node(0)->context(0);
+  txn::Transaction txn(&engine, ctx);
+  for (uint64_t k = 1; k <= 5; ++k) {
+    Profile p{};
+    std::snprintf(p.name, sizeof(p.name), "user-%llu", (unsigned long long)k);
+    txn.Begin();
+    txn.Insert(profiles, /*node=*/1, k, &p);
+    if (txn.Commit() != Status::kOk) {
+      return 1;
+    }
+    // Seed the backups for the freshly inserted record (inserts go through
+    // the store, not the write-set path; production loaders do the same).
+    const uint64_t off = profiles->hash(1)->Lookup(nullptr, k);
+    std::vector<std::byte> image(profiles->record_bytes());
+    cluster.node(1)->bus()->Read(nullptr, off, image.data(), image.size());
+    for (uint32_t r = 1; r < 3; ++r) {
+      replicator.SeedBackup(cluster.BackupOf(1, r), 1, 1, k, image.data(), image.size());
+    }
+    // An update through the transactional path replicates via the NVM logs.
+    while (true) {
+      txn.Begin();
+      Profile cur{};
+      if (txn.Read(profiles, 1, k, &cur) != Status::kOk) {
+        txn.UserAbort();
+        continue;
+      }
+      cur.version = 7;
+      txn.Write(profiles, 1, k, &cur);
+      if (txn.Commit() == Status::kOk) {
+        break;
+      }
+    }
+  }
+  std::printf("wrote 5 replicated profiles on machine 1\n");
+
+  // Fail machine 1 and recover its partition onto machine 2.
+  cluster::PartitionMap pmap(kNodes);
+  cluster.Kill(1);
+  coordinator.Remove(1);
+  std::printf("machine 1 failed (fail-stop); configuration epoch is now %llu\n",
+              (unsigned long long)coordinator.epoch());
+  rep::RecoveryManager rm(&engine, &replicator, &coordinator);
+  const rep::RecoveryReport report =
+      rm.RecoverAfterFailure(cluster.node(2)->tool_context(), /*dead=*/1, /*host=*/2, &pmap);
+  std::printf("recovery: %llu records re-hosted on machine 2, %llu log entries drained\n",
+              (unsigned long long)report.records_rehosted,
+              (unsigned long long)report.log_entries_drained);
+
+  // The data survived, with the committed update.
+  txn::Transaction ro(&engine, cluster.node(3)->context(0));
+  int survivors = 0;
+  for (uint64_t k = 1; k <= 5; ++k) {
+    ro.Begin(/*read_only=*/true);
+    Profile p{};
+    if (ro.Read(profiles, /*node=*/2, k, &p) == Status::kOk && ro.Commit() == Status::kOk &&
+        p.version == 7) {
+      survivors++;
+      std::printf("  %s survived (version %llu)\n", p.name, (unsigned long long)p.version);
+    }
+  }
+  // And the re-hosted partition accepts new transactions.
+  txn::Transaction w(&engine, cluster.node(0)->context(1));
+  while (true) {
+    w.Begin();
+    Profile p{};
+    if (w.Read(profiles, 2, 3, &p) != Status::kOk) {
+      w.UserAbort();
+      continue;
+    }
+    p.version = 8;
+    w.Write(profiles, 2, 3, &p);
+    if (w.Commit() == Status::kOk) {
+      break;
+    }
+  }
+  std::printf("post-failure update committed on the re-hosted partition\n");
+  engine.StopServices();
+  std::printf(survivors == 5 ? "FAILOVER OK: no committed data lost\n"
+                             : "FAILOVER INCOMPLETE: %d/5 records\n",
+              survivors);
+  return survivors == 5 ? 0 : 1;
+}

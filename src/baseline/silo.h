@@ -1,0 +1,62 @@
+// Silo baseline (Tu et al., SOSP'13; §7.1 runs it with logging disabled):
+// single-machine OCC with per-record locks and sequence-number validation —
+// no HTM, no RDMA, no distribution. Used for the per-machine comparison in
+// Fig. 11's discussion. Operates over the same memory-store substrate as
+// DrTM+R so per-record costs are comparable.
+#ifndef DRTMR_SRC_BASELINE_SILO_H_
+#define DRTMR_SRC_BASELINE_SILO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/txn/txn_api.h"
+#include "src/txn/txn_engine.h"
+#include "src/txn/types.h"
+
+namespace drtmr::baseline {
+
+class SiloEngine {
+ public:
+  explicit SiloEngine(txn::TxnEngine* base) : base_(base) {}
+
+  txn::TxnEngine* base() { return base_; }
+  txn::TxnStats& stats() { return stats_; }
+
+ private:
+  txn::TxnEngine* base_;
+  txn::TxnStats stats_;
+};
+
+class SiloTxn : public txn::TxnApi {
+ public:
+  SiloTxn(SiloEngine* engine, sim::ThreadContext* ctx);
+
+  void Begin(bool read_only = false) override;
+  Status Read(store::Table* table, uint32_t node, uint64_t key, void* value_out) override;
+  Status Write(store::Table* table, uint32_t node, uint64_t key, const void* value) override;
+  Status Insert(store::Table* table, uint32_t node, uint64_t key, const void* value) override;
+  Status Remove(store::Table* table, uint32_t node, uint64_t key) override;
+  Status ScanLocal(store::Table* table, uint64_t lo, uint64_t hi,
+                   const std::function<bool(uint64_t, const void*)>& fn) override;
+  Status Commit() override;
+  void UserAbort() override;
+
+ private:
+  // Consistent local read without HTM: two stable lock-free snapshots.
+  Status SeqlockRead(store::Table* table, uint64_t key, void* value_out,
+                     txn::AccessEntry* entry);
+
+  SiloEngine* engine_;
+  sim::ThreadContext* ctx_;
+  cluster::Node* self_;
+  uint64_t lock_word_;
+  bool read_only_ = false;
+  std::vector<txn::AccessEntry> read_set_;
+  std::vector<txn::WriteEntry> write_set_;
+  std::vector<txn::MutationEntry> mutations_;
+};
+
+}  // namespace drtmr::baseline
+
+#endif  // DRTMR_SRC_BASELINE_SILO_H_

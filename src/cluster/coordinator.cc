@@ -1,0 +1,78 @@
+#include "src/cluster/coordinator.h"
+
+#include <algorithm>
+
+namespace drtmr::cluster {
+
+void Coordinator::Join(uint32_t node, uint64_t now_ms, uint64_t lease_ms) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& m : members_) {
+    if (m.node == node) {
+      m.lease_deadline_ms = now_ms + lease_ms;
+      return;
+    }
+  }
+  members_.push_back({node, now_ms + lease_ms});
+  std::sort(members_.begin(), members_.end(),
+            [](const Member& a, const Member& b) { return a.node < b.node; });
+  epoch_++;
+}
+
+void Coordinator::Renew(uint32_t node, uint64_t now_ms, uint64_t lease_ms) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& m : members_) {
+    if (m.node == node) {
+      m.lease_deadline_ms = now_ms + lease_ms;
+      return;
+    }
+  }
+}
+
+bool Coordinator::Reconfigure(uint64_t now_ms, std::vector<uint32_t>* suspected) {
+  std::lock_guard<std::mutex> g(mu_);
+  bool changed = false;
+  for (auto it = members_.begin(); it != members_.end();) {
+    if (it->lease_deadline_ms < now_ms) {
+      if (suspected != nullptr) {
+        suspected->push_back(it->node);
+      }
+      it = members_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (changed) {
+    epoch_++;
+  }
+  return changed;
+}
+
+void Coordinator::Remove(uint32_t node) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto it = members_.begin(); it != members_.end(); ++it) {
+    if (it->node == node) {
+      members_.erase(it);
+      epoch_++;
+      return;
+    }
+  }
+}
+
+ClusterView Coordinator::view() const {
+  std::lock_guard<std::mutex> g(mu_);
+  ClusterView v;
+  v.epoch = epoch_;
+  v.members.reserve(members_.size());
+  for (const auto& m : members_) {
+    v.members.push_back(m.node);
+  }
+  return v;
+}
+
+uint64_t Coordinator::epoch() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return epoch_;
+}
+
+}  // namespace drtmr::cluster

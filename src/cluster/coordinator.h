@@ -1,0 +1,66 @@
+// Configuration service standing in for ZooKeeper + the FaRM-style lease
+// protocol (§3, §5.2). Machines join the configuration, renew leases, and a
+// reconfiguration pass removes machines whose lease expired (fail-stop
+// suspicion), atomically committing a new configuration epoch that survivors
+// observe. Only agreement on "the current configuration" is required by the
+// paper, so a linearizable in-process service suffices (DESIGN.md §1).
+//
+// Time base: leases use a millisecond virtual timestamp supplied by the
+// caller (the recovery benchmark drives it from a wall-clock thread), keeping
+// the module deterministic under test.
+#ifndef DRTMR_SRC_CLUSTER_COORDINATOR_H_
+#define DRTMR_SRC_CLUSTER_COORDINATOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace drtmr::cluster {
+
+struct ClusterView {
+  uint64_t epoch = 0;
+  std::vector<uint32_t> members;  // node ids, sorted
+
+  bool Contains(uint32_t node) const {
+    for (uint32_t m : members) {
+      if (m == node) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+class Coordinator {
+ public:
+  // Adds a machine to the configuration (bumps the epoch).
+  void Join(uint32_t node, uint64_t now_ms, uint64_t lease_ms);
+
+  // Lease renewal; a machine that stops renewing will be suspected.
+  void Renew(uint32_t node, uint64_t now_ms, uint64_t lease_ms);
+
+  // Scans leases; if any member expired, commits a new configuration without
+  // it and returns true. `suspected` receives the removed nodes.
+  bool Reconfigure(uint64_t now_ms, std::vector<uint32_t>* suspected);
+
+  // Explicitly removes a node (e.g. the failure injector announcing a kill in
+  // tests that do not drive lease time).
+  void Remove(uint32_t node);
+
+  ClusterView view() const;
+  uint64_t epoch() const;
+
+ private:
+  struct Member {
+    uint32_t node;
+    uint64_t lease_deadline_ms;
+  };
+
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;
+  std::vector<Member> members_;
+};
+
+}  // namespace drtmr::cluster
+
+#endif  // DRTMR_SRC_CLUSTER_COORDINATOR_H_

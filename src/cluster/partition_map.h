@@ -1,0 +1,39 @@
+// Partition -> hosting-node map. Workloads shard by partition (e.g. one
+// TPC-C warehouse group per partition); after a failure, recovery re-hosts
+// the dead machine's partitions on survivors and updates this map (§5.2:
+// "the instance on failed machine will be recovered on one of the surviving
+// machines"). Lock-free reads on the hot path.
+#ifndef DRTMR_SRC_CLUSTER_PARTITION_MAP_H_
+#define DRTMR_SRC_CLUSTER_PARTITION_MAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace drtmr::cluster {
+
+class PartitionMap {
+ public:
+  explicit PartitionMap(uint32_t num_partitions) : owner_(num_partitions) {
+    for (uint32_t i = 0; i < num_partitions; ++i) {
+      owner_[i].store(i, std::memory_order_relaxed);
+    }
+  }
+
+  uint32_t node_of(uint32_t partition) const {
+    return owner_[partition].load(std::memory_order_acquire);
+  }
+
+  void Rehost(uint32_t partition, uint32_t node) {
+    owner_[partition].store(node, std::memory_order_release);
+  }
+
+  uint32_t num_partitions() const { return static_cast<uint32_t>(owner_.size()); }
+
+ private:
+  std::vector<std::atomic<uint32_t>> owner_;
+};
+
+}  // namespace drtmr::cluster
+
+#endif  // DRTMR_SRC_CLUSTER_PARTITION_MAP_H_

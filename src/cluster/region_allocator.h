@@ -1,0 +1,78 @@
+// Cache-line-aligned allocator over one node's registered memory region.
+// Records must start at line boundaries (§4.2, to avoid HTM false sharing),
+// and every node must lay out its tables identically so that remote nodes can
+// compute bucket offsets without coordination: allocation is deterministic
+// (a bump pointer plus size-class free lists), so nodes that perform the same
+// table-creation sequence end up with the same offsets.
+#ifndef DRTMR_SRC_CLUSTER_REGION_ALLOCATOR_H_
+#define DRTMR_SRC_CLUSTER_REGION_ALLOCATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/cacheline.h"
+#include "src/util/logging.h"
+#include "src/util/spinlock.h"
+
+namespace drtmr::cluster {
+
+class RegionAllocator {
+ public:
+  // Manages offsets in [begin, end) of the node's registered region.
+  RegionAllocator(uint64_t begin, uint64_t end) : next_(AlignUpToLine(begin)), end_(end) {}
+  RegionAllocator(const RegionAllocator&) = delete;
+  RegionAllocator& operator=(const RegionAllocator&) = delete;
+
+  // Returns a line-aligned offset, or kInvalidOffset when out of space.
+  uint64_t Alloc(uint64_t size) {
+    const uint64_t rounded = AlignUpToLine(size);
+    mu_.lock();
+    auto it = free_lists_.find(rounded);
+    if (it != free_lists_.end() && !it->second.empty()) {
+      const uint64_t off = it->second.back();
+      it->second.pop_back();
+      mu_.unlock();
+      return off;
+    }
+    if (next_ + rounded > end_) {
+      mu_.unlock();
+      return kInvalidOffset;
+    }
+    const uint64_t off = next_;
+    next_ += rounded;
+    mu_.unlock();
+    return off;
+  }
+
+  void Free(uint64_t offset, uint64_t size) {
+    const uint64_t rounded = AlignUpToLine(size);
+    mu_.lock();
+    free_lists_[rounded].push_back(offset);
+    mu_.unlock();
+  }
+
+  uint64_t bytes_used() const { return next_; }
+
+  // Snapshot restore: resume allocation at a saved watermark. Free lists are
+  // not persisted (blocks freed before the snapshot stay unused — a bounded
+  // leak, as after real NVRAM recovery without a heap walk).
+  void RestoreWatermark(uint64_t next) {
+    mu_.lock();
+    next_ = next;
+    free_lists_.clear();
+    mu_.unlock();
+  }
+
+  static constexpr uint64_t kInvalidOffset = ~0ull;
+
+ private:
+  Spinlock mu_;
+  uint64_t next_;
+  uint64_t end_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> free_lists_;
+};
+
+}  // namespace drtmr::cluster
+
+#endif  // DRTMR_SRC_CLUSTER_REGION_ALLOCATOR_H_

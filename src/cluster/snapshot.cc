@@ -1,0 +1,75 @@
+#include "src/cluster/snapshot.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "src/util/logging.h"
+
+namespace drtmr::cluster {
+
+namespace {
+
+struct SnapshotHeader {
+  uint64_t magic;
+  uint64_t memory_bytes;
+  uint64_t alloc_watermark;
+};
+
+constexpr uint64_t kMagic = 0x44725452534e4150ull;  // "DrTRSNAP"
+
+std::string NodeFile(const std::string& dir, uint32_t node) {
+  return dir + "/node" + std::to_string(node) + ".nvram";
+}
+
+}  // namespace
+
+Status SaveClusterSnapshot(Cluster* cluster, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::kInvalid;
+  }
+  for (uint32_t n = 0; n < cluster->num_nodes(); ++n) {
+    Node* node = cluster->node(n);
+    std::FILE* f = std::fopen(NodeFile(dir, n).c_str(), "wb");
+    if (f == nullptr) {
+      return Status::kInvalid;
+    }
+    SnapshotHeader hdr{kMagic, node->bus()->size(), node->allocator()->bytes_used()};
+    bool ok = std::fwrite(&hdr, sizeof(hdr), 1, f) == 1 &&
+              std::fwrite(node->bus()->raw(), 1, node->bus()->size(), f) == node->bus()->size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+      return Status::kInvalid;
+    }
+  }
+  return Status::kOk;
+}
+
+Status LoadClusterSnapshot(Cluster* cluster, const std::string& dir) {
+  for (uint32_t n = 0; n < cluster->num_nodes(); ++n) {
+    Node* node = cluster->node(n);
+    std::FILE* f = std::fopen(NodeFile(dir, n).c_str(), "rb");
+    if (f == nullptr) {
+      return Status::kNotFound;
+    }
+    SnapshotHeader hdr{};
+    if (std::fread(&hdr, sizeof(hdr), 1, f) != 1 || hdr.magic != kMagic ||
+        hdr.memory_bytes != node->bus()->size()) {
+      std::fclose(f);
+      DRTMR_LOG(Error) << "snapshot mismatch for node " << n;
+      return Status::kInvalid;
+    }
+    const bool ok =
+        std::fread(node->bus()->raw(), 1, node->bus()->size(), f) == node->bus()->size();
+    std::fclose(f);
+    if (!ok) {
+      return Status::kInvalid;
+    }
+    node->allocator()->RestoreWatermark(hdr.alloc_watermark);
+  }
+  return Status::kOk;
+}
+
+}  // namespace drtmr::cluster

@@ -1,0 +1,34 @@
+// Full-cluster-failure durability (§5.2: "can provide durability even under
+// a complete cluster failure"). The paper's model keeps all records and logs
+// in battery-backed DRAM, so a power failure preserves every node's
+// registered region; this module serializes those regions (plus the
+// allocator watermark) to files and restores them into a freshly constructed
+// cluster.
+//
+// Restore protocol: build a Cluster with the same configuration, recreate
+// the catalog/tables in the same order (table creation is deterministic, so
+// bucket arrays land at identical offsets), then LoadClusterSnapshot. Local
+// heap indices (B+-trees, backup stores) are *not* part of NVRAM and are
+// rebuilt: backup stores by draining the restored NVM log rings, ordered
+// indices by rescanning (left to the application, as in real recovery).
+#ifndef DRTMR_SRC_CLUSTER_SNAPSHOT_H_
+#define DRTMR_SRC_CLUSTER_SNAPSHOT_H_
+
+#include <string>
+
+#include "src/cluster/node.h"
+#include "src/util/status.h"
+
+namespace drtmr::cluster {
+
+// Writes one file per node under `dir` (created if missing).
+Status SaveClusterSnapshot(Cluster* cluster, const std::string& dir);
+
+// Restores regions saved by SaveClusterSnapshot into `cluster`, which must
+// have the same node count and memory size. Overwrites all registered
+// memory; call after table creation and before starting workers.
+Status LoadClusterSnapshot(Cluster* cluster, const std::string& dir);
+
+}  // namespace drtmr::cluster
+
+#endif  // DRTMR_SRC_CLUSTER_SNAPSHOT_H_

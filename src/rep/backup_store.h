@@ -1,0 +1,76 @@
+// Backup copies of records, maintained on each backup node by applying log
+// entries (§5.1: "the backups of records will only be used in recovery").
+// Keyed by (table, primary, key); the freshest image wins by seqnum.
+#ifndef DRTMR_SRC_REP_BACKUP_STORE_H_
+#define DRTMR_SRC_REP_BACKUP_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/store/record.h"
+
+namespace drtmr::rep {
+
+class BackupStore {
+ public:
+  struct Key {
+    uint32_t table;
+    uint32_t primary;
+    uint64_t key;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t z = k.key + 0x9e3779b97f4a7c15ull * ((static_cast<uint64_t>(k.table) << 32) | k.primary);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      return static_cast<size_t>(z ^ (z >> 31));
+    }
+  };
+
+  // Applies an image if it is newer than the stored one.
+  void Apply(uint32_t table, uint32_t primary, uint64_t key, const std::byte* image, size_t len) {
+    const uint64_t seq = store::RecordLayout::GetSeq(image);
+    std::lock_guard<std::mutex> g(mu_);
+    auto& e = map_[Key{table, primary, key}];
+    if (e.empty() || store::RecordLayout::GetSeq(e.data()) < seq) {
+      e.assign(image, image + len);
+      // Backup images are always committable and unlocked.
+      store::RecordLayout::SetLock(e.data(), 0);
+    }
+  }
+
+  // Latest image for one record; false if absent.
+  bool Get(uint32_t table, uint32_t primary, uint64_t key, std::vector<std::byte>* image) const {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = map_.find(Key{table, primary, key});
+    if (it == map_.end()) {
+      return false;
+    }
+    *image = it->second;
+    return true;
+  }
+
+  // Visits every backup entry (recovery).
+  void ForEach(const std::function<void(const Key&, const std::vector<std::byte>&)>& fn) const {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& [k, v] : map_) {
+      fn(k, v);
+    }
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return map_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::vector<std::byte>, KeyHash> map_;
+};
+
+}  // namespace drtmr::rep
+
+#endif  // DRTMR_SRC_REP_BACKUP_STORE_H_

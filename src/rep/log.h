@@ -1,0 +1,59 @@
+// NVM log rings (§5.1, after FaRM). Each node's registered region reserves a
+// log area at the top, divided into one ring per writer machine. A primary
+// committing a transaction RDMA-WRITEs one fixed-size slot per written record
+// into the rings of that record's backups; the write is durable when the NIC
+// acks (battery-backed DRAM). The backup's auxiliary thread consumes slots in
+// order, applies them to its backup copies, and advances a consumed counter
+// in the ring header (truncation). Writers use the counter for flow control.
+//
+// Ring layout:  [ header line: consumed_count(8B) | pad ] [ slot 0 ] [ slot 1 ] ...
+// Slot layout:  LogSlotHeader | record image (image_len bytes), padded to the
+//               fixed slot size. stamp == write_index + 1 marks a complete
+//               slot (slots are zero before first use).
+#ifndef DRTMR_SRC_REP_LOG_H_
+#define DRTMR_SRC_REP_LOG_H_
+
+#include <cstdint>
+
+#include "src/util/cacheline.h"
+
+namespace drtmr::rep {
+
+struct LogSlotHeader {
+  uint64_t stamp;       // write index + 1; 0 = empty
+  uint64_t txn_id;
+  uint64_t key;
+  uint64_t record_off;  // offset of the record on its primary
+  uint32_t table_id;
+  uint32_t primary;     // node id whose record this is
+  uint32_t image_len;
+  uint32_t flags;
+};
+static_assert(sizeof(LogSlotHeader) == 48);
+
+struct RingGeometry {
+  uint64_t base;        // offset of the ring within the node's region
+  uint64_t slot_bytes;  // fixed, line-aligned
+  uint64_t nslots;
+
+  uint64_t header_offset() const { return base; }
+  uint64_t slot_offset(uint64_t index) const {
+    return base + kCacheLineSize + (index % nslots) * slot_bytes;
+  }
+
+  // Ring for writer `writer` within a log area [log_begin, log_begin+log_size)
+  // shared by `num_writers` writers.
+  static RingGeometry For(uint64_t log_begin, uint64_t log_size, uint32_t num_writers,
+                          uint32_t writer, uint64_t max_image_bytes) {
+    RingGeometry g;
+    const uint64_t per_writer = log_size / num_writers;
+    g.base = log_begin + writer * per_writer;
+    g.slot_bytes = AlignUpToLine(sizeof(LogSlotHeader) + max_image_bytes);
+    g.nslots = (per_writer - kCacheLineSize) / g.slot_bytes;
+    return g;
+  }
+};
+
+}  // namespace drtmr::rep
+
+#endif  // DRTMR_SRC_REP_LOG_H_

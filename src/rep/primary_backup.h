@@ -1,0 +1,92 @@
+// Primary-backup replication with optimistic commit (§5.1): the transaction
+// layer calls ReplicateUpdate (R.1) for every written record between the HTM
+// step and the makeup step; this writes one log slot per backup via one-sided
+// RDMA WRITE into the backup's NVM ring. Auxiliary threads on each node call
+// Pump() to consume rings into the BackupStore and truncate.
+#ifndef DRTMR_SRC_REP_PRIMARY_BACKUP_H_
+#define DRTMR_SRC_REP_PRIMARY_BACKUP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/node.h"
+#include "src/rep/backup_store.h"
+#include "src/rep/log.h"
+#include "src/txn/replicator.h"
+#include "src/util/spinlock.h"
+
+namespace drtmr::rep {
+
+struct RepConfig {
+  uint32_t replicas = 3;            // f+1 copies including the primary
+  uint64_t max_record_bytes = 512;  // bounds the log slot size
+};
+
+class PrimaryBackupReplicator : public txn::Replicator {
+ public:
+  PrimaryBackupReplicator(cluster::Cluster* cluster, const RepConfig& config);
+
+  // txn::Replicator
+  Status ReplicateUpdate(sim::ThreadContext* ctx, uint64_t txn_id, uint32_t primary,
+                         uint32_t table_id, uint64_t key, uint64_t record_offset,
+                         const std::byte* image, size_t image_len,
+                         uint64_t* completion_ns) override;
+  void FenceReplication(sim::ThreadContext* ctx, uint64_t completion_ns) override;
+  void EndTransaction(sim::ThreadContext* ctx, uint64_t txn_id) override;
+  void Pump(sim::ThreadContext* ctx) override;
+
+  // Seeds backup copies at load time (initial data placement provides f+1
+  // copies without going through the log path).
+  void SeedBackup(uint32_t backup_node, uint32_t table_id, uint32_t primary, uint64_t key,
+                  const std::byte* image, size_t image_len);
+
+  BackupStore* backup_store(uint32_t node) { return stores_[node].get(); }
+  const RepConfig& config() const { return config_; }
+  cluster::Cluster* cluster() { return cluster_; }
+
+  // Drains every ring addressed to `node` (used by recovery before reading
+  // backup copies; also callable on live nodes).
+  void DrainNode(sim::ThreadContext* ctx, uint32_t node);
+
+  uint64_t log_writes() const { return log_writes_.load(std::memory_order_relaxed); }
+  uint64_t entries_applied() const { return entries_applied_.load(std::memory_order_relaxed); }
+
+ private:
+  // Consumes at most `budget` slots of writer `writer`'s ring on `node`.
+  // `wait` blocks for exclusive ring access (recovery) instead of skipping
+  // when another consumer is active (service-thread fast path).
+  void PumpRing(sim::ThreadContext* ctx, uint32_t node, uint32_t writer, uint64_t budget,
+                bool wait);
+
+  RingGeometry Ring(uint32_t writer) const;
+
+  cluster::Cluster* cluster_;
+  RepConfig config_;
+  uint32_t num_nodes_;
+  std::vector<std::unique_ptr<BackupStore>> stores_;
+
+  // Writer-side: next slot index + last observed consumed count, indexed by
+  // [src_node * N + dst_node].
+  struct WriterState {
+    std::atomic<uint64_t> next{0};
+    std::atomic<uint64_t> consumed_seen{0};
+  };
+  std::vector<std::unique_ptr<WriterState>> writers_;
+
+  // Consumer-side progress, indexed by [consumer_node * N + writer_node].
+  // PumpRing may be called by the node's auxiliary thread and by recovery
+  // concurrently; pump_mu_ guarantees a single consumer per ring at a time
+  // (two interleaved consumers could regress the pointer after a ring wrap
+  // and deadlock the writers).
+  std::vector<std::atomic<uint64_t>> consumed_;
+  std::unique_ptr<Spinlock[]> pump_mu_;
+
+  std::atomic<uint64_t> log_writes_{0};
+  std::atomic<uint64_t> entries_applied_{0};
+};
+
+}  // namespace drtmr::rep
+
+#endif  // DRTMR_SRC_REP_PRIMARY_BACKUP_H_

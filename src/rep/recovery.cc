@@ -1,0 +1,111 @@
+#include "src/rep/recovery.h"
+
+#include <vector>
+
+#include "src/store/record.h"
+#include "src/util/logging.h"
+
+namespace drtmr::rep {
+
+using store::LockWord;
+using store::RecordLayout;
+
+RecoveryReport RecoveryManager::RecoverAfterFailure(sim::ThreadContext* ctx, uint32_t dead,
+                                                    uint32_t host,
+                                                    cluster::PartitionMap* pmap) {
+  RecoveryReport report;
+  cluster::Cluster* cluster = engine_->cluster();
+  DRTMR_CHECK(host != dead && !cluster->node(host)->killed());
+
+  // 1) The configuration no longer contains the dead machine (the lease
+  //    reconfiguration already ran, or we enforce it here).
+  if (coordinator_->view().Contains(dead)) {
+    coordinator_->Remove(dead);
+  }
+
+  // 2) Drain pending log slots on every survivor. Slots written by the dead
+  //    machine before it failed are durable in NVM and must be applied (the
+  //    transaction reached its commit point once R.1 completed).
+  const uint64_t applied_before = replicator_->entries_applied();
+  for (uint32_t n = 0; n < cluster->num_nodes(); ++n) {
+    if (n == dead || cluster->node(n)->killed()) {
+      continue;
+    }
+    replicator_->DrainNode(ctx, n);
+  }
+  report.log_entries_drained = replicator_->entries_applied() - applied_before;
+
+  // 3) Re-host the dead machine's records on `host` from the freshest backup
+  //    copy across survivors, and patch surviving primaries whose write-back
+  //    (C.5) the dead writer never completed.
+  store::Catalog* catalog = engine_->catalog();
+  sim::ThreadContext* host_ctx = cluster->node(host)->tool_context();
+  for (uint32_t n = 0; n < cluster->num_nodes(); ++n) {
+    if (n == dead || cluster->node(n)->killed()) {
+      continue;
+    }
+    replicator_->backup_store(n)->ForEach([&](const BackupStore::Key& k,
+                                              const std::vector<std::byte>& image) {
+      store::Table* table = catalog->table(k.table);
+      if (table == nullptr || table->kind() != store::StoreKind::kHash) {
+        return;
+      }
+      if (k.primary == dead) {
+        // Revive on the host node under the same key. InsertImage keeps the
+        // freshest seq if several backups hold copies.
+        const Status s = table->hash(host)->InsertImage(host_ctx, k.key, image.data(),
+                                                        image.size());
+        if (s == Status::kOk) {
+          report.records_rehosted++;
+        }
+        return;
+      }
+      if (cluster->node(k.primary)->killed()) {
+        return;
+      }
+      // Patch a surviving primary that missed its write-back: the log holds a
+      // newer image than the record (writer crashed between R.1 and C.5).
+      const uint64_t off = table->hash(k.primary)->Lookup(nullptr, k.key);
+      if (off == store::HashStore::kNoRecord) {
+        return;
+      }
+      sim::MemoryBus* bus = cluster->node(k.primary)->bus();
+      const uint64_t cur_seq = bus->ReadU64(ctx, off + RecordLayout::kSeqOff);
+      const uint64_t log_seq = RecordLayout::GetSeq(image.data());
+      if (log_seq <= cur_seq) {
+        return;
+      }
+      // Take the record's lock (or steal it from the dead owner) so live
+      // transactions keep away while we splice the image in.
+      const uint64_t rec_lock = LockWord::Make(host, 63);
+      while (true) {
+        uint64_t obs = 0;
+        if (bus->CasU64(ctx, off + RecordLayout::kLockOff, LockWord::kUnlocked, rec_lock, &obs)) {
+          break;
+        }
+        if (LockWord::OwnerNode(obs) == dead &&
+            bus->CasU64(ctx, off + RecordLayout::kLockOff, obs, rec_lock, &obs)) {
+          break;
+        }
+        std::this_thread::yield();
+      }
+      bus->Write(ctx, off + RecordLayout::kSeqOff, image.data() + RecordLayout::kSeqOff,
+                 image.size() - RecordLayout::kSeqOff);
+      uint64_t obs = 0;
+      bus->CasU64(ctx, off + RecordLayout::kLockOff, rec_lock, LockWord::kUnlocked, &obs);
+      report.primaries_patched++;
+    });
+  }
+
+  // 4) Route the dead machine's partitions to the host.
+  if (pmap != nullptr) {
+    for (uint32_t p = 0; p < pmap->num_partitions(); ++p) {
+      if (pmap->node_of(p) == dead) {
+        pmap->Rehost(p, host);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace drtmr::rep

@@ -1,0 +1,47 @@
+// Failure recovery (§5.2), FaRM-style: after the coordinator commits a new
+// configuration without the failed machine, a survivor drains all pending log
+// entries, re-hosts the failed machine's records from backup copies onto a
+// surviving host, patches surviving primaries that missed a write-back
+// (writer died between R.1 and C.5), and updates the partition map so new
+// transactions route around the dead machine. Dangling locks are released
+// passively by the transaction layer (owner-absent check on every lock
+// encounter), so recovery does not scan for them.
+#ifndef DRTMR_SRC_REP_RECOVERY_H_
+#define DRTMR_SRC_REP_RECOVERY_H_
+
+#include <cstdint>
+
+#include "src/cluster/coordinator.h"
+#include "src/cluster/partition_map.h"
+#include "src/rep/primary_backup.h"
+#include "src/txn/txn_engine.h"
+
+namespace drtmr::rep {
+
+struct RecoveryReport {
+  uint64_t records_rehosted = 0;
+  uint64_t primaries_patched = 0;
+  uint64_t log_entries_drained = 0;
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(txn::TxnEngine* engine, PrimaryBackupReplicator* replicator,
+                  cluster::Coordinator* coordinator)
+      : engine_(engine), replicator_(replicator), coordinator_(coordinator) {}
+
+  // Recovers from the fail-stop of `dead`, reviving its data on `host`.
+  // `ctx` must belong to a surviving node. If `pmap` is non-null, every
+  // partition owned by `dead` is re-pointed at `host`.
+  RecoveryReport RecoverAfterFailure(sim::ThreadContext* ctx, uint32_t dead, uint32_t host,
+                                     cluster::PartitionMap* pmap);
+
+ private:
+  txn::TxnEngine* engine_;
+  PrimaryBackupReplicator* replicator_;
+  cluster::Coordinator* coordinator_;
+};
+
+}  // namespace drtmr::rep
+
+#endif  // DRTMR_SRC_REP_RECOVERY_H_

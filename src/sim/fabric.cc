@@ -1,0 +1,188 @@
+#include "src/sim/fabric.h"
+
+#include "src/sim/htm.h"
+#include "src/util/logging.h"
+
+namespace drtmr::sim {
+
+uint32_t Fabric::AddNode(MemoryBus* bus) {
+  const uint32_t id = static_cast<uint32_t>(nodes_.size());
+  auto port = std::make_unique<NodePort>();
+  port->bus = bus;
+  port->nic = std::make_unique<RdmaNic>(this, id, cost_);
+  nodes_.push_back(std::move(port));
+  return id;
+}
+
+bool RdmaNic::ChargeVerb(ThreadContext* ctx, RdmaNic* dst_nic, uint64_t latency_ns,
+                         uint64_t bytes, bool posted, uint64_t* completion_ns) {
+  // RTM forbids I/O: a verb issued inside an HTM region aborts the region and
+  // the verb itself is not performed (the transaction layer must retry
+  // outside, or restructure — which is exactly why DrTM+R's commit phase
+  // keeps all RDMA steps outside the HTM-protected steps C.3/C.4).
+  if (ctx->current_htm != nullptr) {
+    ctx->current_htm->Abort(HtmTxn::AbortCode::kIo);
+    return false;
+  }
+  verbs_issued_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t busy = cost_->nic_verb_busy_ns + cost_->TransferNs(bytes);
+  const uint64_t src_start = occupancy_->tx.Reserve(ctx->clock.now_ns(), busy);
+  uint64_t done = src_start + busy;
+  if (dst_nic->occupancy() != occupancy()) {
+    const uint64_t dst_start = dst_nic->occupancy()->rx.Reserve(src_start, busy);
+    done = dst_start + busy;
+  }
+  if (posted) {
+    // Doorbell + WQE construction on the CPU; completion is awaited by Fence.
+    ctx->Charge(kPostCpuNs);
+    if (completion_ns != nullptr && done > *completion_ns) {
+      *completion_ns = done;
+    }
+  } else {
+    ctx->clock.AdvanceTo(done + latency_ns);
+  }
+  return true;
+}
+
+void RdmaNic::Fence(ThreadContext* ctx, uint64_t completion_ns, uint64_t latency_ns) {
+  ctx->clock.AdvanceTo(completion_ns + latency_ns);
+}
+
+Status RdmaNic::ReadPosted(ThreadContext* ctx, uint32_t dst, uint64_t offset, void* buf,
+                           size_t len, uint64_t* completion_ns) {
+  RdmaNic* dst_nic = fabric_->nic(dst);
+  if (!ChargeVerb(ctx, dst_nic, cost_->rdma_read_ns, len, /*posted=*/true, completion_ns)) {
+    return Status::kAborted;
+  }
+  if (!fabric_->alive(dst)) {
+    return Status::kUnavailable;
+  }
+  fabric_->bus(dst)->Read(/*ctx=*/nullptr, offset, buf, len);
+  return Status::kOk;
+}
+
+Status RdmaNic::WritePosted(ThreadContext* ctx, uint32_t dst, uint64_t offset, const void* src,
+                            size_t len, uint64_t* completion_ns) {
+  RdmaNic* dst_nic = fabric_->nic(dst);
+  if (!ChargeVerb(ctx, dst_nic, cost_->rdma_write_ns, len, /*posted=*/true, completion_ns)) {
+    return Status::kAborted;
+  }
+  if (!fabric_->alive(dst)) {
+    return Status::kUnavailable;
+  }
+  fabric_->bus(dst)->Write(/*ctx=*/nullptr, offset, src, len);
+  return Status::kOk;
+}
+
+Status RdmaNic::CompareSwapPosted(ThreadContext* ctx, uint32_t dst, uint64_t offset,
+                                  uint64_t expected, uint64_t desired, uint64_t* observed,
+                                  uint64_t* completion_ns) {
+  RdmaNic* dst_nic = fabric_->nic(dst);
+  if (!ChargeVerb(ctx, dst_nic, cost_->rdma_atomic_ns, sizeof(uint64_t), /*posted=*/true,
+                  completion_ns)) {
+    return Status::kAborted;
+  }
+  if (!fabric_->alive(dst)) {
+    return Status::kUnavailable;
+  }
+  const bool swapped = fabric_->bus(dst)->CasU64(/*ctx=*/nullptr, offset, expected, desired,
+                                                 observed);
+  return swapped ? Status::kOk : Status::kConflict;
+}
+
+Status RdmaNic::Read(ThreadContext* ctx, uint32_t dst, uint64_t offset, void* buf, size_t len) {
+  RdmaNic* dst_nic = fabric_->nic(dst);
+  if (!ChargeVerb(ctx, dst_nic, cost_->rdma_read_ns, len)) {
+    return Status::kAborted;
+  }
+  if (!fabric_->alive(dst)) {
+    return Status::kUnavailable;
+  }
+  fabric_->bus(dst)->Read(/*ctx=*/nullptr, offset, buf, len);
+  return Status::kOk;
+}
+
+Status RdmaNic::Write(ThreadContext* ctx, uint32_t dst, uint64_t offset, const void* src,
+                      size_t len) {
+  RdmaNic* dst_nic = fabric_->nic(dst);
+  if (!ChargeVerb(ctx, dst_nic, cost_->rdma_write_ns, len)) {
+    return Status::kAborted;
+  }
+  if (!fabric_->alive(dst)) {
+    return Status::kUnavailable;
+  }
+  fabric_->bus(dst)->Write(/*ctx=*/nullptr, offset, src, len);
+  return Status::kOk;
+}
+
+Status RdmaNic::CompareSwap(ThreadContext* ctx, uint32_t dst, uint64_t offset, uint64_t expected,
+                            uint64_t desired, uint64_t* observed) {
+  RdmaNic* dst_nic = fabric_->nic(dst);
+  if (!ChargeVerb(ctx, dst_nic, cost_->rdma_atomic_ns, sizeof(uint64_t))) {
+    return Status::kAborted;
+  }
+  if (!fabric_->alive(dst)) {
+    return Status::kUnavailable;
+  }
+  // Under IBV_ATOMIC_HCA, atomics are serialized by the target HCA rather
+  // than by the host's coherence fabric: reserve the NIC's atomic unit in
+  // virtual time. The actual memory update still goes through the bus so the
+  // simulation stays race-free; see DESIGN.md §6 for the fidelity note.
+  if (fabric_->atomicity() == AtomicityLevel::kHca) {
+    const uint64_t start = dst_nic->atomic_unit_.Reserve(ctx->clock.now_ns(), 1);
+    ctx->clock.AdvanceTo(start + 1);
+  }
+  const bool swapped = fabric_->bus(dst)->CasU64(/*ctx=*/nullptr, offset, expected, desired,
+                                                 observed);
+  return swapped ? Status::kOk : Status::kConflict;
+}
+
+Status RdmaNic::FetchAdd(ThreadContext* ctx, uint32_t dst, uint64_t offset, uint64_t delta,
+                         uint64_t* old_value) {
+  RdmaNic* dst_nic = fabric_->nic(dst);
+  if (!ChargeVerb(ctx, dst_nic, cost_->rdma_atomic_ns, sizeof(uint64_t))) {
+    return Status::kAborted;
+  }
+  if (!fabric_->alive(dst)) {
+    return Status::kUnavailable;
+  }
+  const uint64_t old = fabric_->bus(dst)->FetchAddU64(/*ctx=*/nullptr, offset, delta);
+  if (old_value != nullptr) {
+    *old_value = old;
+  }
+  return Status::kOk;
+}
+
+Status RdmaNic::Send(ThreadContext* ctx, uint32_t dst, std::vector<std::byte> payload,
+                     uint32_t qp) {
+  DRTMR_CHECK(qp < kRecvQueues);
+  RdmaNic* dst_nic = fabric_->nic(dst);
+  if (!ChargeVerb(ctx, dst_nic, cost_->send_recv_ns, payload.size())) {
+    return Status::kAborted;
+  }
+  if (!fabric_->alive(dst)) {
+    return Status::kUnavailable;
+  }
+  Message m;
+  m.src_node = node_id_;
+  m.payload = std::move(payload);
+  std::lock_guard<std::mutex> g(dst_nic->recv_mu_[qp]);
+  dst_nic->recv_queue_[qp].push_back(std::move(m));
+  return Status::kOk;
+}
+
+bool RdmaNic::TryRecv(ThreadContext* ctx, Message* out, uint32_t qp) {
+  DRTMR_CHECK(qp < kRecvQueues);
+  std::lock_guard<std::mutex> g(recv_mu_[qp]);
+  if (recv_queue_[qp].empty()) {
+    return false;
+  }
+  *out = std::move(recv_queue_[qp].front());
+  recv_queue_[qp].pop_front();
+  if (ctx != nullptr) {
+    ctx->Charge(cost_->line_access_ns);
+  }
+  return true;
+}
+
+}  // namespace drtmr::sim

@@ -1,0 +1,174 @@
+// Simulated RDMA fabric: one RdmaNic per machine, connected by a Fabric that
+// routes one-sided verbs (READ / WRITE / CAS / FETCH_AND_ADD) and two-sided
+// SEND/RECV messages into the target machine's MemoryBus.
+//
+// Properties preserved from real InfiniBand RDMA (§2.1 of the paper):
+//  * verbs bypass the remote CPU entirely and are cache-coherent with it —
+//    they go through the target MemoryBus, so they doom conflicting HTM
+//    transactions (strong consistency meets strong atomicity);
+//  * WRITE is atomic per cache line only (the bus applies it line by line);
+//  * CAS atomicity level is configurable: IBV_ATOMIC_HCA (atomic only against
+//    other RDMA atomics, the paper's ConnectX-3) or IBV_ATOMIC_GLOB (also
+//    atomic against CPU atomics). Under kHca the NIC serializes atomics
+//    through a per-target-NIC token, and mixing RDMA and local CAS on the
+//    same word is counted as a diagnostic (the simulator cannot exhibit the
+//    real silent corruption);
+//  * issuing any verb inside an HTM region aborts the region (no I/O in RTM);
+//  * each NIC is a shared resource with a message rate and bandwidth; verbs
+//    reserve it in virtual time, which models NIC saturation (Figs. 15/16).
+//
+// Failure injection: Kill(node) makes a machine unreachable (fail-stop);
+// verbs targeting it return kUnavailable after a timeout charge.
+#ifndef DRTMR_SRC_SIM_FABRIC_H_
+#define DRTMR_SRC_SIM_FABRIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/memory_bus.h"
+#include "src/sim/thread_context.h"
+#include "src/util/sim_clock.h"
+#include "src/util/status.h"
+
+namespace drtmr::sim {
+
+// Address in the partitioned global address space.
+struct GlobalAddr {
+  uint32_t node = 0;
+  uint64_t offset = 0;
+
+  bool operator==(const GlobalAddr&) const = default;
+  // Total order used to sort lock acquisition (deadlock avoidance, §6.1).
+  auto operator<=>(const GlobalAddr&) const = default;
+};
+
+struct Message {
+  uint32_t src_node = 0;
+  std::vector<std::byte> payload;
+};
+
+enum class AtomicityLevel { kHca, kGlob };
+
+class Fabric;
+
+class RdmaNic {
+ public:
+  static constexpr uint64_t kPostCpuNs = 40;  // WQE build + doorbell
+
+  RdmaNic(Fabric* fabric, uint32_t node_id, const CostModel* cost)
+      : fabric_(fabric), node_id_(node_id), cost_(cost) {}
+
+  uint32_t node_id() const { return node_id_; }
+
+  // One-sided verbs. All return kUnavailable if the target machine is dead
+  // and kAborted (after dooming the region) if issued inside an HTM region.
+  Status Read(ThreadContext* ctx, uint32_t dst, uint64_t offset, void* buf, size_t len);
+  Status Write(ThreadContext* ctx, uint32_t dst, uint64_t offset, const void* src, size_t len);
+  Status CompareSwap(ThreadContext* ctx, uint32_t dst, uint64_t offset, uint64_t expected,
+                     uint64_t desired, uint64_t* observed);
+  Status FetchAdd(ThreadContext* ctx, uint32_t dst, uint64_t offset, uint64_t delta,
+                  uint64_t* old_value);
+
+  // Posted (pipelined) variants: multiple verbs are pushed back-to-back and
+  // their round-trip latencies overlap, as with real doorbell batching. Each
+  // call reserves NIC occupancy and charges only the CPU posting cost;
+  // `completion_ns` is raised to the verb's simulated completion. Call
+  // Fence() once per batch to wait for the slowest verb (e.g. before
+  // declaring log writes durable, §5.1).
+  Status ReadPosted(ThreadContext* ctx, uint32_t dst, uint64_t offset, void* buf, size_t len,
+                    uint64_t* completion_ns);
+  Status WritePosted(ThreadContext* ctx, uint32_t dst, uint64_t offset, const void* src,
+                     size_t len, uint64_t* completion_ns);
+  Status CompareSwapPosted(ThreadContext* ctx, uint32_t dst, uint64_t offset, uint64_t expected,
+                           uint64_t desired, uint64_t* observed, uint64_t* completion_ns);
+  // Advances the caller past the batch completion plus one verb latency.
+  void Fence(ThreadContext* ctx, uint64_t completion_ns, uint64_t latency_ns);
+
+  // Two-sided messaging (SEND/RECV verbs) — used for insert/delete shipping
+  // (§4.3) and by the Calvin baseline (at IPoIB cost, set by the caller).
+  // `qp` selects the target receive queue: 0 is the node's service queue,
+  // 1 + worker_id addresses a specific worker (RPC replies).
+  Status Send(ThreadContext* ctx, uint32_t dst, std::vector<std::byte> payload, uint32_t qp = 0);
+  bool TryRecv(ThreadContext* ctx, Message* out, uint32_t qp = 0);
+
+  // Full-duplex DMA engines: independent transmit and receive occupancy.
+  struct Occupancy {
+    SimResource tx;
+    SimResource rx;
+    void Reset() {
+      tx.Reset();
+      rx.Reset();
+    }
+  };
+
+  // Multiple logical nodes on one machine share a physical NIC (Fig. 12):
+  // point this NIC's occupancy at a shared one.
+  void ShareOccupancy(Occupancy* shared) { occupancy_ = shared; }
+  Occupancy* occupancy() { return occupancy_; }
+
+  uint64_t verbs_issued() const { return verbs_issued_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Fabric;
+
+  // Charges virtual time for a verb of `bytes` payload between this NIC and
+  // `dst_nic`, returning false if the HTM no-I/O rule fired. When `posted`,
+  // only the CPU posting cost is charged and *completion_ns is raised to the
+  // verb's completion; otherwise the caller's clock advances past completion
+  // plus latency.
+  bool ChargeVerb(ThreadContext* ctx, RdmaNic* dst_nic, uint64_t latency_ns, uint64_t bytes,
+                  bool posted = false, uint64_t* completion_ns = nullptr);
+
+  Fabric* fabric_;
+  uint32_t node_id_;
+  const CostModel* cost_;
+  Occupancy own_occupancy_;
+  Occupancy* occupancy_ = &own_occupancy_;
+  SimResource atomic_unit_;  // serializes RDMA atomics targeting this NIC (kHca)
+  std::atomic<uint64_t> verbs_issued_{0};
+
+  static constexpr uint32_t kRecvQueues = 64;
+  std::mutex recv_mu_[kRecvQueues];
+  std::deque<Message> recv_queue_[kRecvQueues];
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const CostModel* cost, AtomicityLevel atomicity = AtomicityLevel::kHca)
+      : cost_(cost), atomicity_(atomicity) {}
+
+  // Registers a machine's memory with the fabric; returns its node id.
+  uint32_t AddNode(MemoryBus* bus);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  RdmaNic* nic(uint32_t node) { return nodes_[node]->nic.get(); }
+  MemoryBus* bus(uint32_t node) { return nodes_[node]->bus; }
+  const CostModel* cost() const { return cost_; }
+  AtomicityLevel atomicity() const { return atomicity_; }
+
+  bool alive(uint32_t node) const { return nodes_[node]->alive.load(std::memory_order_acquire); }
+  void Kill(uint32_t node) { nodes_[node]->alive.store(false, std::memory_order_release); }
+  void Revive(uint32_t node) { nodes_[node]->alive.store(true, std::memory_order_release); }
+
+ private:
+  friend class RdmaNic;
+
+  struct NodePort {
+    MemoryBus* bus = nullptr;
+    std::unique_ptr<RdmaNic> nic;
+    std::atomic<bool> alive{true};
+  };
+
+  const CostModel* cost_;
+  AtomicityLevel atomicity_;
+  std::vector<std::unique_ptr<NodePort>> nodes_;
+};
+
+}  // namespace drtmr::sim
+
+#endif  // DRTMR_SRC_SIM_FABRIC_H_

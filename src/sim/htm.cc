@@ -1,0 +1,188 @@
+#include "src/sim/htm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace drtmr::sim {
+
+HtmEngine::HtmEngine(MemoryBus* bus, const CostModel* cost) : bus_(bus), cost_(cost) {
+  txns_.reserve(bus->num_slots());
+  for (uint32_t i = 0; i < bus->num_slots(); ++i) {
+    txns_.push_back(new HtmTxn(this, bus, bus->desc(i)));
+  }
+}
+
+HtmEngine::~HtmEngine() {
+  for (HtmTxn* t : txns_) {
+    delete t;
+  }
+}
+
+HtmTxn* HtmEngine::Begin(ThreadContext* ctx) {
+  if (ctx->current_htm != nullptr) {
+    return nullptr;
+  }
+  DRTMR_CHECK(ctx->worker_id < txns_.size()) << "worker slot out of range";
+  HtmTxn* txn = txns_[ctx->worker_id];
+  txn->BeginInternal(ctx);
+  return txn;
+}
+
+void HtmEngine::RecordAbort(HtmTxn::AbortCode code) {
+  switch (code) {
+    case HtmTxn::AbortCode::kConflict:
+      stats_.aborts_conflict.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case HtmTxn::AbortCode::kCapacity:
+      stats_.aborts_capacity.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case HtmTxn::AbortCode::kExplicit:
+      stats_.aborts_explicit.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case HtmTxn::AbortCode::kIo:
+      stats_.aborts_io.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case HtmTxn::AbortCode::kNone:
+      break;
+  }
+}
+
+void HtmTxn::BeginInternal(ThreadContext* ctx) {
+  ctx_ = ctx;
+  in_txn_ = true;
+  last_abort_ = AbortCode::kNone;
+  redo_.clear();
+  desc_->doom_code.store(HtmDesc::kNone, std::memory_order_relaxed);
+  desc_->state.store(HtmDesc::kActive, std::memory_order_release);
+  ctx->current_htm = this;
+  engine_->stats_.begins.fetch_add(1, std::memory_order_relaxed);
+  ctx->Charge(engine_->cost_->htm_begin_ns * bus_->cost_scale_pct() / 100);
+}
+
+bool HtmTxn::active() const {
+  return in_txn_ && desc_->state.load(std::memory_order_acquire) == HtmDesc::kActive;
+}
+
+void HtmTxn::End(bool committed) {
+  if (!committed) {
+    // Resolve the abort reason: an explicit Abort() already set last_abort_;
+    // otherwise take the doom code planted by the conflicting access.
+    if (last_abort_ == AbortCode::kNone) {
+      last_abort_ = static_cast<AbortCode>(desc_->doom_code.load(std::memory_order_acquire));
+      if (last_abort_ == AbortCode::kNone) {
+        last_abort_ = AbortCode::kConflict;
+      }
+    }
+    engine_->RecordAbort(last_abort_);
+    ctx_->Charge(engine_->cost_->htm_abort_ns * bus_->cost_scale_pct() / 100);
+  } else {
+    engine_->stats_.commits.fetch_add(1, std::memory_order_relaxed);
+    ctx_->Charge(engine_->cost_->htm_commit_ns * bus_->cost_scale_pct() / 100);
+  }
+  desc_->state.store(HtmDesc::kFree, std::memory_order_release);
+  desc_->reads.Clear();
+  desc_->writes.Clear();
+  redo_.clear();
+  ctx_->current_htm = nullptr;
+  in_txn_ = false;
+  ctx_ = nullptr;
+}
+
+void HtmTxn::OverlayRedo(uint64_t offset, void* dst, size_t len) const {
+  auto* out = static_cast<std::byte*>(dst);
+  for (const auto& e : redo_) {
+    const uint64_t lo = std::max(offset, e.offset);
+    const uint64_t hi = std::min(offset + len, e.offset + e.data.size());
+    if (lo < hi) {
+      std::memcpy(out + (lo - offset), e.data.data() + (lo - e.offset), hi - lo);
+    }
+  }
+}
+
+Status HtmTxn::Read(uint64_t offset, void* dst, size_t len) {
+  if (!in_txn_) {
+    return Status::kAborted;
+  }
+  if (!active()) {
+    End(false);
+    return Status::kAborted;
+  }
+  if (!bus_->TxRead(ctx_, desc_, offset, dst, len)) {
+    End(false);
+    return Status::kAborted;
+  }
+  if (CrossSocketEviction(offset, len)) {
+    Abort(AbortCode::kCapacity);
+    return Status::kAborted;
+  }
+  OverlayRedo(offset, dst, len);
+  return Status::kOk;
+}
+
+bool HtmTxn::CrossSocketEviction(uint64_t offset, size_t len) {
+  // Cross-socket runs add an eviction/conflict probability per tracked line
+  // (see CostModel::cross_socket_htm_abort_ppm_per_line). Regions tracking
+  // many lines — whole-transaction HTM as in DrTM — abort much more often
+  // than DrTM+R's commit-only regions.
+  if (bus_->cost_scale_pct() <= 100) {
+    return false;
+  }
+  const uint64_t ppm = engine_->cost()->cross_socket_htm_abort_ppm_per_line;
+  if (ppm == 0) {
+    return false;
+  }
+  const uint64_t lines = LineEnd(offset, len) - LineOf(offset);
+  return ctx_->rng.Uniform(1000000) < ppm * lines;
+}
+
+Status HtmTxn::Write(uint64_t offset, const void* src, size_t len) {
+  if (!in_txn_) {
+    return Status::kAborted;
+  }
+  if (!active()) {
+    End(false);
+    return Status::kAborted;
+  }
+  if (!bus_->TxRegisterWrite(ctx_, desc_, offset, len)) {
+    End(false);
+    return Status::kAborted;
+  }
+  if (CrossSocketEviction(offset, len)) {
+    Abort(AbortCode::kCapacity);
+    return Status::kAborted;
+  }
+  RedoEntry e;
+  e.offset = offset;
+  e.data.assign(static_cast<const std::byte*>(src), static_cast<const std::byte*>(src) + len);
+  redo_.push_back(std::move(e));
+  return Status::kOk;
+}
+
+Status HtmTxn::ReadU64(uint64_t offset, uint64_t* value) {
+  return Read(offset, value, sizeof(*value));
+}
+
+Status HtmTxn::WriteU64(uint64_t offset, uint64_t value) {
+  return Write(offset, &value, sizeof(value));
+}
+
+Status HtmTxn::Commit() {
+  if (!in_txn_) {
+    return Status::kInvalid;
+  }
+  const bool committed = bus_->TxCommitApply(ctx_, desc_, redo_);
+  End(committed);
+  return committed ? Status::kOk : Status::kAborted;
+}
+
+void HtmTxn::Abort(AbortCode code) {
+  if (!in_txn_) {
+    return;
+  }
+  last_abort_ = code;
+  End(false);
+}
+
+}  // namespace drtmr::sim

@@ -1,0 +1,317 @@
+#include "src/store/btree_store.h"
+
+#include <algorithm>
+#include <mutex>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace drtmr::store {
+
+struct BTreeStore::Node {
+  bool is_leaf;
+  int nkeys = 0;
+  uint64_t keys[kFanout];
+
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+struct BTreeStore::Inner : BTreeStore::Node {
+  // children[i] holds keys < keys[i]; children[nkeys] holds the rest.
+  Node* children[kFanout + 1];
+
+  Inner() : Node(false) {}
+
+  int ChildIndex(uint64_t key) const {
+    // First separator strictly greater than key.
+    int lo = 0, hi = nkeys;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (key < keys[mid]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+};
+
+struct BTreeStore::Leaf : BTreeStore::Node {
+  uint64_t values[kFanout];
+  Leaf* next = nullptr;
+  Leaf* prev = nullptr;
+
+  Leaf() : Node(true) {}
+
+  int Find(uint64_t key) const {
+    int lo = 0, hi = nkeys;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (keys[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;  // first index with keys[i] >= key (may be nkeys)
+  }
+};
+
+BTreeStore::BTreeStore() : root_(new Leaf()) {}
+
+void BTreeStore::FreeRec(Node* n) {
+  if (!n->is_leaf) {
+    auto* in = static_cast<Inner*>(n);
+    for (int i = 0; i <= in->nkeys; ++i) {
+      FreeRec(in->children[i]);
+    }
+    delete in;
+  } else {
+    delete static_cast<Leaf*>(n);
+  }
+}
+
+BTreeStore::~BTreeStore() { FreeRec(root_); }
+
+BTreeStore::Leaf* BTreeStore::FindLeaf(uint64_t key) const {
+  Node* n = root_;
+  while (!n->is_leaf) {
+    auto* in = static_cast<Inner*>(n);
+    n = in->children[in->ChildIndex(key)];
+  }
+  return static_cast<Leaf*>(n);
+}
+
+uint64_t BTreeStore::Lookup(sim::ThreadContext* ctx, uint64_t key) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  const Leaf* leaf = FindLeaf(key);
+  const int i = leaf->Find(key);
+  if (i < leaf->nkeys && leaf->keys[i] == key) {
+    return leaf->values[i];
+  }
+  return kNoRecord;
+}
+
+Status BTreeStore::Insert(sim::ThreadContext* ctx, uint64_t key, uint64_t record_offset) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+
+  // Descend, remembering the path for splits.
+  std::vector<std::pair<Inner*, int>> path;
+  Node* n = root_;
+  while (!n->is_leaf) {
+    auto* in = static_cast<Inner*>(n);
+    const int ci = in->ChildIndex(key);
+    path.emplace_back(in, ci);
+    n = in->children[ci];
+  }
+  Leaf* leaf = static_cast<Leaf*>(n);
+  int pos = leaf->Find(key);
+  if (pos < leaf->nkeys && leaf->keys[pos] == key) {
+    return Status::kExists;
+  }
+
+  if (leaf->nkeys < kFanout) {
+    std::memmove(&leaf->keys[pos + 1], &leaf->keys[pos], (leaf->nkeys - pos) * sizeof(uint64_t));
+    std::memmove(&leaf->values[pos + 1], &leaf->values[pos],
+                 (leaf->nkeys - pos) * sizeof(uint64_t));
+    leaf->keys[pos] = key;
+    leaf->values[pos] = record_offset;
+    leaf->nkeys++;
+    size_++;
+    return Status::kOk;
+  }
+
+  // Split the leaf.
+  Leaf* right = new Leaf();
+  const int mid = kFanout / 2;
+  right->nkeys = kFanout - mid;
+  std::memcpy(right->keys, &leaf->keys[mid], right->nkeys * sizeof(uint64_t));
+  std::memcpy(right->values, &leaf->values[mid], right->nkeys * sizeof(uint64_t));
+  leaf->nkeys = mid;
+  right->next = leaf->next;
+  if (right->next != nullptr) {
+    right->next->prev = right;
+  }
+  right->prev = leaf;
+  leaf->next = right;
+
+  if (key < right->keys[0]) {
+    pos = leaf->Find(key);
+    std::memmove(&leaf->keys[pos + 1], &leaf->keys[pos], (leaf->nkeys - pos) * sizeof(uint64_t));
+    std::memmove(&leaf->values[pos + 1], &leaf->values[pos],
+                 (leaf->nkeys - pos) * sizeof(uint64_t));
+    leaf->keys[pos] = key;
+    leaf->values[pos] = record_offset;
+    leaf->nkeys++;
+  } else {
+    pos = right->Find(key);
+    std::memmove(&right->keys[pos + 1], &right->keys[pos],
+                 (right->nkeys - pos) * sizeof(uint64_t));
+    std::memmove(&right->values[pos + 1], &right->values[pos],
+                 (right->nkeys - pos) * sizeof(uint64_t));
+    right->keys[pos] = key;
+    right->values[pos] = record_offset;
+    right->nkeys++;
+  }
+  size_++;
+
+  // Propagate the split key upward.
+  uint64_t sep = right->keys[0];
+  Node* new_child = right;
+  while (!path.empty()) {
+    auto [parent, ci] = path.back();
+    path.pop_back();
+    if (parent->nkeys < kFanout) {
+      std::memmove(&parent->keys[ci + 1], &parent->keys[ci],
+                   (parent->nkeys - ci) * sizeof(uint64_t));
+      std::memmove(&parent->children[ci + 2], &parent->children[ci + 1],
+                   (parent->nkeys - ci) * sizeof(Node*));
+      parent->keys[ci] = sep;
+      parent->children[ci + 1] = new_child;
+      parent->nkeys++;
+      return Status::kOk;
+    }
+    // Split the inner node. Temporarily assemble nkeys+1 entries.
+    uint64_t tmp_keys[kFanout + 1];
+    Node* tmp_children[kFanout + 2];
+    std::memcpy(tmp_keys, parent->keys, parent->nkeys * sizeof(uint64_t));
+    std::memcpy(tmp_children, parent->children, (parent->nkeys + 1) * sizeof(Node*));
+    std::memmove(&tmp_keys[ci + 1], &tmp_keys[ci], (parent->nkeys - ci) * sizeof(uint64_t));
+    std::memmove(&tmp_children[ci + 2], &tmp_children[ci + 1],
+                 (parent->nkeys - ci) * sizeof(Node*));
+    tmp_keys[ci] = sep;
+    tmp_children[ci + 1] = new_child;
+    const int total = parent->nkeys + 1;  // keys now in tmp
+    const int lmid = total / 2;           // key index promoted upward
+
+    Inner* rin = new Inner();
+    parent->nkeys = lmid;
+    std::memcpy(parent->keys, tmp_keys, lmid * sizeof(uint64_t));
+    std::memcpy(parent->children, tmp_children, (lmid + 1) * sizeof(Node*));
+    rin->nkeys = total - lmid - 1;
+    std::memcpy(rin->keys, &tmp_keys[lmid + 1], rin->nkeys * sizeof(uint64_t));
+    std::memcpy(rin->children, &tmp_children[lmid + 1], (rin->nkeys + 1) * sizeof(Node*));
+
+    sep = tmp_keys[lmid];
+    new_child = rin;
+    // Continue upward with (sep, rin); if path is empty we grow the root.
+    if (path.empty()) {
+      Inner* new_root = new Inner();
+      new_root->nkeys = 1;
+      new_root->keys[0] = sep;
+      new_root->children[0] = parent == root_ ? root_ : parent;
+      new_root->children[1] = rin;
+      // parent may not be root_ only if path bookkeeping broke.
+      DRTMR_CHECK(parent == root_);
+      root_ = new_root;
+      return Status::kOk;
+    }
+  }
+  // Leaf split with empty path: leaf was the root.
+  Inner* new_root = new Inner();
+  new_root->nkeys = 1;
+  new_root->keys[0] = sep;
+  new_root->children[0] = leaf;
+  new_root->children[1] = new_child;
+  root_ = new_root;
+  return Status::kOk;
+}
+
+Status BTreeStore::Remove(sim::ThreadContext* ctx, uint64_t key) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  Leaf* leaf = FindLeaf(key);
+  const int pos = leaf->Find(key);
+  if (pos >= leaf->nkeys || leaf->keys[pos] != key) {
+    return Status::kNotFound;
+  }
+  std::memmove(&leaf->keys[pos], &leaf->keys[pos + 1], (leaf->nkeys - pos - 1) * sizeof(uint64_t));
+  std::memmove(&leaf->values[pos], &leaf->values[pos + 1],
+               (leaf->nkeys - pos - 1) * sizeof(uint64_t));
+  leaf->nkeys--;
+  size_--;
+  // Lazy deletion: leaves are allowed to underflow (standard for in-memory
+  // B+-trees under mixed workloads; structure stays correct, only density
+  // degrades). Separator keys above remain valid upper bounds.
+  return Status::kOk;
+}
+
+size_t BTreeStore::Scan(sim::ThreadContext* ctx, uint64_t lo, uint64_t hi,
+                        const std::function<bool(uint64_t, uint64_t)>& fn) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  size_t visited = 0;
+  const Leaf* leaf = FindLeaf(lo);
+  int i = leaf->Find(lo);
+  while (leaf != nullptr) {
+    for (; i < leaf->nkeys; ++i) {
+      if (leaf->keys[i] > hi) {
+        return visited;
+      }
+      visited++;
+      if (!fn(leaf->keys[i], leaf->values[i])) {
+        return visited;
+      }
+    }
+    leaf = leaf->next;
+    i = 0;
+  }
+  return visited;
+}
+
+bool BTreeStore::FirstGreaterEqual(sim::ThreadContext* ctx, uint64_t lo, uint64_t hi,
+                                   uint64_t* key_out, uint64_t* offset_out) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  const Leaf* leaf = FindLeaf(lo);
+  int i = leaf->Find(lo);
+  while (leaf != nullptr) {
+    if (i < leaf->nkeys) {
+      if (leaf->keys[i] > hi) {
+        return false;
+      }
+      *key_out = leaf->keys[i];
+      *offset_out = leaf->values[i];
+      return true;
+    }
+    leaf = leaf->next;
+    i = 0;
+  }
+  return false;
+}
+
+bool BTreeStore::LastLessEqual(sim::ThreadContext* ctx, uint64_t lo, uint64_t hi,
+                               uint64_t* key_out, uint64_t* offset_out) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  const Leaf* leaf = FindLeaf(hi);
+  int i = leaf->Find(hi);
+  // i points at the first key >= hi; step back to the last key <= hi.
+  const Leaf* cur = leaf;
+  if (i < cur->nkeys && cur->keys[i] == hi) {
+    if (hi < lo) {
+      return false;
+    }
+    *key_out = cur->keys[i];
+    *offset_out = cur->values[i];
+    return true;
+  }
+  while (cur != nullptr) {
+    if (i > 0) {
+      const uint64_t k = cur->keys[i - 1];
+      if (k < lo) {
+        return false;
+      }
+      *key_out = k;
+      *offset_out = cur->values[i - 1];
+      return true;
+    }
+    cur = cur->prev;
+    i = cur != nullptr ? cur->nkeys : 0;
+  }
+  return false;
+}
+
+size_t BTreeStore::size() const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  return size_;
+}
+
+}  // namespace drtmr::store

@@ -1,0 +1,73 @@
+// Ordered store: a B+-tree mapping keys to record offsets, used for tables
+// that need range access (TPC-C ORDER/ORDER_LINE/NEW_ORDER). The paper uses
+// the HTM-protected DBX B+-tree (§6.3), shown there to be comparable to
+// state-of-the-art concurrent B+-trees; our simulated HTM only covers the
+// registered region, so the index structure itself (local heap) is protected
+// by a readers-writer latch while *records* stay in registered memory with
+// full DrTM+R metadata and go through the normal protocol paths. The ordered
+// store is local-only, as in the paper (remote records live in hash tables).
+//
+// Leaf nodes are chained left-to-right for range scans.
+#ifndef DRTMR_SRC_STORE_BTREE_STORE_H_
+#define DRTMR_SRC_STORE_BTREE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "src/sim/thread_context.h"
+#include "src/util/status.h"
+
+namespace drtmr::store {
+
+class BTreeStore {
+ public:
+  static constexpr uint64_t kNoRecord = 0;
+  static constexpr int kFanout = 32;  // max children per inner node / keys per leaf
+
+  BTreeStore();
+  BTreeStore(const BTreeStore&) = delete;
+  BTreeStore& operator=(const BTreeStore&) = delete;
+  ~BTreeStore();
+
+  // Returns the record offset for `key`, or kNoRecord.
+  uint64_t Lookup(sim::ThreadContext* ctx, uint64_t key) const;
+
+  // kExists if the key is already present.
+  Status Insert(sim::ThreadContext* ctx, uint64_t key, uint64_t record_offset);
+
+  Status Remove(sim::ThreadContext* ctx, uint64_t key);
+
+  // Visits entries with lo <= key <= hi in ascending order; stops early when
+  // `fn` returns false. Returns the number of entries visited.
+  size_t Scan(sim::ThreadContext* ctx, uint64_t lo, uint64_t hi,
+              const std::function<bool(uint64_t key, uint64_t offset)>& fn) const;
+
+  // Smallest entry with key >= lo (and key <= hi); false if none.
+  bool FirstGreaterEqual(sim::ThreadContext* ctx, uint64_t lo, uint64_t hi, uint64_t* key_out,
+                         uint64_t* offset_out) const;
+
+  // Largest entry with lo <= key <= hi; false if none.
+  bool LastLessEqual(sim::ThreadContext* ctx, uint64_t lo, uint64_t hi, uint64_t* key_out,
+                     uint64_t* offset_out) const;
+
+  size_t size() const;
+
+ private:
+  struct Node;
+  struct Inner;
+  struct Leaf;
+
+  Leaf* FindLeaf(uint64_t key) const;
+  void FreeRec(Node* n);
+
+  mutable std::shared_mutex mu_;
+  Node* root_;
+  size_t size_ = 0;
+};
+
+}  // namespace drtmr::store
+
+#endif  // DRTMR_SRC_STORE_BTREE_STORE_H_

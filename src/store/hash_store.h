@@ -1,0 +1,101 @@
+// RDMA-friendly hash table (the DrTM memory store, §6.3). The bucket array
+// lives in the node's registered memory at an offset that is identical on
+// every node (deterministic table creation), so a remote machine can locate
+// any record with one-sided RDMA READs only: hash the key, READ the bucket
+// line, scan its slots, follow the overflow chain if needed. Local mutations
+// (insert/remove) are protected by HTM regions so concurrent local readers
+// and remote one-sided readers always see an atomic bucket line.
+//
+// Bucket layout (one cache line):
+//   next(8B) | reserved(8B) | 3 x { key(8B), record_offset(8B) }
+// key == 0 marks an empty slot; record offsets are never 0 (the allocator
+// skips offset zero).
+#ifndef DRTMR_SRC_STORE_HASH_STORE_H_
+#define DRTMR_SRC_STORE_HASH_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "src/cluster/node.h"
+#include "src/sim/fabric.h"
+#include "src/store/record.h"
+#include "src/util/status.h"
+
+namespace drtmr::store {
+
+class HashStore {
+ public:
+  static constexpr uint32_t kSlotsPerBucket = 3;
+  static constexpr uint64_t kNoRecord = 0;
+
+  // Allocates the bucket array from the node's region. `nbuckets` must match
+  // across nodes for the same table.
+  HashStore(cluster::Node* node, uint64_t nbuckets, uint32_t value_size);
+
+  uint64_t buckets_offset() const { return buckets_off_; }
+  uint64_t nbuckets() const { return nbuckets_; }
+  uint32_t value_size() const { return value_size_; }
+  size_t record_bytes() const { return RecordLayout::BytesFor(value_size_); }
+
+  // --- local operations (run on the hosting node) ---
+
+  // Returns the record offset for `key`, or kNoRecord.
+  uint64_t Lookup(sim::ThreadContext* ctx, uint64_t key);
+
+  // Allocates and initializes a record (unlocked, incarnation/seq committable)
+  // and links it under `key`. kExists if the key is present.
+  Status Insert(sim::ThreadContext* ctx, uint64_t key, const void* value, uint64_t* offset_out);
+
+  // Unlinks `key`, bumps the record's incarnation (invalidating concurrent
+  // readers per §4.3), and returns the record to the allocator.
+  Status Remove(sim::ThreadContext* ctx, uint64_t key);
+
+  // Links a pre-built record image under `key` (recovery: re-hosting a failed
+  // node's records from backup copies). If the key already exists, the
+  // existing record is overwritten when the image's seq is newer.
+  Status InsertImage(sim::ThreadContext* ctx, uint64_t key, const std::byte* image, size_t len);
+
+  // --- remote operation (run on any node, one-sided RDMA only) ---
+
+  // Resolves `key` on `target_node`; returns kNoRecord if absent. Counts the
+  // RDMA READs used in *rdma_reads if non-null (location-cache savings are
+  // measured from this).
+  uint64_t RemoteLookup(sim::ThreadContext* ctx, sim::RdmaNic* nic, uint32_t target_node,
+                        uint64_t key, uint32_t* rdma_reads = nullptr);
+
+ private:
+  struct Slot {
+    uint64_t key;
+    uint64_t offset;
+  };
+  struct BucketImage {
+    uint64_t next;
+    uint64_t reserved;
+    Slot slots[kSlotsPerBucket];
+  };
+  static_assert(sizeof(BucketImage) == kCacheLineSize);
+
+  static uint64_t Mix(uint64_t key) {
+    uint64_t z = key + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t BucketOffset(uint64_t key) const {
+    return buckets_off_ + (Mix(key) % nbuckets_) * kCacheLineSize;
+  }
+
+  void LoadBucket(sim::ThreadContext* ctx, uint64_t off, BucketImage* img);
+  uint64_t AllocOverflowBucket();
+
+  cluster::Node* node_;
+  uint64_t nbuckets_;
+  uint32_t value_size_;
+  uint64_t buckets_off_;
+  std::mutex mutate_mu_;  // serializes local inserts/removes on this table
+};
+
+}  // namespace drtmr::store
+
+#endif  // DRTMR_SRC_STORE_HASH_STORE_H_

@@ -1,0 +1,172 @@
+// Database record layout (paper Fig. 3). Every record starts on a cache-line
+// boundary to avoid HTM false aborts (§4.2). Layout:
+//
+//   line 0:  lock(8B) | incarnation(8B) | seqnum(8B) | key(8B) | payload(32B)
+//   line k:  version(2B) | payload(62B)                       (k >= 1)
+//
+// * lock      — acquired by remote transactions during commit via RDMA CAS;
+//               encodes the owner machine id so survivors can release
+//               dangling locks after a failure (§5.2).
+// * incarnation — bumped by insert/delete to invalidate stale references.
+// * seqnum    — bumped on every update; under optimistic replication an odd
+//               value means committed-but-unreplicated, even means
+//               committable (§5.1, the seqlock idea).
+// * version   — low 16 bits of seqnum replicated at the head of every line
+//               after the first, letting a one-sided RDMA READ detect a torn
+//               multi-line snapshot (§4.3, per FaRM).
+//
+// Deviation from Fig. 3: we also embed the 8-byte key so that location-cache
+// hits can be verified without an extra index probe (DrTM's header carries
+// equivalent identifying state).
+#ifndef DRTMR_SRC_STORE_RECORD_H_
+#define DRTMR_SRC_STORE_RECORD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "src/util/cacheline.h"
+
+namespace drtmr::store {
+
+struct RecordLayout {
+  static constexpr uint64_t kLockOff = 0;
+  static constexpr uint64_t kIncOff = 8;
+  static constexpr uint64_t kSeqOff = 16;
+  static constexpr uint64_t kKeyOff = 24;
+  static constexpr uint64_t kLine0Payload = 32;
+  static constexpr size_t kLine0Cap = kCacheLineSize - kLine0Payload;  // 32 bytes
+  static constexpr size_t kLineKCap = kCacheLineSize - 2;              // 62 bytes
+
+  // Total record footprint (line-aligned) for a payload of `value_size`.
+  static constexpr size_t BytesFor(size_t value_size) {
+    return static_cast<size_t>(LinesFor(value_size)) * kCacheLineSize;
+  }
+
+  static constexpr uint32_t LinesFor(size_t value_size) {
+    if (value_size <= kLine0Cap) {
+      return 1;
+    }
+    const size_t rest = value_size - kLine0Cap;
+    return 1 + static_cast<uint32_t>((rest + kLineKCap - 1) / kLineKCap);
+  }
+
+  // --- accessors over a record image in a local buffer ---
+  static uint64_t GetLock(const std::byte* rec) { return LoadU64(rec + kLockOff); }
+  static uint64_t GetIncarnation(const std::byte* rec) { return LoadU64(rec + kIncOff); }
+  static uint64_t GetSeq(const std::byte* rec) { return LoadU64(rec + kSeqOff); }
+  static uint64_t GetKey(const std::byte* rec) { return LoadU64(rec + kKeyOff); }
+  static void SetLock(std::byte* rec, uint64_t v) { StoreU64(rec + kLockOff, v); }
+  static void SetIncarnation(std::byte* rec, uint64_t v) { StoreU64(rec + kIncOff, v); }
+  static void SetSeq(std::byte* rec, uint64_t v) { StoreU64(rec + kSeqOff, v); }
+  static void SetKey(std::byte* rec, uint64_t v) { StoreU64(rec + kKeyOff, v); }
+
+  // Scatters `value_size` payload bytes into the record image (around the
+  // per-line version slots). Does not touch metadata or versions.
+  static void ScatterValue(std::byte* rec, const void* value, size_t value_size) {
+    const auto* in = static_cast<const std::byte*>(value);
+    const size_t n0 = value_size < kLine0Cap ? value_size : kLine0Cap;
+    std::memcpy(rec + kLine0Payload, in, n0);
+    size_t done = n0;
+    uint32_t line = 1;
+    while (done < value_size) {
+      const size_t n = (value_size - done) < kLineKCap ? (value_size - done) : kLineKCap;
+      std::memcpy(rec + line * kCacheLineSize + 2, in + done, n);
+      done += n;
+      line++;
+    }
+  }
+
+  static void GatherValue(const std::byte* rec, void* value, size_t value_size) {
+    auto* out = static_cast<std::byte*>(value);
+    const size_t n0 = value_size < kLine0Cap ? value_size : kLine0Cap;
+    std::memcpy(out, rec + kLine0Payload, n0);
+    size_t done = n0;
+    uint32_t line = 1;
+    while (done < value_size) {
+      const size_t n = (value_size - done) < kLineKCap ? (value_size - done) : kLineKCap;
+      std::memcpy(out + done, rec + line * kCacheLineSize + 2, n);
+      done += n;
+      line++;
+    }
+  }
+
+  // Stamps the low 16 bits of `seq` at the head of every line after the
+  // first. A record write must refresh these (§4.3).
+  static void SetVersions(std::byte* rec, size_t value_size, uint64_t seq) {
+    const uint16_t v = static_cast<uint16_t>(seq);
+    const uint32_t lines = LinesFor(value_size);
+    for (uint32_t line = 1; line < lines; ++line) {
+      std::memcpy(rec + line * kCacheLineSize, &v, sizeof(v));
+    }
+  }
+
+  // A remote snapshot is consistent iff every line's version matches the low
+  // 16 bits of the seqnum in line 0 (§4.3, Fig. 6).
+  static bool VersionsConsistent(const std::byte* rec, size_t value_size) {
+    const uint16_t expect = static_cast<uint16_t>(GetSeq(rec));
+    const uint32_t lines = LinesFor(value_size);
+    for (uint32_t line = 1; line < lines; ++line) {
+      uint16_t v;
+      std::memcpy(&v, rec + line * kCacheLineSize, sizeof(v));
+      if (v != expect) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Initializes a fresh record image: unlocked, given incarnation/seq/key,
+  // payload scattered, versions stamped.
+  static void Init(std::byte* rec, uint64_t key, uint64_t incarnation, uint64_t seq,
+                   const void* value, size_t value_size) {
+    std::memset(rec, 0, BytesFor(value_size));
+    SetLock(rec, 0);
+    SetIncarnation(rec, incarnation);
+    SetSeq(rec, seq);
+    SetKey(rec, key);
+    if (value != nullptr) {
+      ScatterValue(rec, value, value_size);
+    }
+    SetVersions(rec, value_size, seq);
+  }
+
+ private:
+  static uint64_t LoadU64(const std::byte* p) {
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
+  static void StoreU64(std::byte* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+};
+
+// Fused lock bit (§4.4): on NICs with IBV_ATOMIC_GLOB atomicity the lock can
+// be encoded in the sequence number, so locking and validating a remote
+// record is a single RDMA CAS — expected = the (even, committable) seqnum
+// observed at read time, desired = the same value with the top bit set. A
+// write-back of the new seqnum clears the bit, making C.5 an implicit unlock
+// for written records. The low 16 bits (the per-line version) are unaffected.
+struct SeqWord {
+  static constexpr uint64_t kLockBit = 1ull << 63;
+
+  static bool Locked(uint64_t seq) { return (seq & kLockBit) != 0; }
+  static uint64_t Value(uint64_t seq) { return seq & ~kLockBit; }
+  static uint64_t WithLock(uint64_t seq) { return seq | kLockBit; }
+};
+
+// Lock word encoding: 0 = unlocked; otherwise the owner's machine id + worker
+// id, so a survivor encountering a lock owned by a machine absent from the
+// current configuration can release it (passive dangling-lock recovery §5.2).
+struct LockWord {
+  static constexpr uint64_t kUnlocked = 0;
+
+  static uint64_t Make(uint32_t node, uint32_t worker) {
+    return (static_cast<uint64_t>(node + 1) << 32) | (worker + 1);
+  }
+  static bool IsLocked(uint64_t w) { return w != kUnlocked; }
+  static uint32_t OwnerNode(uint64_t w) { return static_cast<uint32_t>(w >> 32) - 1; }
+};
+
+}  // namespace drtmr::store
+
+#endif  // DRTMR_SRC_STORE_RECORD_H_

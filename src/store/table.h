@@ -1,0 +1,142 @@
+// Typed tables over the memory-store layer (§4.2): a Table owns one store
+// shard per node (symmetric layout). Hash tables are remotely accessible via
+// one-sided RDMA; B+-tree tables are local-only ordered stores. The
+// LocationCache is DrTM's RDMA-friendly, host-transparent cache mapping keys
+// to remote record offsets, verified on use against the key embedded in the
+// record and its incarnation.
+#ifndef DRTMR_SRC_STORE_TABLE_H_
+#define DRTMR_SRC_STORE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/node.h"
+#include "src/store/btree_store.h"
+#include "src/store/hash_store.h"
+#include "src/util/logging.h"
+
+namespace drtmr::store {
+
+enum class StoreKind { kHash, kBTree };
+
+struct TableOptions {
+  uint32_t value_size = 64;
+  StoreKind kind = StoreKind::kHash;
+  uint64_t hash_buckets = 1 << 14;  // per node, hash tables only
+  // §6.4 pointer-swap optimization: local-only tables whose HTM write set is
+  // reduced to one line by swapping a payload pointer instead of overwriting
+  // payload bytes. Applied by the transaction layer.
+  bool ptr_swap = false;
+};
+
+class Table {
+ public:
+  Table(cluster::Cluster* cluster, uint32_t id, const TableOptions& options)
+      : id_(id), options_(options) {
+    const uint32_t n = cluster->num_nodes();
+    if (options.kind == StoreKind::kHash) {
+      hash_.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        hash_.push_back(std::make_unique<HashStore>(cluster->node(i), options.hash_buckets,
+                                                    options.value_size));
+        DRTMR_CHECK(hash_[i]->buckets_offset() == hash_[0]->buckets_offset())
+            << "asymmetric table layout: create tables identically on all nodes";
+      }
+    } else {
+      btree_.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        btree_.push_back(std::make_unique<BTreeStore>());
+        nodes_.push_back(cluster->node(i));
+      }
+    }
+    if (options.kind == StoreKind::kHash) {
+      for (uint32_t i = 0; i < n; ++i) {
+        nodes_.push_back(cluster->node(i));
+      }
+    }
+  }
+
+  uint32_t id() const { return id_; }
+  uint32_t value_size() const { return options_.value_size; }
+  size_t record_bytes() const { return RecordLayout::BytesFor(options_.value_size); }
+  StoreKind kind() const { return options_.kind; }
+  bool ptr_swap() const { return options_.ptr_swap; }
+  bool remote_accessible() const { return options_.kind == StoreKind::kHash; }
+
+  HashStore* hash(uint32_t node) { return hash_[node].get(); }
+  BTreeStore* btree(uint32_t node) { return btree_[node].get(); }
+  cluster::Node* node(uint32_t id) { return nodes_[id]; }
+
+  // Local key -> record offset on `node_id` (either store kind).
+  uint64_t Lookup(sim::ThreadContext* ctx, uint32_t node_id, uint64_t key) {
+    if (options_.kind == StoreKind::kHash) {
+      return hash_[node_id]->Lookup(ctx, key);
+    }
+    return btree_[node_id]->Lookup(ctx, key);
+  }
+
+ private:
+  uint32_t id_;
+  TableOptions options_;
+  std::vector<std::unique_ptr<HashStore>> hash_;
+  std::vector<std::unique_ptr<BTreeStore>> btree_;
+  std::vector<cluster::Node*> nodes_;
+};
+
+class Catalog {
+ public:
+  explicit Catalog(cluster::Cluster* cluster) : cluster_(cluster) {}
+
+  Table* CreateTable(uint32_t id, const TableOptions& options) {
+    DRTMR_CHECK(tables_.find(id) == tables_.end()) << "duplicate table id " << id;
+    auto t = std::make_unique<Table>(cluster_, id, options);
+    Table* raw = t.get();
+    tables_[id] = std::move(t);
+    return raw;
+  }
+
+  Table* table(uint32_t id) {
+    auto it = tables_.find(id);
+    return it == tables_.end() ? nullptr : it->second.get();
+  }
+
+  cluster::Cluster* cluster() { return cluster_; }
+
+ private:
+  cluster::Cluster* cluster_;
+  std::unordered_map<uint32_t, std::unique_ptr<Table>> tables_;
+};
+
+// Per-worker cache of remote record locations (table, node, key) -> offset.
+// Entries are hints: users must verify the record's embedded key (and
+// incarnation at commit) and call Invalidate on mismatch.
+class LocationCache {
+ public:
+  uint64_t Get(uint32_t table, uint32_t node, uint64_t key) const {
+    const auto it = map_.find(Slot(table, node, key));
+    return it == map_.end() ? 0 : it->second;
+  }
+
+  void Put(uint32_t table, uint32_t node, uint64_t key, uint64_t offset) {
+    map_[Slot(table, node, key)] = offset;
+  }
+
+  void Invalidate(uint32_t table, uint32_t node, uint64_t key) { map_.erase(Slot(table, node, key)); }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  static uint64_t Slot(uint32_t table, uint32_t node, uint64_t key) {
+    uint64_t z = key + 0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(table) << 32 | node);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    return z ^ (z >> 31);
+  }
+
+  std::unordered_map<uint64_t, uint64_t> map_;
+};
+
+}  // namespace drtmr::store
+
+#endif  // DRTMR_SRC_STORE_TABLE_H_

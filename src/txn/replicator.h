@@ -1,0 +1,50 @@
+// Interface between the commit protocol and the replication layer (§5). The
+// transaction layer calls ReplicateUpdate for every written record after the
+// HTM step (R.1) and EndTransaction once the transaction reports committed
+// (enabling log truncation). src/rep provides the primary-backup
+// implementation; tests may inject fakes.
+#ifndef DRTMR_SRC_TXN_REPLICATOR_H_
+#define DRTMR_SRC_TXN_REPLICATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/sim/thread_context.h"
+#include "src/util/status.h"
+
+namespace drtmr::txn {
+
+class Replicator {
+ public:
+  virtual ~Replicator() = default;
+
+  // R.1: makes the new image of record `key` (hosted on `primary`, table
+  // `table_id`) durable on that node's backups. `image` is the full record
+  // image including metadata, already carrying the final (even) seq.
+  // Must be called outside any HTM region. Log writes are posted (pipelined);
+  // *completion_ns is raised to the slowest write's completion, and the
+  // caller must FenceReplication() once per transaction before treating the
+  // logs as durable.
+  virtual Status ReplicateUpdate(sim::ThreadContext* ctx, uint64_t txn_id, uint32_t primary,
+                                 uint32_t table_id, uint64_t key, uint64_t record_offset,
+                                 const std::byte* image, size_t image_len,
+                                 uint64_t* completion_ns) = 0;
+
+  // Waits (in virtual time) for all log writes posted with completion up to
+  // `completion_ns` to be durable.
+  virtual void FenceReplication(sim::ThreadContext* ctx, uint64_t completion_ns) = 0;
+
+  // Marks the transaction fully committed so backups may truncate its log
+  // entries (done by auxiliary threads, §5.1).
+  virtual void EndTransaction(sim::ThreadContext* ctx, uint64_t txn_id) = 0;
+
+  // Auxiliary-thread hook: consume pending log entries addressed to this
+  // node, applying them to the backup copies and truncating the rings. Wired
+  // into each node's service loop (§7.1: "auxiliary threads for log
+  // truncation").
+  virtual void Pump(sim::ThreadContext* ctx) {}
+};
+
+}  // namespace drtmr::txn
+
+#endif  // DRTMR_SRC_TXN_REPLICATOR_H_

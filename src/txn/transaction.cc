@@ -1,0 +1,894 @@
+#include "src/txn/transaction.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "src/store/record.h"
+#include "src/util/logging.h"
+
+namespace drtmr::txn {
+
+using store::LockWord;
+using store::RecordLayout;
+
+Transaction::Transaction(TxnEngine* engine, sim::ThreadContext* ctx)
+    : engine_(engine),
+      ctx_(ctx),
+      self_(engine->cluster()->node(ctx->node_id)),
+      rules_(engine->seq_rules()),
+      lock_word_(LockWord::Make(ctx->node_id, ctx->worker_id)) {}
+
+void Transaction::Begin(bool read_only) {
+  DRTMR_CHECK(!active_) << "Begin inside an active transaction";
+  engine_->cluster()->SyncGate(&ctx_->clock);
+  active_ = true;
+  read_only_ = read_only;
+  txn_id_ = engine_->NextTxnId();
+  read_set_.clear();
+  write_set_.clear();
+  mutations_.clear();
+  held_locks_.clear();
+  commit_seq_.clear();
+}
+
+AccessEntry* Transaction::FindRead(store::Table* table, uint32_t node, uint64_t key) {
+  for (auto& e : read_set_) {
+    if (e.table == table && e.node == node && e.key == key) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+WriteEntry* Transaction::FindWrite(store::Table* table, uint32_t node, uint64_t key) {
+  for (auto& w : write_set_) {
+    if (w.access.table == table && w.access.node == node && w.access.key == key) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+Status Transaction::Read(store::Table* table, uint32_t node, uint64_t key, void* value_out) {
+  DRTMR_CHECK(active_);
+  // Read-your-own-write within the transaction.
+  if (WriteEntry* w = FindWrite(table, node, key); w != nullptr) {
+    if (value_out != nullptr) {
+      std::memcpy(value_out, w->value.data(), table->value_size());
+    }
+    return Status::kOk;
+  }
+  if (AccessEntry* e = FindRead(table, node, key); e != nullptr && value_out == nullptr) {
+    return Status::kOk;  // already tracked, version-only read
+  }
+  AccessEntry entry;
+  Status s;
+  if (IsLocal(node)) {
+    s = engine_->ReadLocalRecord(ctx_, table, key, value_out, &entry);
+  } else {
+    s = engine_->ReadRemoteRecord(ctx_, table, node, key, value_out, &entry,
+                                  /*check_lock=*/read_only_);
+  }
+  if (s != Status::kOk) {
+    return s;
+  }
+  if (FindRead(table, node, key) == nullptr) {
+    read_set_.push_back(entry);
+  }
+  return Status::kOk;
+}
+
+Status Transaction::Write(store::Table* table, uint32_t node, uint64_t key, const void* value) {
+  DRTMR_CHECK(active_ && !read_only_);
+  ctx_->Charge(engine_->cost()->CopyNs(table->value_size()) +
+               engine_->cost()->record_logic_ns / 8);
+  if (WriteEntry* w = FindWrite(table, node, key); w != nullptr) {
+    std::memcpy(w->value.data(), value, table->value_size());
+    return Status::kOk;
+  }
+  WriteEntry w;
+  w.value.assign(static_cast<const std::byte*>(value),
+                 static_cast<const std::byte*>(value) + table->value_size());
+  if (AccessEntry* e = FindRead(table, node, key); e != nullptr) {
+    w.access = *e;
+    w.blind = false;
+  } else {
+    // Blind write: fetch the record's location and metadata now so the commit
+    // phase can lock and validate committability.
+    AccessEntry entry;
+    Status s;
+    if (IsLocal(node)) {
+      s = engine_->ReadLocalRecord(ctx_, table, key, nullptr, &entry);
+    } else {
+      s = engine_->ReadRemoteRecord(ctx_, table, node, key, nullptr, &entry, false);
+    }
+    if (s != Status::kOk) {
+      return s;
+    }
+    w.access = entry;
+    w.blind = true;
+  }
+  write_set_.push_back(std::move(w));
+  return Status::kOk;
+}
+
+Status Transaction::Insert(store::Table* table, uint32_t node, uint64_t key, const void* value) {
+  DRTMR_CHECK(active_ && !read_only_);
+  MutationEntry m;
+  m.op = MutationEntry::Op::kInsert;
+  m.table = table;
+  m.node = node;
+  m.key = key;
+  m.value.assign(static_cast<const std::byte*>(value),
+                 static_cast<const std::byte*>(value) + table->value_size());
+  mutations_.push_back(std::move(m));
+  return Status::kOk;
+}
+
+Status Transaction::Remove(store::Table* table, uint32_t node, uint64_t key) {
+  DRTMR_CHECK(active_ && !read_only_);
+  MutationEntry m;
+  m.op = MutationEntry::Op::kRemove;
+  m.table = table;
+  m.node = node;
+  m.key = key;
+  mutations_.push_back(std::move(m));
+  return Status::kOk;
+}
+
+Status Transaction::ScanLocal(store::Table* table, uint64_t lo, uint64_t hi,
+                              const std::function<bool(uint64_t, const void*)>& fn) {
+  DRTMR_CHECK(active_);
+  DRTMR_CHECK(table->kind() == store::StoreKind::kBTree) << "ScanLocal is for ordered tables";
+  // Collect matches from the index first, then read each record through the
+  // consistent local-read path so it lands in the read set.
+  std::vector<uint64_t> keys;
+  table->btree(ctx_->node_id)->Scan(ctx_, lo, hi, [&](uint64_t key, uint64_t) {
+    keys.push_back(key);
+    return true;
+  });
+  std::vector<std::byte> value(table->value_size());
+  for (uint64_t key : keys) {
+    const Status s = Read(table, ctx_->node_id, key, value.data());
+    if (s == Status::kNotFound) {
+      continue;  // removed between index scan and record read
+    }
+    if (s != Status::kOk) {
+      return s;
+    }
+    if (!fn(key, value.data())) {
+      break;
+    }
+  }
+  return Status::kOk;
+}
+
+void Transaction::UserAbort() {
+  DRTMR_CHECK(active_);
+  active_ = false;
+  engine_->stats().aborts_user.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ---------------- commit protocol ----------------
+
+void Transaction::BuildImage(const WriteEntry& w, uint64_t seq, std::vector<std::byte>* image) const {
+  const store::Table* table = w.access.table;
+  image->assign(table->record_bytes(), std::byte{0});
+  RecordLayout::Init(image->data(), w.access.key, w.access.incarnation, seq, w.value.data(),
+                     table->value_size());
+}
+
+Status Transaction::AcquireLock(const LockTarget& t) {
+  // Lock both local and remote records uniformly with RDMA CAS (§6.2): our
+  // ConnectX-3-level atomicity means RDMA atomics only pair with RDMA
+  // atomics, so the lock word is only ever CASed through the NIC.
+  sim::RdmaNic* nic = self_->nic();
+  while (true) {
+    uint64_t observed = 0;
+    const Status s = nic->CompareSwap(ctx_, t.node, t.offset + RecordLayout::kLockOff,
+                                      LockWord::kUnlocked, lock_word_, &observed);
+    if (engine_->config().message_passing_commit) {
+      ctx_->Charge(engine_->cost()->send_recv_ns);
+    }
+    if (s == Status::kOk) {
+      return Status::kOk;
+    }
+    if (s == Status::kUnavailable) {
+      return s;
+    }
+    if (engine_->OwnerAbsent(observed)) {
+      // §5.2: the lock owner crashed; release the dangling lock and retry.
+      nic->CompareSwap(ctx_, t.node, t.offset + RecordLayout::kLockOff, observed,
+                       LockWord::kUnlocked, nullptr);
+      engine_->stats().dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    return Status::kConflict;
+  }
+}
+
+void Transaction::ReleaseLocks(const std::vector<LockTarget>& targets, size_t count) {
+  // Unlocks are fire-and-forget: posted CASes whose completions nobody waits
+  // on (the transaction has already reported its outcome).
+  sim::RdmaNic* nic = self_->nic();
+  uint64_t completion = 0;
+  for (size_t i = 0; i < count; ++i) {
+    nic->CompareSwapPosted(ctx_, targets[i].node, targets[i].offset + RecordLayout::kLockOff,
+                           lock_word_, LockWord::kUnlocked, nullptr, &completion);
+  }
+}
+
+Status Transaction::LockRemoteSets(const std::vector<LockTarget>& targets) {
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const Status s = AcquireLock(targets[i]);
+    if (s != Status::kOk) {
+      ReleaseLocks(targets, i);
+      return s;
+    }
+  }
+  return Status::kOk;
+}
+
+Status Transaction::ValidateRemote(uint64_t* /*unused*/) {
+  // C.2: validate remote read-set records; under replication also check that
+  // remote write-set records are committable (Table 4). Record the current
+  // seq of every remote write entry as the base for its increments. All the
+  // metadata READs are posted back-to-back (their latencies overlap) and one
+  // fence awaits the batch.
+  sim::RdmaNic* nic = self_->nic();
+  struct Pending {
+    const AccessEntry* entry;
+    size_t ws_index;  // ~0 for read-set entries
+    uint64_t meta[2];
+  };
+  std::vector<Pending> pending;
+  uint64_t completion = 0;
+  for (const AccessEntry& e : read_set_) {
+    if (IsLocal(e.node)) {
+      continue;
+    }
+    pending.push_back(Pending{&e, ~0ull, {}});
+  }
+  for (size_t i = 0; i < write_set_.size(); ++i) {
+    if (IsLocal(write_set_[i].access.node)) {
+      continue;
+    }
+    pending.push_back(Pending{&write_set_[i].access, i, {}});
+  }
+  for (Pending& p : pending) {
+    const Status s = nic->ReadPosted(ctx_, p.entry->node,
+                                     p.entry->offset + RecordLayout::kIncOff, p.meta,
+                                     sizeof(p.meta), &completion);
+    if (s != Status::kOk) {
+      return s;
+    }
+  }
+  if (!pending.empty()) {
+    nic->Fence(ctx_, completion, engine_->cost()->rdma_read_ns);
+    if (engine_->config().message_passing_commit) {
+      ctx_->Charge(engine_->cost()->send_recv_ns * pending.size());
+    }
+  }
+  for (const Pending& p : pending) {
+    if (p.meta[0] != p.entry->incarnation) {
+      return Status::kConflict;
+    }
+    if (p.ws_index == ~0ull) {
+      if (!rules_.ReadValid(p.entry->seq, p.meta[1])) {
+        return Status::kConflict;
+      }
+    } else {
+      if (!rules_.WriteValid(p.meta[1])) {
+        return Status::kConflict;
+      }
+      commit_seq_[p.ws_index] = p.meta[1];
+    }
+  }
+  return Status::kOk;
+}
+
+Status Transaction::HtmValidateAndApply() {
+  const TxnConfig& cfg = engine_->config();
+  std::vector<std::byte> image;
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (attempt >= cfg.htm_retry_threshold) {
+      return Status::kAborted;  // no forward progress: take the fallback
+    }
+    if (attempt > 0) {
+      engine_->stats().htm_commit_retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    sim::HtmTxn* htm = self_->htm()->Begin(ctx_);
+    DRTMR_CHECK(htm != nullptr);
+    bool conflict = false;
+    bool htm_failed = false;
+    bool dangling = false;
+    uint64_t dangling_word = 0;
+    uint64_t dangling_off = 0;
+
+    // C.3: validate the local read set.
+    for (const AccessEntry& e : read_set_) {
+      if (!IsLocal(e.node)) {
+        continue;
+      }
+      uint64_t meta[2];
+      if (htm->Read(e.offset + RecordLayout::kIncOff, meta, sizeof(meta)) != Status::kOk) {
+        htm_failed = true;
+        break;
+      }
+      if (meta[0] != e.incarnation || !rules_.ReadValid(e.seq, meta[1])) {
+        conflict = true;
+        break;
+      }
+    }
+
+    // C.4: check and update the local write set.
+    if (!conflict && !htm_failed) {
+      for (size_t i = 0; i < write_set_.size(); ++i) {
+        WriteEntry& w = write_set_[i];
+        if (!IsLocal(w.access.node)) {
+          continue;
+        }
+        uint64_t meta[3];  // lock, incarnation, seq
+        if (htm->Read(w.access.offset, meta, sizeof(meta)) != Status::kOk) {
+          htm_failed = true;
+          break;
+        }
+        if (LockWord::IsLocked(meta[0])) {
+          // A remote transaction locked this record before our HTM region
+          // began (§4.4 C.4's "additional check"). If the owner is gone,
+          // release the lock outside the region and retry.
+          if (engine_->OwnerAbsent(meta[0])) {
+            dangling = true;
+            dangling_word = meta[0];
+            dangling_off = w.access.offset;
+          } else {
+            conflict = true;
+          }
+          break;
+        }
+        if (store::SeqWord::Locked(meta[2])) {
+          conflict = true;  // fused-locked by a remote committer (§4.4)
+          break;
+        }
+        if (meta[1] != w.access.incarnation || !rules_.WriteValid(meta[2]) ||
+            (!w.blind && !rules_.ReadValid(w.access.seq, meta[2]))) {
+          conflict = true;
+          break;
+        }
+        commit_seq_[i] = meta[2];
+        const uint64_t new_seq = rules_.LocalCommitSeq(meta[2]);
+        BuildImage(w, new_seq, &image);
+        // Write everything after the lock+incarnation words: seq, key,
+        // payload, and per-line versions.
+        if (htm->Write(w.access.offset + RecordLayout::kSeqOff,
+                       image.data() + RecordLayout::kSeqOff,
+                       image.size() - RecordLayout::kSeqOff) != Status::kOk) {
+          htm_failed = true;
+          break;
+        }
+        // §6.4: pointer-swap tables shrink the HTM write cost to one line.
+        if (w.access.table->ptr_swap()) {
+          ctx_->Charge(engine_->cost()->line_access_ns);
+        } else {
+          ctx_->Charge(engine_->cost()->CopyNs(image.size()));
+        }
+      }
+    }
+
+    if (conflict) {
+      htm->Abort();
+      return Status::kConflict;
+    }
+    if (dangling) {
+      htm->Abort();
+      self_->nic()->CompareSwap(ctx_, ctx_->node_id, dangling_off + RecordLayout::kLockOff,
+                                dangling_word, LockWord::kUnlocked, nullptr);
+      engine_->stats().dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (htm_failed) {
+      continue;
+    }
+    if (htm->Commit() == Status::kOk) {
+      return Status::kOk;
+    }
+  }
+}
+
+Status Transaction::ReplicateAll() {
+  Replicator* rep = engine_->replicator();
+  std::vector<std::byte> image;
+  uint64_t completion = 0;
+  for (size_t i = 0; i < write_set_.size(); ++i) {
+    const WriteEntry& w = write_set_[i];
+    const uint64_t final_seq = rules_.RemoteCommitSeq(commit_seq_[i]);
+    BuildImage(w, final_seq, &image);
+    const Status s = rep->ReplicateUpdate(ctx_, txn_id_, w.access.node, w.access.table->id(),
+                                          w.access.key, w.access.offset, image.data(),
+                                          image.size(), &completion);
+    if (s != Status::kOk && s != Status::kUnavailable) {
+      return s;
+    }
+    // A dead backup is tolerated: the configuration service will reconfigure
+    // and recovery rebuilds redundancy (vertical Paxos, §5.1).
+  }
+  // Durability point: all posted log writes acked (Fig. 9's R.1 completes).
+  rep->FenceReplication(ctx_, completion);
+  return Status::kOk;
+}
+
+void Transaction::MakeupLocal() {
+  // R.2: flip local written records from odd (uncommittable) to even.
+  for (size_t i = 0; i < write_set_.size(); ++i) {
+    const WriteEntry& w = write_set_[i];
+    if (!IsLocal(w.access.node)) {
+      continue;
+    }
+    const uint64_t final_seq = rules_.MakeupSeq(commit_seq_[i]);
+    const uint16_t v = static_cast<uint16_t>(final_seq);
+    const uint32_t lines = RecordLayout::LinesFor(w.access.table->value_size());
+    for (uint32_t line = 1; line < lines; ++line) {
+      self_->bus()->Write(ctx_, w.access.offset + line * kCacheLineSize, &v, sizeof(v));
+    }
+    self_->bus()->WriteU64(ctx_, w.access.offset + RecordLayout::kSeqOff, final_seq);
+  }
+}
+
+Status Transaction::WriteBackRemote() {
+  // C.5: push buffered updates to remote primaries with posted one-sided
+  // WRITEs; one fence before reporting commit.
+  std::vector<std::byte> image;
+  uint64_t completion = 0;
+  bool any = false;
+  for (size_t i = 0; i < write_set_.size(); ++i) {
+    const WriteEntry& w = write_set_[i];
+    if (IsLocal(w.access.node)) {
+      continue;
+    }
+    const uint64_t final_seq = rules_.RemoteCommitSeq(commit_seq_[i]);
+    BuildImage(w, final_seq, &image);
+    self_->nic()->WritePosted(ctx_, w.access.node, w.access.offset + RecordLayout::kSeqOff,
+                              image.data() + RecordLayout::kSeqOff,
+                              image.size() - RecordLayout::kSeqOff, &completion);
+    any = true;
+  }
+  if (any) {
+    self_->nic()->Fence(ctx_, completion, engine_->cost()->rdma_write_ns);
+    if (engine_->config().message_passing_commit) {
+      ctx_->Charge(engine_->cost()->send_recv_ns);
+    }
+  }
+  return Status::kOk;
+}
+
+Status Transaction::CommitReadOnly() {
+  // §4.5: validate sequence numbers only; no HTM, no locks.
+  for (const AccessEntry& e : read_set_) {
+    uint64_t inc, seq;
+    if (IsLocal(e.node)) {
+      engine_->ReadMetaLocal(ctx_, e, &inc, &seq);
+    } else {
+      const Status s = engine_->ReadMetaRemote(ctx_, e, &inc, &seq);
+      if (s != Status::kOk) {
+        engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+        return Status::kAborted;
+      }
+    }
+    if (inc != e.incarnation || !rules_.ReadValid(e.seq, seq)) {
+      engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+      return Status::kAborted;
+    }
+  }
+  engine_->stats().commits.fetch_add(1, std::memory_order_relaxed);
+  return Status::kOk;
+}
+
+Status Transaction::FallbackCommit(const std::vector<LockTarget>& remote_targets) {
+  engine_->stats().fallbacks.fetch_add(1, std::memory_order_relaxed);
+  // §6.1: release held remote locks, then lock *all* records — local ones via
+  // loopback RDMA CAS (§6.2) — in global address order to avoid deadlock.
+  ReleaseLocks(held_locks_, held_locks_.size());
+  held_locks_.clear();
+
+  std::vector<LockTarget> all = remote_targets;
+  for (const AccessEntry& e : read_set_) {
+    if (IsLocal(e.node)) {
+      all.push_back({e.node, e.offset});
+    }
+  }
+  for (const WriteEntry& w : write_set_) {
+    if (IsLocal(w.access.node)) {
+      all.push_back({w.access.node, w.access.offset});
+    }
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  const Status lock_status = LockRemoteSets(all);
+  if (lock_status != Status::kOk) {
+    engine_->stats().aborts_lock.fetch_add(1, std::memory_order_relaxed);
+    return Status::kAborted;
+  }
+  held_locks_ = all;
+
+  // Validate everything (read set + committability of the write set).
+  bool valid = true;
+  for (const AccessEntry& e : read_set_) {
+    uint64_t inc, seq;
+    if (IsLocal(e.node)) {
+      engine_->ReadMetaLocal(ctx_, e, &inc, &seq);
+    } else if (engine_->ReadMetaRemote(ctx_, e, &inc, &seq) != Status::kOk) {
+      valid = false;
+      break;
+    }
+    if (inc != e.incarnation || !rules_.ReadValid(e.seq, seq)) {
+      valid = false;
+      break;
+    }
+  }
+  if (valid) {
+    for (size_t i = 0; i < write_set_.size(); ++i) {
+      WriteEntry& w = write_set_[i];
+      uint64_t inc, seq;
+      if (IsLocal(w.access.node)) {
+        engine_->ReadMetaLocal(ctx_, w.access, &inc, &seq);
+      } else if (engine_->ReadMetaRemote(ctx_, w.access, &inc, &seq) != Status::kOk) {
+        valid = false;
+        break;
+      }
+      if (inc != w.access.incarnation || !rules_.WriteValid(seq) ||
+          (!w.blind && !rules_.ReadValid(w.access.seq, seq))) {
+        valid = false;
+        break;
+      }
+      commit_seq_[i] = seq;
+    }
+  }
+  if (!valid) {
+    ReleaseLocks(held_locks_, held_locks_.size());
+    held_locks_.clear();
+    engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+    return Status::kAborted;
+  }
+
+  // Apply local updates without HTM — safe because every record is locked and
+  // local readers honor the lock (Fig. 5). Under replication, go through the
+  // same odd -> replicate -> even sequence as the fast path.
+  std::vector<std::byte> image;
+  for (size_t i = 0; i < write_set_.size(); ++i) {
+    const WriteEntry& w = write_set_[i];
+    if (!IsLocal(w.access.node)) {
+      continue;
+    }
+    BuildImage(w, rules_.LocalCommitSeq(commit_seq_[i]), &image);
+    self_->bus()->Write(ctx_, w.access.offset + RecordLayout::kSeqOff,
+                        image.data() + RecordLayout::kSeqOff,
+                        image.size() - RecordLayout::kSeqOff);
+  }
+  if (engine_->config().replication) {
+    const Status s = ReplicateAll();
+    if (s != Status::kOk) {
+      // Logs partially written; recovery reconciles via seq comparison.
+      DRTMR_LOG(Warning) << "replication failed in fallback: " << StatusString(s);
+    }
+    MakeupLocal();
+  }
+  WriteBackRemote();
+  for (MutationEntry& m : mutations_) {
+    engine_->Mutate(ctx_, m);
+  }
+  if (engine_->config().replication) {
+    engine_->replicator()->EndTransaction(ctx_, txn_id_);
+  }
+  engine_->stats().commits.fetch_add(1, std::memory_order_relaxed);
+  ReleaseLocks(held_locks_, held_locks_.size());
+  held_locks_.clear();
+  return Status::kOk;
+}
+
+Status Transaction::CommitReadWrite() {
+  commit_seq_.assign(write_set_.size(), 0);
+
+  // C.1: lock remote read and write sets (sorted, deduplicated).
+  std::vector<LockTarget> remote_targets;
+  if (engine_->config().lock_remote_read_set) {
+    for (const AccessEntry& e : read_set_) {
+      if (!IsLocal(e.node)) {
+        remote_targets.push_back({e.node, e.offset});
+      }
+    }
+  }
+  for (const WriteEntry& w : write_set_) {
+    if (!IsLocal(w.access.node)) {
+      remote_targets.push_back({w.access.node, w.access.offset});
+    }
+  }
+  std::sort(remote_targets.begin(), remote_targets.end());
+  remote_targets.erase(std::unique(remote_targets.begin(), remote_targets.end()),
+                       remote_targets.end());
+
+  Status s = LockRemoteSets(remote_targets);
+  if (s != Status::kOk) {
+    engine_->stats().aborts_lock.fetch_add(1, std::memory_order_relaxed);
+    return Status::kAborted;
+  }
+  held_locks_ = remote_targets;
+
+  // C.2: validate the remote read set (and remote write committability).
+  s = ValidateRemote(nullptr);
+  if (s != Status::kOk) {
+    ReleaseLocks(held_locks_, held_locks_.size());
+    held_locks_.clear();
+    engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+    return Status::kAborted;
+  }
+
+  // C.3 + C.4 inside one HTM region.
+  s = HtmValidateAndApply();
+  if (s == Status::kConflict) {
+    ReleaseLocks(held_locks_, held_locks_.size());
+    held_locks_.clear();
+    engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+    return Status::kAborted;
+  }
+  if (s == Status::kAborted) {
+    return FallbackCommit(remote_targets);
+  }
+
+  // R.1 + R.2 (replication), C.5 (remote write-back).
+  if (engine_->config().replication) {
+    const Status rs = ReplicateAll();
+    if (rs != Status::kOk) {
+      DRTMR_LOG(Warning) << "replication failed: " << StatusString(rs);
+    }
+    MakeupLocal();
+  }
+  WriteBackRemote();
+
+  // Apply queued inserts/removes (validated transaction; see DESIGN.md on
+  // phantom handling).
+  for (MutationEntry& m : mutations_) {
+    engine_->Mutate(ctx_, m);
+  }
+
+  // Transaction reports committed before unlocking (Fig. 7).
+  if (engine_->config().replication) {
+    engine_->replicator()->EndTransaction(ctx_, txn_id_);
+  }
+  engine_->stats().commits.fetch_add(1, std::memory_order_relaxed);
+
+  // C.6: unlock remote records.
+  ReleaseLocks(held_locks_, held_locks_.size());
+  held_locks_.clear();
+  return Status::kOk;
+}
+
+Status Transaction::Commit() {
+  DRTMR_CHECK(active_);
+  active_ = false;
+  if (read_only_ || (write_set_.empty() && mutations_.empty())) {
+    return CommitReadOnly();
+  }
+  if (engine_->config().fused_seq_lock) {
+    return CommitReadWriteFused();
+  }
+  return CommitReadWrite();
+}
+
+Status Transaction::CommitReadWriteFused() {
+  // §4.4's GLOB-atomicity variant. For every remote record, one RDMA CAS on
+  // the seqnum both locks it (top bit) and validates it (the expected value
+  // is the closest committable seq at or after the one observed during
+  // execution — exactly the Table 4 read condition). Write-set records are
+  // unlocked implicitly by the C.5 write-back of the new seqnum; read-only
+  // records are unlocked by restoring the expected value.
+  commit_seq_.assign(write_set_.size(), 0);
+
+  struct FusedTarget {
+    uint32_t node;
+    uint64_t offset;
+    uint64_t expected;   // committable seq the CAS expects
+    bool written;
+  };
+  std::vector<FusedTarget> targets;
+  auto expected_of = [&](uint64_t observed_seq) {
+    return rules_.replication ? ((observed_seq + 1) & ~1ull) : observed_seq;
+  };
+  auto add_target = [&](uint32_t node, uint64_t offset, uint64_t seq, bool written) {
+    for (auto& t : targets) {
+      if (t.node == node && t.offset == offset) {
+        t.written = t.written || written;
+        return;
+      }
+    }
+    targets.push_back({node, offset, expected_of(seq), written});
+  };
+  for (const AccessEntry& e : read_set_) {
+    if (!IsLocal(e.node)) {
+      add_target(e.node, e.offset, e.seq, false);
+    }
+  }
+  for (size_t i = 0; i < write_set_.size(); ++i) {
+    const WriteEntry& w = write_set_[i];
+    if (!IsLocal(w.access.node)) {
+      add_target(w.access.node, w.access.offset, w.access.seq, true);
+    }
+  }
+  std::sort(targets.begin(), targets.end(), [](const FusedTarget& a, const FusedTarget& b) {
+    return std::tie(a.node, a.offset) < std::tie(b.node, b.offset);
+  });
+
+  // Fused C.1+C.2: lock-and-validate with one CAS per record.
+  sim::RdmaNic* nic = self_->nic();
+  size_t locked = 0;
+  bool failed = false;
+  for (; locked < targets.size(); ++locked) {
+    const FusedTarget& t = targets[locked];
+    uint64_t obs = 0;
+    const Status s = nic->CompareSwap(ctx_, t.node, t.offset + RecordLayout::kSeqOff, t.expected,
+                                      store::SeqWord::WithLock(t.expected), &obs);
+    if (s != Status::kOk) {
+      failed = true;
+      break;
+    }
+  }
+  auto unlock_range = [&](size_t count, bool written_too) {
+    uint64_t completion = 0;
+    for (size_t i = 0; i < count; ++i) {
+      const FusedTarget& t = targets[i];
+      if (t.written && !written_too) {
+        continue;  // implicitly unlocked by the write-back
+      }
+      nic->CompareSwapPosted(ctx_, t.node, t.offset + RecordLayout::kSeqOff,
+                             store::SeqWord::WithLock(t.expected), t.expected, nullptr,
+                             &completion);
+    }
+  };
+  if (failed) {
+    unlock_range(locked, /*written_too=*/true);
+    engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+    return Status::kAborted;
+  }
+  // Record the commit-base seq of remote write entries.
+  for (size_t i = 0; i < write_set_.size(); ++i) {
+    const WriteEntry& w = write_set_[i];
+    if (!IsLocal(w.access.node)) {
+      commit_seq_[i] = expected_of(w.access.seq);
+    }
+  }
+
+  // C.3 + C.4 inside one HTM region (unchanged; local records are never
+  // fused-locked by this transaction).
+  Status s = HtmValidateAndApply();
+  if (s == Status::kConflict) {
+    unlock_range(targets.size(), true);
+    engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+    return Status::kAborted;
+  }
+  if (s == Status::kAborted) {
+    // Fallback (Â§6.1 under the fused scheme). The remote records stay fused-
+    // locked the whole time, so their validation keeps holding; first give
+    // the HTM region more attempts, then lock the local read/write sets with
+    // loopback fused CASes and apply without HTM.
+    engine_->stats().fallbacks.fetch_add(1, std::memory_order_relaxed);
+    for (int attempt = 0; attempt < 16 && s == Status::kAborted; ++attempt) {
+      std::this_thread::yield();
+      s = HtmValidateAndApply();
+    }
+    if (s == Status::kConflict) {
+      unlock_range(targets.size(), true);
+      engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+      return Status::kAborted;
+    }
+    if (s == Status::kAborted) {
+      // Lock local records (sorted) with the validation fused into the CAS.
+      struct LocalTarget {
+        uint64_t offset;
+        uint64_t expected;
+        size_t ws_index;  // ~0 for read-only
+        bool blind;
+      };
+      std::vector<LocalTarget> locals;
+      auto add_local = [&](uint64_t offset, uint64_t seq, size_t ws_index, bool blind) {
+        for (auto& t : locals) {
+          if (t.offset == offset) {
+            if (ws_index != ~0ull) {
+              t.ws_index = ws_index;
+            }
+            return;
+          }
+        }
+        locals.push_back({offset, expected_of(seq), ws_index, blind});
+      };
+      for (const AccessEntry& e : read_set_) {
+        if (IsLocal(e.node)) {
+          add_local(e.offset, e.seq, ~0ull, false);
+        }
+      }
+      for (size_t i = 0; i < write_set_.size(); ++i) {
+        if (IsLocal(write_set_[i].access.node)) {
+          add_local(write_set_[i].access.offset, write_set_[i].access.seq, i,
+                    write_set_[i].blind);
+        }
+      }
+      std::sort(locals.begin(), locals.end(),
+                [](const LocalTarget& a, const LocalTarget& b) { return a.offset < b.offset; });
+      size_t llocked = 0;
+      bool lfail = false;
+      for (; llocked < locals.size(); ++llocked) {
+        LocalTarget& t = locals[llocked];
+        if (t.blind) {
+          // A blind write only needs committability: refresh the expected seq
+          // from the live record before fusing the lock.
+          const uint64_t cur = store::SeqWord::Value(
+              self_->bus()->ReadU64(ctx_, t.offset + RecordLayout::kSeqOff));
+          if (rules_.WriteValid(cur)) {
+            t.expected = cur;
+          }
+        }
+        uint64_t obs = 0;
+        if (nic->CompareSwap(ctx_, ctx_->node_id, t.offset + RecordLayout::kSeqOff, t.expected,
+                             store::SeqWord::WithLock(t.expected), &obs) != Status::kOk) {
+          lfail = true;
+          break;
+        }
+      }
+      auto unlock_locals = [&](size_t count, bool written_too) {
+        uint64_t completion = 0;
+        for (size_t i = 0; i < count; ++i) {
+          const LocalTarget& t = locals[i];
+          if (t.ws_index != ~0ull && !written_too) {
+            continue;  // written records get their final seq below
+          }
+          nic->CompareSwapPosted(ctx_, ctx_->node_id, t.offset + RecordLayout::kSeqOff,
+                                 store::SeqWord::WithLock(t.expected), t.expected, nullptr,
+                                 &completion);
+        }
+      };
+      if (lfail) {
+        unlock_locals(llocked, true);
+        unlock_range(targets.size(), true);
+        engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+        return Status::kAborted;
+      }
+      // Everything is locked and validated; apply local writes without HTM.
+      // The records' seq fields carry the lock bit, which the image write
+      // replaces with the new (unlocked) value — an implicit local unlock.
+      std::vector<std::byte> image;
+      for (const LocalTarget& t : locals) {
+        if (t.ws_index == ~0ull) {
+          continue;
+        }
+        const WriteEntry& w = write_set_[t.ws_index];
+        commit_seq_[t.ws_index] = t.expected;
+        BuildImage(w, rules_.LocalCommitSeq(t.expected), &image);
+        self_->bus()->Write(ctx_, w.access.offset + RecordLayout::kSeqOff,
+                            image.data() + RecordLayout::kSeqOff,
+                            image.size() - RecordLayout::kSeqOff);
+      }
+      unlock_locals(locals.size(), /*written_too=*/false);
+    }
+  }
+
+  if (engine_->config().replication) {
+    const Status rs = ReplicateAll();
+    if (rs != Status::kOk) {
+      DRTMR_LOG(Warning) << "replication failed: " << StatusString(rs);
+    }
+    MakeupLocal();
+  }
+  WriteBackRemote();  // clears the lock bit of written records (new seq)
+  for (MutationEntry& m : mutations_) {
+    engine_->Mutate(ctx_, m);
+  }
+  if (engine_->config().replication) {
+    engine_->replicator()->EndTransaction(ctx_, txn_id_);
+  }
+  engine_->stats().commits.fetch_add(1, std::memory_order_relaxed);
+  // C.6: unlock read-only remote records (one posted CAS each).
+  unlock_range(targets.size(), /*written_too=*/false);
+  return Status::kOk;
+}
+
+}  // namespace drtmr::txn

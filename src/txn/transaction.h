@@ -1,0 +1,143 @@
+// Transaction: the DrTM+R hybrid OCC + remote-locking protocol (§4, §5).
+//
+// Execution phase (Fig. 2 left): reads are tracked in local/remote read sets
+// with the observed (seq, incarnation); writes are buffered locally; inserts
+// and removes are queued. No a-priori knowledge of the read/write sets is
+// needed — they are complete once execution finishes (the paper's key
+// generality claim over DrTM).
+//
+// Commit phase (Fig. 7, plus Table 4 / Fig. 9 when replication is on):
+//   C.1 lock remote read+write sets with one-sided RDMA CAS (sorted; the
+//       owner machine id is encoded for dangling-lock recovery),
+//   C.2 validate the remote read set with RDMA READs,
+//   HTM region { C.3 validate local read set; check local write set unlocked
+//       and committable; C.4 apply buffered local writes, seq := seq+1 },
+//   R.1 replicate every written record to its backups' NVM logs,
+//   R.2 makeup: bump local written seqs to the next even value,
+//   C.5 write back remote records (seq := seq+2) with RDMA WRITEs,
+//   report committed,
+//   C.6 unlock remote records with RDMA CAS.
+//
+// Read-only transactions (§4.5, Fig. 8) skip HTM and locking entirely:
+// execution-phase remote reads additionally check the lock, and commit just
+// re-validates sequence numbers.
+//
+// The fallback handler (§6.1-6.2) takes over when the HTM step cannot make
+// progress: it releases held remote locks, re-locks *all* records (local ones
+// via loopback RDMA CAS, for atomicity uniformity with remote CAS) in global
+// address order, validates, applies without HTM, and unlocks.
+#ifndef DRTMR_SRC_TXN_TRANSACTION_H_
+#define DRTMR_SRC_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/txn/txn_api.h"
+#include "src/txn/txn_engine.h"
+#include "src/txn/types.h"
+
+namespace drtmr::txn {
+
+class Transaction : public TxnApi {
+ public:
+  // One Transaction object per worker thread, reused across transactions.
+  Transaction(TxnEngine* engine, sim::ThreadContext* ctx);
+
+  // Starts a new transaction. `read_only` selects the §4.5 protocol.
+  void Begin(bool read_only = false) override;
+
+  // Reads table[key] hosted on `node` into value_out (nullable to read for
+  // the version only). Adds the record to the read set.
+  Status Read(store::Table* table, uint32_t node, uint64_t key, void* value_out) override;
+
+  // Buffers a full-payload update. If the record was not read earlier in this
+  // transaction, its metadata is fetched first (blind write).
+  Status Write(store::Table* table, uint32_t node, uint64_t key, const void* value) override;
+
+  // Queues an insert/remove, applied at commit (locally inside an HTM region,
+  // remotely via SEND/RECV shipping, §4.3).
+  Status Insert(store::Table* table, uint32_t node, uint64_t key, const void* value) override;
+  Status Remove(store::Table* table, uint32_t node, uint64_t key) override;
+
+  // Local ordered-table range read: visits records with lo <= key <= hi,
+  // adding each to the read set. `fn` receives (key, payload). Stops early
+  // when fn returns false. Local node only.
+  Status ScanLocal(store::Table* table, uint64_t lo, uint64_t hi,
+                   const std::function<bool(uint64_t key, const void* value)>& fn) override;
+
+  // Runs the commit protocol. kOk on commit; kAborted (all effects discarded)
+  // on validation/lock failure — the caller is expected to retry.
+  Status Commit() override;
+
+  // User abort: discards all buffered effects.
+  void UserAbort() override;
+
+  bool read_only() const { return read_only_; }
+  uint64_t id() const { return txn_id_; }
+
+ private:
+  struct LockTarget {
+    uint32_t node;
+    uint64_t offset;
+    auto operator<=>(const LockTarget&) const = default;
+  };
+
+  Status CommitReadOnly();
+  Status CommitReadWrite();
+  // §4.4 IBV_ATOMIC_GLOB variant: one CAS per remote record fuses C.1+C.2
+  // (lock bit in the seqnum); C.5 write-backs unlock written records.
+  Status CommitReadWriteFused();
+
+  // C.1. Returns kOk with all targets locked, or releases everything.
+  Status LockRemoteSets(const std::vector<LockTarget>& targets);
+  // Acquires one lock, handling dangling owners (§5.2). `via_nic` uses
+  // loopback CAS for local records in the fallback path (§6.2).
+  Status AcquireLock(const LockTarget& t);
+  void ReleaseLocks(const std::vector<LockTarget>& targets, size_t count);
+
+  // C.2 (+ committable check of remote write-set records under replication).
+  Status ValidateRemote(uint64_t* remote_ws_seq);
+  // HTM step C.3/C.4. Returns kOk, kConflict (validation failed — abort the
+  // transaction), or kAborted (HTM kept aborting — take the fallback).
+  Status HtmValidateAndApply();
+  // §6.1 fallback: lock everything (local via loopback CAS), validate, apply.
+  Status FallbackCommit(const std::vector<LockTarget>& remote_targets);
+
+  // R.1 for all write-set entries. `final_seq[i]` is the replicated seq of
+  // write_set_[i].
+  Status ReplicateAll();
+  // R.2: local written records become committable (even seq).
+  void MakeupLocal();
+  // C.5: write back remote records.
+  Status WriteBackRemote();
+
+  // Builds the full record image for write_set_[i] carrying `seq`.
+  void BuildImage(const WriteEntry& w, uint64_t seq, std::vector<std::byte>* image) const;
+
+  WriteEntry* FindWrite(store::Table* table, uint32_t node, uint64_t key);
+  AccessEntry* FindRead(store::Table* table, uint32_t node, uint64_t key);
+  bool IsLocal(uint32_t node) const { return node == ctx_->node_id; }
+
+  TxnEngine* engine_;
+  sim::ThreadContext* ctx_;
+  cluster::Node* self_;
+  SeqRules rules_;
+  uint64_t txn_id_ = 0;
+  uint64_t lock_word_;
+  bool read_only_ = false;
+  bool active_ = false;
+
+  std::vector<AccessEntry> read_set_;
+  std::vector<WriteEntry> write_set_;
+  std::vector<MutationEntry> mutations_;
+  // Commit-time scratch: remote lock targets actually acquired.
+  std::vector<LockTarget> held_locks_;
+  // Current seq observed at commit time for each write entry (index-aligned
+  // with write_set_); becomes the base for the Table 4 increments.
+  std::vector<uint64_t> commit_seq_;
+};
+
+}  // namespace drtmr::txn
+
+#endif  // DRTMR_SRC_TXN_TRANSACTION_H_

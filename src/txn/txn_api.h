@@ -1,0 +1,32 @@
+// Engine-agnostic transaction interface. The workloads (TPC-C, SmallBank)
+// are written against this API so the same transaction logic drives DrTM+R
+// and every baseline engine (DrTM, Calvin, Silo) in the evaluation benches.
+#ifndef DRTMR_SRC_TXN_TXN_API_H_
+#define DRTMR_SRC_TXN_TXN_API_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/store/table.h"
+#include "src/util/status.h"
+
+namespace drtmr::txn {
+
+class TxnApi {
+ public:
+  virtual ~TxnApi() = default;
+
+  virtual void Begin(bool read_only = false) = 0;
+  virtual Status Read(store::Table* table, uint32_t node, uint64_t key, void* value_out) = 0;
+  virtual Status Write(store::Table* table, uint32_t node, uint64_t key, const void* value) = 0;
+  virtual Status Insert(store::Table* table, uint32_t node, uint64_t key, const void* value) = 0;
+  virtual Status Remove(store::Table* table, uint32_t node, uint64_t key) = 0;
+  virtual Status ScanLocal(store::Table* table, uint64_t lo, uint64_t hi,
+                           const std::function<bool(uint64_t key, const void* value)>& fn) = 0;
+  virtual Status Commit() = 0;
+  virtual void UserAbort() = 0;
+};
+
+}  // namespace drtmr::txn
+
+#endif  // DRTMR_SRC_TXN_TXN_API_H_

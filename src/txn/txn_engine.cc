@@ -1,0 +1,380 @@
+#include "src/txn/txn_engine.h"
+
+#include <cstring>
+#include <thread>
+
+#include "src/store/record.h"
+#include "src/util/logging.h"
+
+namespace drtmr::txn {
+
+using store::LockWord;
+using store::RecordLayout;
+
+struct TxnEngine::RpcMsg {
+  enum Op : uint32_t { kInsert = 1, kRemove = 2, kReply = 3 };
+  uint32_t op;
+  uint32_t table_id;
+  uint32_t reply_qp;
+  uint32_t status;
+  uint64_t key;
+  uint64_t token;
+  uint32_t value_len;
+  uint32_t pad;
+  // followed by value_len payload bytes
+};
+
+TxnEngine::TxnEngine(cluster::Cluster* cluster, store::Catalog* catalog, const TxnConfig& config,
+                     cluster::Coordinator* coordinator, Replicator* replicator)
+    : cluster_(cluster),
+      catalog_(catalog),
+      config_(config),
+      coordinator_(coordinator),
+      replicator_(replicator) {
+  DRTMR_CHECK(!config_.replication || replicator_ != nullptr)
+      << "replication enabled without a Replicator";
+  DRTMR_CHECK(!config_.fused_seq_lock ||
+              cluster->fabric()->atomicity() == sim::AtomicityLevel::kGlob)
+      << "fused seq locking (Â§4.4) requires IBV_ATOMIC_GLOB";
+  workers_per_node_ = cluster->config().workers_per_node;
+  caches_.reserve(cluster->num_nodes() * workers_per_node_);
+  for (uint32_t n = 0; n < cluster->num_nodes(); ++n) {
+    for (uint32_t w = 0; w < workers_per_node_; ++w) {
+      caches_.push_back(std::make_unique<store::LocationCache>());
+    }
+  }
+}
+
+TxnEngine::~TxnEngine() { StopServices(); }
+
+bool TxnEngine::OwnerAbsent(uint64_t lock_word) const {
+  if (coordinator_ == nullptr || !LockWord::IsLocked(lock_word)) {
+    return false;
+  }
+  return !coordinator_->view().Contains(LockWord::OwnerNode(lock_word));
+}
+
+// ---------------- execution-phase reads ----------------
+
+Status TxnEngine::ReadLocalRecord(sim::ThreadContext* ctx, store::Table* table, uint64_t key,
+                                  void* value_out, AccessEntry* entry) {
+  cluster::Node* node = cluster_->node(ctx->node_id);
+  if (node->killed()) {
+    return Status::kUnavailable;  // fail-stop: wind the thread down
+  }
+  const uint64_t off = table->Lookup(ctx, ctx->node_id, key);
+  if (off == 0) {
+    return Status::kNotFound;
+  }
+  ctx->Charge(cost()->record_logic_ns);
+  stats_.local_reads.fetch_add(1, std::memory_order_relaxed);
+
+  const size_t rec_bytes = table->record_bytes();
+  std::vector<std::byte> buf(rec_bytes);
+
+  // Fig. 5: copy the record inside a small HTM region after checking that no
+  // remote committer holds the lock; a locked record is about to change, so
+  // abort and retry with randomized backoff rather than read a doomed value.
+  for (uint32_t attempt = 0; attempt < config_.local_read_retry_threshold; ++attempt) {
+    sim::HtmTxn* htm = node->htm()->Begin(ctx);
+    if (htm == nullptr) {
+      return Status::kInvalid;  // nested inside another HTM region
+    }
+    if (htm->Read(off, buf.data(), rec_bytes) != Status::kOk) {
+      continue;  // conflict abort: immediately retry
+    }
+    if (LockWord::IsLocked(RecordLayout::GetLock(buf.data())) ||
+        store::SeqWord::Locked(RecordLayout::GetSeq(buf.data()))) {
+      const uint64_t lock_word = RecordLayout::GetLock(buf.data());
+      htm->Abort();
+      if (OwnerAbsent(lock_word)) {
+        // Passive dangling-lock release (§5.2): the owner machine crashed.
+        uint64_t obs;
+        node->bus()->CasU64(ctx, off + RecordLayout::kLockOff, lock_word, 0, &obs);
+        stats_.dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const uint64_t backoff = ctx->rng.Range(50, 400) * (attempt + 1);
+      ctx->Charge(backoff);
+      std::this_thread::yield();
+      continue;
+    }
+    if (htm->Commit() != Status::kOk) {
+      continue;
+    }
+    entry->table = table;
+    entry->node = ctx->node_id;
+    entry->key = key;
+    entry->offset = off;
+    entry->seq = store::SeqWord::Value(RecordLayout::GetSeq(buf.data()));
+    entry->incarnation = RecordLayout::GetIncarnation(buf.data());
+    if (value_out != nullptr) {
+      RecordLayout::GatherValue(buf.data(), value_out, table->value_size());
+    }
+    return Status::kOk;
+  }
+
+  // Seqlock-style fallback read: two stable snapshots with equal seq and no
+  // lock imply a consistent copy (the HTM path had no forward progress).
+  std::vector<std::byte> buf2(rec_bytes);
+  while (true) {
+    if (node->killed()) {
+      return Status::kUnavailable;
+    }
+    node->bus()->Read(ctx, off, buf.data(), rec_bytes);
+    if (LockWord::IsLocked(RecordLayout::GetLock(buf.data())) ||
+        store::SeqWord::Locked(RecordLayout::GetSeq(buf.data()))) {
+      const uint64_t lock_word = RecordLayout::GetLock(buf.data());
+      if (OwnerAbsent(lock_word)) {
+        uint64_t obs;
+        node->bus()->CasU64(ctx, off + RecordLayout::kLockOff, lock_word, 0, &obs);
+        stats_.dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    node->bus()->Read(ctx, off, buf2.data(), rec_bytes);
+    if (RecordLayout::GetLock(buf2.data()) == 0 &&
+        RecordLayout::GetSeq(buf.data()) == RecordLayout::GetSeq(buf2.data()) &&
+        std::memcmp(buf.data(), buf2.data(), rec_bytes) == 0) {
+      break;
+    }
+  }
+  entry->table = table;
+  entry->node = ctx->node_id;
+  entry->key = key;
+  entry->offset = off;
+  entry->seq = store::SeqWord::Value(RecordLayout::GetSeq(buf.data()));
+  entry->incarnation = RecordLayout::GetIncarnation(buf.data());
+  if (value_out != nullptr) {
+    RecordLayout::GatherValue(buf.data(), value_out, table->value_size());
+  }
+  return Status::kOk;
+}
+
+Status TxnEngine::ReadRemoteRecord(sim::ThreadContext* ctx, store::Table* table, uint32_t node,
+                                   uint64_t key, void* value_out, AccessEntry* entry,
+                                   bool check_lock) {
+  DRTMR_CHECK(table->remote_accessible()) << "ordered tables are local-only";
+  cluster::Node* self = cluster_->node(ctx->node_id);
+  store::LocationCache* cache = this->cache(ctx->node_id, ctx->worker_id);
+  stats_.remote_reads.fetch_add(1, std::memory_order_relaxed);
+
+  uint64_t off = cache->Get(table->id(), node, key);
+  bool from_cache = off != 0;
+  if (off == 0) {
+    off = table->hash(node)->RemoteLookup(ctx, self->nic(), node, key);
+    if (off == 0) {
+      return Status::kNotFound;
+    }
+    cache->Put(table->id(), node, key, off);
+  }
+
+  const size_t rec_bytes = table->record_bytes();
+  std::vector<std::byte> buf(rec_bytes);
+  for (uint32_t attempt = 0; attempt < config_.remote_read_retry_threshold; ++attempt) {
+    const Status s = self->nic()->Read(ctx, node, off, buf.data(), rec_bytes);
+    if (s != Status::kOk) {
+      return s;
+    }
+    if (RecordLayout::GetKey(buf.data()) != key) {
+      // Stale location-cache hint (record freed/reused): invalidate, re-look.
+      if (!from_cache) {
+        return Status::kNotFound;
+      }
+      cache->Invalidate(table->id(), node, key);
+      off = table->hash(node)->RemoteLookup(ctx, self->nic(), node, key);
+      if (off == 0) {
+        return Status::kNotFound;
+      }
+      cache->Put(table->id(), node, key, off);
+      from_cache = false;
+      continue;
+    }
+    // Fig. 6: versions at every line must match the seqnum's low 16 bits or
+    // the one-sided READ raced a multi-line write.
+    if (!RecordLayout::VersionsConsistent(buf.data(), table->value_size())) {
+      continue;
+    }
+    // Fig. 8: read-only transactions refuse locked records (the lock means a
+    // commit is in flight; an uncommitted value must not be returned).
+    if (check_lock && (LockWord::IsLocked(RecordLayout::GetLock(buf.data())) ||
+                       store::SeqWord::Locked(RecordLayout::GetSeq(buf.data())))) {
+      const uint64_t lock_word = RecordLayout::GetLock(buf.data());
+      if (OwnerAbsent(lock_word)) {
+        uint64_t obs;
+        self->nic()->CompareSwap(ctx, node, off + RecordLayout::kLockOff, lock_word, 0, &obs);
+        stats_.dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    entry->table = table;
+    entry->node = node;
+    entry->key = key;
+    entry->offset = off;
+    entry->seq = store::SeqWord::Value(RecordLayout::GetSeq(buf.data()));
+    entry->incarnation = RecordLayout::GetIncarnation(buf.data());
+    if (value_out != nullptr) {
+      RecordLayout::GatherValue(buf.data(), value_out, table->value_size());
+    }
+    return Status::kOk;
+  }
+  return Status::kAborted;
+}
+
+void TxnEngine::ReadMetaLocal(sim::ThreadContext* ctx, const AccessEntry& e, uint64_t* inc,
+                              uint64_t* seq) {
+  uint64_t meta[2];
+  cluster_->node(ctx->node_id)
+      ->bus()
+      ->Read(ctx, e.offset + RecordLayout::kIncOff, meta, sizeof(meta));
+  *inc = meta[0];
+  *seq = meta[1];
+}
+
+Status TxnEngine::ReadMetaRemote(sim::ThreadContext* ctx, const AccessEntry& e, uint64_t* inc,
+                                 uint64_t* seq) {
+  uint64_t meta[2];
+  const Status s = cluster_->node(ctx->node_id)
+                       ->nic()
+                       ->Read(ctx, e.node, e.offset + RecordLayout::kIncOff, meta, sizeof(meta));
+  if (s != Status::kOk) {
+    return s;
+  }
+  *inc = meta[0];
+  *seq = meta[1];
+  return Status::kOk;
+}
+
+// ---------------- insert/delete shipping ----------------
+
+Status TxnEngine::ApplyMutation(sim::ThreadContext* ctx, MutationEntry::Op op, uint32_t table_id,
+                                uint64_t key, const std::byte* value, size_t value_len) {
+  store::Table* table = catalog_->table(table_id);
+  DRTMR_CHECK(table != nullptr) << "unknown table " << table_id;
+  cluster::Node* node = cluster_->node(ctx->node_id);
+  ctx->Charge(cost()->record_logic_ns);
+  if (table->kind() == store::StoreKind::kHash) {
+    if (op == MutationEntry::Op::kInsert) {
+      return table->hash(ctx->node_id)->Insert(ctx, key, value, nullptr);
+    }
+    return table->hash(ctx->node_id)->Remove(ctx, key);
+  }
+  // Ordered store: allocate/initialize the record, then index it.
+  if (op == MutationEntry::Op::kInsert) {
+    const size_t rec_bytes = table->record_bytes();
+    const uint64_t off = node->allocator()->Alloc(rec_bytes);
+    if (off == cluster::RegionAllocator::kInvalidOffset) {
+      return Status::kCapacity;
+    }
+    std::vector<std::byte> image(rec_bytes);
+    RecordLayout::Init(image.data(), key, 2, 2, value, table->value_size());
+    node->bus()->Write(ctx, off, image.data(), rec_bytes);
+    const Status s = table->btree(ctx->node_id)->Insert(ctx, key, off);
+    if (s != Status::kOk) {
+      node->allocator()->Free(off, rec_bytes);
+    }
+    return s;
+  }
+  const uint64_t off = table->btree(ctx->node_id)->Lookup(ctx, key);
+  if (off == 0) {
+    return Status::kNotFound;
+  }
+  // Invalidate concurrent readers before unlinking (§4.3 incarnation rule).
+  node->bus()->FetchAddU64(ctx, off + RecordLayout::kIncOff, 1);
+  const Status s = table->btree(ctx->node_id)->Remove(ctx, key);
+  if (s == Status::kOk) {
+    node->allocator()->Free(off, table->record_bytes());
+  }
+  return s;
+}
+
+Status TxnEngine::Mutate(sim::ThreadContext* ctx, const MutationEntry& m) {
+  if (m.node == ctx->node_id) {
+    return ApplyMutation(ctx, m.op, m.table->id(), m.key, m.value.data(), m.value.size());
+  }
+  // Ship to the hosting machine via SEND/RECV (§4.3) and wait for the reply
+  // on this worker's queue pair.
+  const uint64_t token = next_rpc_token_.fetch_add(1, std::memory_order_relaxed);
+  RpcMsg header;
+  header.op = m.op == MutationEntry::Op::kInsert ? RpcMsg::kInsert : RpcMsg::kRemove;
+  header.table_id = m.table->id();
+  header.reply_qp = 1 + ctx->worker_id;
+  header.status = 0;
+  header.key = m.key;
+  header.token = token;
+  header.value_len = static_cast<uint32_t>(m.value.size());
+  header.pad = 0;
+  std::vector<std::byte> payload(sizeof(header) + m.value.size());
+  std::memcpy(payload.data(), &header, sizeof(header));
+  if (!m.value.empty()) {
+    std::memcpy(payload.data() + sizeof(header), m.value.data(), m.value.size());
+  }
+  sim::RdmaNic* nic = cluster_->node(ctx->node_id)->nic();
+  Status s = nic->Send(ctx, m.node, std::move(payload));
+  if (s != Status::kOk) {
+    return s;
+  }
+  // Poll for the matching reply; bail out if the target machine dies.
+  sim::Message reply;
+  while (true) {
+    if (nic->TryRecv(ctx, &reply, 1 + ctx->worker_id)) {
+      RpcMsg r;
+      DRTMR_CHECK(reply.payload.size() >= sizeof(r));
+      std::memcpy(&r, reply.payload.data(), sizeof(r));
+      if (r.token == token) {
+        return static_cast<Status>(r.status);
+      }
+      continue;  // stale reply from an earlier timed-out RPC
+    }
+    if (!cluster_->fabric()->alive(m.node)) {
+      return Status::kUnavailable;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void TxnEngine::HandleRpc(sim::ThreadContext* ctx, const sim::Message& msg) {
+  RpcMsg m;
+  DRTMR_CHECK(msg.payload.size() >= sizeof(m));
+  std::memcpy(&m, msg.payload.data(), sizeof(m));
+  const std::byte* value = msg.payload.data() + sizeof(m);
+  const Status s = ApplyMutation(
+      ctx, m.op == RpcMsg::kInsert ? MutationEntry::Op::kInsert : MutationEntry::Op::kRemove,
+      m.table_id, m.key, value, m.value_len);
+  RpcMsg reply = m;
+  reply.op = RpcMsg::kReply;
+  reply.status = static_cast<uint32_t>(s);
+  reply.value_len = 0;
+  std::vector<std::byte> payload(sizeof(reply));
+  std::memcpy(payload.data(), &reply, sizeof(reply));
+  cluster_->node(ctx->node_id)->nic()->Send(ctx, msg.src_node, std::move(payload), m.reply_qp);
+}
+
+void TxnEngine::StartServices() {
+  DRTMR_CHECK(!services_running_);
+  for (uint32_t i = 0; i < cluster_->num_nodes(); ++i) {
+    cluster::Node::IdleFn idle;
+    if (replicator_ != nullptr) {
+      Replicator* rep = replicator_;
+      idle = [rep](sim::ThreadContext* ctx) { rep->Pump(ctx); };
+    }
+    cluster_->node(i)->StartService(
+        [this](sim::ThreadContext* ctx, const sim::Message& msg) { HandleRpc(ctx, msg); },
+        std::move(idle));
+  }
+  services_running_ = true;
+}
+
+void TxnEngine::StopServices() {
+  if (services_running_) {
+    for (uint32_t i = 0; i < cluster_->num_nodes(); ++i) {
+      cluster_->node(i)->StopService();
+    }
+    services_running_ = false;
+  }
+}
+
+}  // namespace drtmr::txn

@@ -1,0 +1,102 @@
+// TxnEngine: per-cluster runtime of the DrTM+R transaction layer. Owns the
+// protocol configuration, statistics, per-worker location caches, the
+// insert/delete RPC service (§4.3: mutations are shipped to the hosting
+// machine over SEND/RECV and executed there inside HTM regions), and the
+// record-read helpers shared by read-write and read-only transactions.
+#ifndef DRTMR_SRC_TXN_TXN_ENGINE_H_
+#define DRTMR_SRC_TXN_TXN_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/coordinator.h"
+#include "src/cluster/node.h"
+#include "src/store/table.h"
+#include "src/txn/replicator.h"
+#include "src/txn/types.h"
+
+namespace drtmr::txn {
+
+class TxnEngine {
+ public:
+  // `coordinator` (optional) supplies the current configuration for passive
+  // dangling-lock release (§5.2); `replicator` (optional) is required when
+  // config.replication is on.
+  TxnEngine(cluster::Cluster* cluster, store::Catalog* catalog, const TxnConfig& config,
+            cluster::Coordinator* coordinator = nullptr, Replicator* replicator = nullptr);
+  ~TxnEngine();
+
+  cluster::Cluster* cluster() { return cluster_; }
+  store::Catalog* catalog() { return catalog_; }
+  const TxnConfig& config() const { return config_; }
+  SeqRules seq_rules() const { return SeqRules{config_.replication}; }
+  Replicator* replicator() { return replicator_; }
+  TxnStats& stats() { return stats_; }
+  const sim::CostModel* cost() const { return cluster_->cost(); }
+
+  uint64_t NextTxnId() { return next_txn_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  store::LocationCache* cache(uint32_t node, uint32_t worker) {
+    return caches_[node * workers_per_node_ + worker].get();
+  }
+
+  // True when the lock word's owner machine is absent from the current
+  // configuration — the survivor may release the dangling lock (§5.2).
+  bool OwnerAbsent(uint64_t lock_word) const;
+
+  // ---- execution-phase record reads (Figs. 5, 6, 8) ----
+
+  // Local read: lock-checked copy inside a small HTM region, retried with
+  // randomized backoff while the record is remote-locked; falls back to a
+  // seqlock-style read after the retry threshold. Fills `entry` and, if
+  // value_out != nullptr, the payload.
+  Status ReadLocalRecord(sim::ThreadContext* ctx, store::Table* table, uint64_t key,
+                         void* value_out, AccessEntry* entry);
+
+  // Remote read: location-cache + one-sided RDMA READ with per-line version
+  // consistency check. `check_lock` is the read-only-transaction variant that
+  // refuses records currently locked by a committing transaction (§4.5).
+  Status ReadRemoteRecord(sim::ThreadContext* ctx, store::Table* table, uint32_t node,
+                          uint64_t key, void* value_out, AccessEntry* entry, bool check_lock);
+
+  // Re-reads (incarnation, seq) of a record for commit-time validation.
+  void ReadMetaLocal(sim::ThreadContext* ctx, const AccessEntry& e, uint64_t* inc, uint64_t* seq);
+  Status ReadMetaRemote(sim::ThreadContext* ctx, const AccessEntry& e, uint64_t* inc,
+                        uint64_t* seq);
+
+  // ---- mutation RPC (§4.3) ----
+
+  // Applies an insert/remove on the hosting node. Local mutations run
+  // directly; remote ones are shipped via SEND/RECV and executed by the
+  // target's service thread.
+  Status Mutate(sim::ThreadContext* ctx, const MutationEntry& m);
+
+  // Starts the per-node service threads (RPC handling; `idle` hooks such as
+  // log truncation may be chained by the replication layer).
+  void StartServices();
+  void StopServices();
+
+ private:
+  struct RpcMsg;
+  void HandleRpc(sim::ThreadContext* ctx, const sim::Message& msg);
+  Status ApplyMutation(sim::ThreadContext* ctx, MutationEntry::Op op, uint32_t table_id,
+                       uint64_t key, const std::byte* value, size_t value_len);
+
+  cluster::Cluster* cluster_;
+  store::Catalog* catalog_;
+  TxnConfig config_;
+  cluster::Coordinator* coordinator_;
+  Replicator* replicator_;
+  TxnStats stats_;
+  std::atomic<uint64_t> next_txn_id_{1};
+  std::atomic<uint64_t> next_rpc_token_{1};
+  uint32_t workers_per_node_;
+  std::vector<std::unique_ptr<store::LocationCache>> caches_;
+  bool services_running_ = false;
+};
+
+}  // namespace drtmr::txn
+
+#endif  // DRTMR_SRC_TXN_TXN_ENGINE_H_

@@ -1,0 +1,31 @@
+// Cache-line geometry shared by the HTM simulator, the RDMA memory bus, and
+// the record layout. DrTM+R's protocol is defined in terms of cache lines:
+// HTM tracks conflicts per line, RDMA WRITE is atomic only within a line, and
+// records carry a 16-bit version at the head of every line after the first.
+#ifndef DRTMR_SRC_UTIL_CACHELINE_H_
+#define DRTMR_SRC_UTIL_CACHELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace drtmr {
+
+inline constexpr size_t kCacheLineSize = 64;
+
+// Line index covering byte `offset`.
+constexpr uint64_t LineOf(uint64_t offset) { return offset / kCacheLineSize; }
+
+// First line index strictly after the range [offset, offset + len).
+constexpr uint64_t LineEnd(uint64_t offset, size_t len) {
+  return len == 0 ? LineOf(offset) : LineOf(offset + len - 1) + 1;
+}
+
+constexpr uint64_t AlignUpToLine(uint64_t offset) {
+  return (offset + kCacheLineSize - 1) & ~(kCacheLineSize - 1);
+}
+
+constexpr bool IsLineAligned(uint64_t offset) { return (offset % kCacheLineSize) == 0; }
+
+}  // namespace drtmr
+
+#endif  // DRTMR_SRC_UTIL_CACHELINE_H_

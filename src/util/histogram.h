@@ -1,0 +1,100 @@
+// Log-bucketed latency histogram. Records nanosecond samples into power-of-two
+// buckets subdivided 16 ways, supporting percentile extraction without storing
+// raw samples. Single-writer; merge across threads at report time.
+#ifndef DRTMR_SRC_UTIL_HISTOGRAM_H_
+#define DRTMR_SRC_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace drtmr {
+
+class Histogram {
+ public:
+  void Record(uint64_t ns) {
+    count_++;
+    sum_ += ns;
+    if (ns > max_) {
+      max_ = ns;
+    }
+    if (min_ == 0 || ns < min_) {
+      min_ = ns;
+    }
+    buckets_[BucketFor(ns)]++;
+  }
+
+  void Merge(const Histogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+    if (min_ == 0 || (other.min_ != 0 && other.min_ < min_)) {
+      min_ = other.min_;
+    }
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t max() const { return max_; }
+  uint64_t min() const { return min_; }
+  double Mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+
+  // Approximate percentile (p in [0,100]) as the upper bound of the bucket
+  // containing the p-th sample.
+  uint64_t Percentile(double p) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
+    if (rank >= count_) {
+      rank = count_ - 1;
+    }
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen > rank) {
+        const uint64_t ub = UpperBound(i);
+        return ub < max_ ? ub : max_;
+      }
+    }
+    return max_;
+  }
+
+  void Reset() { *this = Histogram(); }
+
+ private:
+  // 64 exponents x 16 sub-buckets covers [0, 2^63].
+  static constexpr int kSubBits = 4;
+  static constexpr int kSub = 1 << kSubBits;
+
+  static size_t BucketFor(uint64_t ns) {
+    if (ns < kSub) {
+      return static_cast<size_t>(ns);
+    }
+    const int exp = 63 - __builtin_clzll(ns);
+    const int sub = static_cast<int>((ns >> (exp - kSubBits)) & (kSub - 1));
+    return static_cast<size_t>((exp - kSubBits + 1) * kSub + sub);
+  }
+
+  static uint64_t UpperBound(size_t bucket) {
+    if (bucket < kSub) {
+      return bucket;
+    }
+    const uint64_t exp = bucket / kSub + kSubBits - 1;
+    const uint64_t sub = bucket % kSub;
+    return (1ull << exp) + ((sub + 1) << (exp - kSubBits)) - 1;
+  }
+
+  std::array<uint64_t, (64 - kSubBits + 1) * kSub> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+  uint64_t min_ = 0;
+};
+
+}  // namespace drtmr
+
+#endif  // DRTMR_SRC_UTIL_HISTOGRAM_H_

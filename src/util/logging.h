@@ -1,0 +1,65 @@
+// Minimal leveled logging. Off-by-default below WARNING so benchmark paths
+// stay quiet; tests and examples can raise the level.
+#ifndef DRTMR_SRC_UTIL_LOGGING_H_
+#define DRTMR_SRC_UTIL_LOGGING_H_
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace drtmr {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+inline std::atomic<int>& LogThreshold() {
+  static std::atomic<int> threshold{static_cast<int>(LogLevel::kWarning)};
+  return threshold;
+}
+
+inline void SetLogLevel(LogLevel level) { LogThreshold().store(static_cast<int>(level)); }
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelChar(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    if (static_cast<int>(level_) >= LogThreshold().load(std::memory_order_relaxed)) {
+      stream_ << "\n";
+      std::fputs(stream_.str().c_str(), stderr);
+    }
+    if (level_ == LogLevel::kFatal) {
+      std::abort();
+    }
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  static char LevelChar(LogLevel level) { return "DIWEF"[static_cast<int>(level)]; }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') {
+        base = p + 1;
+      }
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace drtmr
+
+#define DRTMR_LOG(level) ::drtmr::LogMessage(::drtmr::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+#define DRTMR_CHECK(cond)                                                 \
+  if (!(cond)) DRTMR_LOG(Fatal) << "check failed: " #cond << " "
+
+#endif  // DRTMR_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,61 @@
+// Fast per-thread pseudo-random generators for workload generation and
+// randomized backoff. xoshiro256** — splittable, fast, and good enough for
+// benchmark-grade distributions.
+#ifndef DRTMR_SRC_UTIL_RAND_H_
+#define DRTMR_SRC_UTIL_RAND_H_
+
+#include <cstdint>
+
+namespace drtmr {
+
+class FastRand {
+ public:
+  explicit FastRand(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 to spread the seed across state words.
+    uint64_t x = seed;
+    for (auto& w : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+  // Bernoulli draw with probability pct/100.
+  bool Percent(uint32_t pct) { return Uniform(100) < pct; }
+
+  // TPC-C NURand(A, x, y): non-uniform random per the TPC-C spec §2.1.6.
+  uint64_t NuRand(uint64_t a, uint64_t x, uint64_t y) {
+    const uint64_t c = c_ & a;
+    return (((Range(0, a) | Range(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+  uint64_t c_ = 0x6d7e4ca1u;  // NURand constant, fixed per run as the spec allows.
+};
+
+}  // namespace drtmr
+
+#endif  // DRTMR_SRC_UTIL_RAND_H_

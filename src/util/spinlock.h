@@ -1,0 +1,41 @@
+// Yielding test-and-test-and-set spinlock. The simulator runs many logical
+// worker threads on few (possibly one) physical cores, so every spin path
+// must yield to let the lock holder run.
+#ifndef DRTMR_SRC_UTIL_SPINLOCK_H_
+#define DRTMR_SRC_UTIL_SPINLOCK_H_
+
+#include <atomic>
+#include <thread>
+
+namespace drtmr {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() {
+    int spins = 0;
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins >= kSpinsBeforeYield) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int kSpinsBeforeYield = 64;
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace drtmr
+
+#endif  // DRTMR_SRC_UTIL_SPINLOCK_H_

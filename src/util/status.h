@@ -1,0 +1,51 @@
+// Lightweight status codes used across the transaction and simulation layers.
+// The protocol paths are hot and exception-free; every fallible operation
+// returns a Status (or a value + Status pair) that callers must check.
+#ifndef DRTMR_SRC_UTIL_STATUS_H_
+#define DRTMR_SRC_UTIL_STATUS_H_
+
+#include <cstdint>
+
+namespace drtmr {
+
+enum class Status : uint8_t {
+  kOk = 0,
+  kNotFound,       // key absent from a store
+  kExists,         // insert hit an existing key
+  kConflict,       // lock held / validation failed / CAS lost
+  kAborted,        // transaction aborted (retryable)
+  kCapacity,       // HTM capacity or store full
+  kUnavailable,    // target machine dead or unreachable
+  kInvalid,        // caller error (bad arguments, wrong state)
+  kStale,          // incarnation mismatch (record freed/reused)
+};
+
+constexpr bool IsOk(Status s) { return s == Status::kOk; }
+
+constexpr const char* StatusString(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kNotFound:
+      return "not-found";
+    case Status::kExists:
+      return "exists";
+    case Status::kConflict:
+      return "conflict";
+    case Status::kAborted:
+      return "aborted";
+    case Status::kCapacity:
+      return "capacity";
+    case Status::kUnavailable:
+      return "unavailable";
+    case Status::kInvalid:
+      return "invalid";
+    case Status::kStale:
+      return "stale";
+  }
+  return "unknown";
+}
+
+}  // namespace drtmr
+
+#endif  // DRTMR_SRC_UTIL_STATUS_H_

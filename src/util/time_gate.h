@@ -1,0 +1,71 @@
+// Conservative time-window synchronization for the virtual-time simulation.
+//
+// Worker threads advance private virtual clocks, but the host may have fewer
+// physical cores than simulated threads: a lock holder can be descheduled for
+// milliseconds of real time while waiters spin, charging virtual time for
+// thousands of retries that could never happen on real hardware. The TimeGate
+// bounds the skew: a thread whose clock is more than `window` ahead of the
+// slowest active clock blocks (in real time) until the laggard catches up —
+// the standard conservative time-window scheme from parallel discrete-event
+// simulation. Every spin loop in the system charges virtual time, so active
+// threads always advance and the gate cannot deadlock; threads must be marked
+// Done when they stop advancing (quota reached or machine killed).
+#ifndef DRTMR_SRC_UTIL_TIME_GATE_H_
+#define DRTMR_SRC_UTIL_TIME_GATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/util/sim_clock.h"
+
+namespace drtmr {
+
+class TimeGate {
+ public:
+  explicit TimeGate(uint64_t window_ns = 100000) : window_ns_(window_ns) {}
+
+  // Registration happens before the workers start (not thread-safe).
+  uint32_t AddClock(const SimClock* clock) {
+    entries_.push_back(std::make_unique<Entry>(clock));
+    return static_cast<uint32_t>(entries_.size() - 1);
+  }
+
+  void Done(uint32_t id) { entries_[id]->done.store(true, std::memory_order_release); }
+
+  // Blocks while `mine` is more than window ahead of the slowest active clock.
+  void Sync(const SimClock* mine) const {
+    while (true) {
+      uint64_t min_ns = ~0ull;
+      for (const auto& e : entries_) {
+        if (e->done.load(std::memory_order_acquire)) {
+          continue;
+        }
+        const uint64_t now = e->clock->now_ns();
+        if (now < min_ns) {
+          min_ns = now;
+        }
+      }
+      if (min_ns == ~0ull || mine->now_ns() <= min_ns + window_ns_) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  struct Entry {
+    explicit Entry(const SimClock* c) : clock(c) {}
+    const SimClock* clock;
+    std::atomic<bool> done{false};
+  };
+
+  uint64_t window_ns_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace drtmr
+
+#endif  // DRTMR_SRC_UTIL_TIME_GATE_H_

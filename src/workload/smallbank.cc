@@ -1,0 +1,245 @@
+#include "src/workload/smallbank.h"
+
+#include <thread>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace drtmr::workload {
+
+using txn::TxnApi;
+
+SmallBankWorkload::SmallBankWorkload(txn::TxnEngine* engine, cluster::PartitionMap* pmap,
+                                     const SmallBankConfig& config)
+    : engine_(engine), pmap_(pmap), config_(config) {}
+
+void SmallBankWorkload::CreateTables() {
+  store::TableOptions opt;
+  opt.kind = store::StoreKind::kHash;
+  opt.value_size = sizeof(BankAccountRow);
+  opt.hash_buckets = std::max<uint64_t>(1024, config_.accounts_per_node / 2);
+  checking_ = engine_->catalog()->CreateTable(kCheckingTab, opt);
+  savings_ = engine_->catalog()->CreateTable(kSavingsTab, opt);
+}
+
+void SmallBankWorkload::Load(rep::PrimaryBackupReplicator* replicator) {
+  cluster::Cluster* cluster = engine_->cluster();
+  const uint32_t replicas = replicator != nullptr ? replicator->config().replicas : 1;
+  std::vector<std::thread> loaders;
+  for (uint32_t part = 0; part < pmap_->num_partitions(); ++part) {
+    loaders.emplace_back([&, part] {
+      const uint32_t node = pmap_->node_of(part);
+      sim::ThreadContext* lctx = cluster->node(node)->context(0);
+      auto put = [&](store::Table* table, uint64_t key, int64_t balance) {
+        BankAccountRow row{balance, {}};
+        uint64_t off = 0;
+        DRTMR_CHECK(table->hash(node)->Insert(lctx, key, &row, &off) == Status::kOk);
+        if (replicator != nullptr) {
+          std::vector<std::byte> image(table->record_bytes());
+          cluster->node(node)->bus()->Read(nullptr, off, image.data(), image.size());
+          for (uint32_t r = 1; r < replicas; ++r) {
+            replicator->SeedBackup(cluster->BackupOf(node, r), table->id(), node, key,
+                                   image.data(), image.size());
+          }
+        }
+      };
+      for (uint64_t i = 0; i < config_.accounts_per_node; ++i) {
+        put(checking_, AccountKey(part, i), 10000);
+        put(savings_, AccountKey(part, i), 10000);
+      }
+    });
+  }
+  for (auto& t : loaders) {
+    t.join();
+  }
+  initial_total_ =
+      static_cast<int64_t>(pmap_->num_partitions() * config_.accounts_per_node) * 20000;
+}
+
+uint32_t SmallBankWorkload::PickLocalPartition(sim::ThreadContext* ctx, FastRand* rng) const {
+  uint32_t owned[64];
+  uint32_t n = 0;
+  for (uint32_t p = 0; p < pmap_->num_partitions() && n < 64; ++p) {
+    if (pmap_->node_of(p) == ctx->node_id) {
+      owned[n++] = p;
+    }
+  }
+  DRTMR_CHECK(n > 0);
+  return owned[rng->Uniform(n)];
+}
+
+uint64_t SmallBankWorkload::PickAccount(sim::ThreadContext* ctx, FastRand* rng,
+                                        bool allow_remote) const {
+  uint32_t part;
+  if (allow_remote && pmap_->num_partitions() > 1 && rng->Percent(config_.cross_machine_pct)) {
+    part = static_cast<uint32_t>(rng->Uniform(pmap_->num_partitions()));
+  } else {
+    part = PickLocalPartition(ctx, rng);
+  }
+  const uint64_t idx = rng->Percent(config_.hot_pct)
+                           ? rng->Uniform(std::min(config_.hot_accounts, config_.accounts_per_node))
+                           : rng->Uniform(config_.accounts_per_node);
+  return AccountKey(part, idx);
+}
+
+uint32_t SmallBankWorkload::RunOne(sim::ThreadContext* ctx, txn::TxnApi* txn, FastRand* rng) {
+  const uint64_t roll = rng->Uniform(100);
+  uint32_t type = kSendPayment;
+  uint64_t acc = 0;
+  for (uint32_t t = 0; t < kSmallBankTxnTypes; ++t) {
+    acc += config_.mix[t];
+    if (roll < acc) {
+      type = t;
+      break;
+    }
+  }
+  const uint64_t a1 = PickAccount(ctx, rng, /*allow_remote=*/false);
+  uint64_t a2 = PickAccount(ctx, rng,
+                            /*allow_remote=*/type == kSendPayment || type == kAmalgamate);
+  if (a2 == a1) {
+    a2 = AccountKey(static_cast<uint32_t>(a1 >> 40), (a1 & 0xffffffffffull) % config_.accounts_per_node);
+    if (a2 == a1) {
+      a2 = a1 == AccountKey(static_cast<uint32_t>(a1 >> 40), 0)
+               ? AccountKey(static_cast<uint32_t>(a1 >> 40), 1)
+               : AccountKey(static_cast<uint32_t>(a1 >> 40), 0);
+    }
+  }
+  const uint32_t n1 = NodeOfAccount(a1);
+  const uint32_t n2 = NodeOfAccount(a2);
+  const int64_t v = static_cast<int64_t>(rng->Range(1, 100));
+
+  while (true) {
+    bool done = false;
+    BankAccountRow c1{}, c2{}, s1{};
+    switch (type) {
+      case kBalance: {
+        txn->Begin(/*read_only=*/true);
+        if (txn->Read(checking_, n1, a1, &c1) != Status::kOk ||
+            txn->Read(savings_, n1, a1, &s1) != Status::kOk) {
+          txn->UserAbort();
+          break;
+        }
+        done = txn->Commit() == Status::kOk;
+        break;
+      }
+      case kDepositChecking: {
+        txn->Begin();
+        if (txn->Read(checking_, n1, a1, &c1) != Status::kOk) {
+          txn->UserAbort();
+          break;
+        }
+        c1.balance += v;
+        if (txn->Write(checking_, n1, a1, &c1) != Status::kOk) {
+          txn->UserAbort();
+          break;
+        }
+        done = txn->Commit() == Status::kOk;
+        if (done) {
+          external_delta_.fetch_add(v, std::memory_order_relaxed);
+        }
+        break;
+      }
+      case kTransferSavings: {
+        txn->Begin();
+        if (txn->Read(savings_, n1, a1, &s1) != Status::kOk) {
+          txn->UserAbort();
+          break;
+        }
+        s1.balance += v;
+        if (txn->Write(savings_, n1, a1, &s1) != Status::kOk) {
+          txn->UserAbort();
+          break;
+        }
+        done = txn->Commit() == Status::kOk;
+        if (done) {
+          external_delta_.fetch_add(v, std::memory_order_relaxed);
+        }
+        break;
+      }
+      case kWithdrawChecking: {
+        txn->Begin();
+        if (txn->Read(savings_, n1, a1, &s1) != Status::kOk ||
+            txn->Read(checking_, n1, a1, &c1) != Status::kOk) {
+          txn->UserAbort();
+          break;
+        }
+        c1.balance -= v;  // cash leaves the bank
+        if (txn->Write(checking_, n1, a1, &c1) != Status::kOk) {
+          txn->UserAbort();
+          break;
+        }
+        done = txn->Commit() == Status::kOk;
+        if (done) {
+          external_delta_.fetch_sub(v, std::memory_order_relaxed);
+        }
+        break;
+      }
+      case kSendPayment: {
+        txn->Begin();
+        if (txn->Read(checking_, n1, a1, &c1) != Status::kOk ||
+            txn->Read(checking_, n2, a2, &c2) != Status::kOk) {
+          txn->UserAbort();
+          break;
+        }
+        if (c1.balance < v) {
+          txn->UserAbort();
+          done = true;  // business abort counts as an executed transaction
+          break;
+        }
+        c1.balance -= v;
+        c2.balance += v;
+        if (txn->Write(checking_, n1, a1, &c1) != Status::kOk ||
+            txn->Write(checking_, n2, a2, &c2) != Status::kOk) {
+          txn->UserAbort();
+          break;
+        }
+        done = txn->Commit() == Status::kOk;
+        break;
+      }
+      case kAmalgamate: {
+        txn->Begin();
+        if (txn->Read(savings_, n1, a1, &s1) != Status::kOk ||
+            txn->Read(checking_, n1, a1, &c1) != Status::kOk ||
+            txn->Read(checking_, n2, a2, &c2) != Status::kOk) {
+          txn->UserAbort();
+          break;
+        }
+        c2.balance += s1.balance + c1.balance;
+        s1.balance = 0;
+        c1.balance = 0;
+        if (txn->Write(savings_, n1, a1, &s1) != Status::kOk ||
+            txn->Write(checking_, n1, a1, &c1) != Status::kOk ||
+            txn->Write(checking_, n2, a2, &c2) != Status::kOk) {
+          txn->UserAbort();
+          break;
+        }
+        done = txn->Commit() == Status::kOk;
+        break;
+      }
+    }
+    if (done) {
+      return type;
+    }
+  }
+}
+
+int64_t SmallBankWorkload::TotalBalance() {
+  int64_t total = 0;
+  for (uint32_t part = 0; part < pmap_->num_partitions(); ++part) {
+    const uint32_t node = pmap_->node_of(part);
+    for (uint64_t i = 0; i < config_.accounts_per_node; ++i) {
+      for (store::Table* t : {checking_, savings_}) {
+        const uint64_t off = t->hash(node)->Lookup(nullptr, AccountKey(part, i));
+        DRTMR_CHECK(off != 0);
+        std::vector<std::byte> rec(t->record_bytes());
+        engine_->cluster()->node(node)->bus()->Read(nullptr, off, rec.data(), rec.size());
+        BankAccountRow row;
+        store::RecordLayout::GatherValue(rec.data(), &row, sizeof(row));
+        total += row.balance;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace drtmr::workload

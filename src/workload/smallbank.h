@@ -1,0 +1,87 @@
+// SmallBank workload (§7.1): six transaction types over checking/savings
+// account tables, with a skewed (hot-set) access pattern and a configurable
+// probability of cross-machine accounts for send-payment and amalgamate
+// (Figs. 13-16 sweep that probability).
+#ifndef DRTMR_SRC_WORKLOAD_SMALLBANK_H_
+#define DRTMR_SRC_WORKLOAD_SMALLBANK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/cluster/partition_map.h"
+#include "src/rep/primary_backup.h"
+#include "src/txn/transaction.h"
+#include "src/txn/txn_engine.h"
+
+namespace drtmr::workload {
+
+enum SmallBankTxnType : uint32_t {
+  kSendPayment = 0,   // 25%, read-write, possibly distributed
+  kBalance = 1,       // 15%, read-only
+  kDepositChecking = 2,
+  kWithdrawChecking = 3,
+  kTransferSavings = 4,
+  kAmalgamate = 5,    // read-write, possibly distributed
+  kSmallBankTxnTypes = 6,
+};
+
+struct SmallBankConfig {
+  uint64_t accounts_per_node = 100000;
+  uint64_t hot_accounts = 4000;   // per node
+  uint32_t hot_pct = 90;          // probability an access hits the hot set
+  // Probability (percent) that SP/AMG touch an account on another machine.
+  uint32_t cross_machine_pct = 1;
+  uint32_t mix[kSmallBankTxnTypes] = {25, 15, 15, 15, 15, 15};
+};
+
+struct BankAccountRow {
+  int64_t balance;
+  uint64_t pad[4];
+};
+
+class SmallBankWorkload {
+ public:
+  enum TableId : uint32_t { kCheckingTab = 30, kSavingsTab = 31 };
+
+  SmallBankWorkload(txn::TxnEngine* engine, cluster::PartitionMap* pmap,
+                    const SmallBankConfig& config);
+
+  void CreateTables();
+  void Load(rep::PrimaryBackupReplicator* replicator);
+
+  uint32_t RunOne(sim::ThreadContext* ctx, txn::TxnApi* txn, FastRand* rng);
+
+  // Account ids are partition-scoped: key = (partition << 40) | index.
+  uint64_t AccountKey(uint32_t partition, uint64_t index) const {
+    return (static_cast<uint64_t>(partition) << 40) | (index + 1);
+  }
+  uint32_t NodeOfAccount(uint64_t key) const {
+    return pmap_->node_of(static_cast<uint32_t>(key >> 40));
+  }
+
+  // Sum of all balances (checking + savings). The conservation invariant is
+  // TotalBalance() == initial_total() + external_delta(): deposits,
+  // withdrawals, and savings transfers move money across the bank boundary
+  // and are tallied per committed transaction.
+  int64_t TotalBalance();
+  int64_t initial_total() const { return initial_total_; }
+  int64_t external_delta() const { return external_delta_.load(std::memory_order_relaxed); }
+
+  const SmallBankConfig& config() const { return config_; }
+
+ private:
+  uint64_t PickAccount(sim::ThreadContext* ctx, FastRand* rng, bool allow_remote) const;
+  uint32_t PickLocalPartition(sim::ThreadContext* ctx, FastRand* rng) const;
+
+  txn::TxnEngine* engine_;
+  cluster::PartitionMap* pmap_;
+  SmallBankConfig config_;
+  store::Table* checking_ = nullptr;
+  store::Table* savings_ = nullptr;
+  int64_t initial_total_ = 0;
+  std::atomic<int64_t> external_delta_{0};
+};
+
+}  // namespace drtmr::workload
+
+#endif  // DRTMR_SRC_WORKLOAD_SMALLBANK_H_

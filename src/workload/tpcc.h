@@ -1,0 +1,220 @@
+// TPC-C workload (§7.1): the five standard transaction types over a
+// warehouse-partitioned schema, scaled across machines exactly as the paper
+// runs it — each machine hosts a group of warehouses, worker threads generate
+// requests against their own machine's warehouses, and cross-warehouse items
+// in new-order (default 1%) / cross-warehouse customers in payment (default
+// 15%) produce distributed transactions.
+//
+// Schema notes (trimmed payloads, same access pattern):
+//  * WAREHOUSE/DISTRICT/CUSTOMER/STOCK/ITEM are hash tables (STOCK and
+//    CUSTOMER are reached remotely in distributed transactions).
+//  * ORDER/NEW_ORDER/ORDER_LINE are local B+-tree tables (range access for
+//    delivery and stock-level).
+//  * ITEM is read-only and replicated on every node (standard practice).
+//  * Customer-by-last-name lookup is simplified to by-id; initial orders are
+//    not preloaded (order-status handles "no orders yet"). See DESIGN.md.
+#ifndef DRTMR_SRC_WORKLOAD_TPCC_H_
+#define DRTMR_SRC_WORKLOAD_TPCC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/partition_map.h"
+#include "src/rep/primary_backup.h"
+#include "src/txn/transaction.h"
+#include "src/txn/txn_engine.h"
+
+namespace drtmr::workload {
+
+enum TpccTxnType : uint32_t {
+  kNewOrder = 0,
+  kPayment = 1,
+  kOrderStatus = 2,
+  kDelivery = 3,
+  kStockLevel = 4,
+  kTpccTxnTypes = 5,
+};
+
+struct TpccConfig {
+  uint32_t warehouses_per_node = 1;
+  uint32_t districts = 10;
+  uint32_t customers_per_district = 3000;
+  uint32_t items = 10000;
+  // Probability (percent) that a new-order item is supplied by a remote
+  // warehouse (Fig. 17 sweeps this; TPC-C spec default is 1%).
+  uint32_t cross_warehouse_new_order_pct = 1;
+  // Probability that payment pays a customer of a remote warehouse (15%).
+  uint32_t cross_warehouse_payment_pct = 15;
+  // §6.4 pointer-swap optimization for always-local tables.
+  bool ptr_swap_local = false;
+  // Standard mix (%): new-order 45, payment 43, order-status 4, delivery 4,
+  // stock-level 4 (Table 5).
+  uint32_t mix[kTpccTxnTypes] = {45, 43, 4, 4, 4};
+};
+
+// Row payloads (sizes chosen to exercise multi-line records).
+struct WarehouseRow {
+  uint64_t ytd;
+  uint32_t tax_pct;  // basis points
+  uint32_t pad[7];
+};
+struct DistrictRow {
+  uint64_t next_o_id;
+  uint64_t ytd;
+  uint32_t tax_pct;
+  uint32_t pad[5];
+};
+struct CustomerRow {
+  int64_t balance;
+  uint64_t ytd_payment;
+  uint32_t payment_cnt;
+  uint32_t delivery_cnt;
+  char data[64];
+};
+struct HistoryRow {
+  uint64_t amount;
+  uint64_t w;
+  uint64_t d;
+  uint64_t c;
+};
+struct NewOrderRow {
+  uint64_t flag;
+};
+struct OrderRow {
+  uint64_t c_id;
+  uint64_t entry_d;
+  uint32_t carrier_id;
+  uint32_t ol_cnt;
+};
+struct OrderLineRow {
+  uint64_t i_id;
+  uint64_t supply_w;
+  uint32_t qty;
+  uint32_t pad;
+  uint64_t amount;
+  uint64_t delivery_d;
+};
+struct ItemRow {
+  uint64_t price;
+  char name[24];
+  uint32_t im_id;
+  uint32_t pad;
+};
+struct StockRow {
+  uint32_t quantity;
+  uint32_t pad;
+  uint64_t ytd;
+  uint32_t order_cnt;
+  uint32_t remote_cnt;
+  char dist[24];
+};
+struct CustLastOrderRow {
+  uint64_t o_id;
+};
+struct CustNameRow {
+  uint64_t c_id;
+};
+
+class TpccWorkload {
+ public:
+  // Table ids (shared across the catalog).
+  enum TableId : uint32_t {
+    kWarehouseTab = 10,
+    kDistrictTab,
+    kCustomerTab,
+    kHistoryTab,
+    kNewOrderTab,
+    kOrderTab,
+    kOrderLineTab,
+    kItemTab,
+    kStockTab,
+    kCustLastOrderTab,
+    kCustNameTab,  // secondary index: (w, d, last-name) -> customer id
+  };
+
+  TpccWorkload(txn::TxnEngine* engine, cluster::PartitionMap* pmap, const TpccConfig& config);
+
+  // Creates tables and loads the initial database; `replicator` (nullable)
+  // receives backup seeds for hash-table records.
+  void CreateTables();
+  void Load(rep::PrimaryBackupReplicator* replicator);
+
+  // Executes one standard-mix transaction to commit; returns its type.
+  uint32_t RunOne(sim::ThreadContext* ctx, txn::TxnApi* txn, FastRand* rng);
+
+  // Pieces for engines that drive retries themselves (baselines): pick a
+  // type / home warehouse, then execute one attempt (true = committed).
+  uint32_t PickType(FastRand* rng) const;
+  uint64_t PickWarehouse(sim::ThreadContext* ctx, FastRand* rng) const {
+    return PickLocalWarehouse(ctx, rng);
+  }
+  bool RunType(uint32_t type, sim::ThreadContext* ctx, txn::TxnApi* txn, FastRand* rng,
+               uint64_t w);
+
+  // Key helpers (exposed for tests).
+  static uint64_t WKey(uint64_t w) { return w; }
+  static uint64_t DKey(uint64_t w, uint64_t d) { return (w << 8) | d; }
+  static uint64_t CKey(uint64_t w, uint64_t d, uint64_t c) { return (w << 24) | (d << 16) | c; }
+  static uint64_t SKey(uint64_t w, uint64_t i) { return (w << 24) | i; }
+  static uint64_t IKey(uint64_t i) { return i; }
+  static uint64_t OKey(uint64_t w, uint64_t d, uint64_t o) { return (w << 40) | (d << 36) | o; }
+  static uint64_t OLKey(uint64_t w, uint64_t d, uint64_t o, uint64_t ol) {
+    return (w << 40) | (d << 36) | (o << 4) | ol;
+  }
+  // Last-name secondary index key: name ids are 0..999, customers <= 4095.
+  static uint64_t CNameKey(uint64_t w, uint64_t d, uint64_t name, uint64_t c) {
+    return (w << 40) | (d << 36) | (name << 12) | c;
+  }
+  // Spec 4.3.2.3-ish: the first 1000 customers get sequential last names, the
+  // rest are drawn with NURand(255).
+  static uint64_t LastNameOf(uint64_t c, FastRand* rng) {
+    return c <= 1000 ? (c - 1) % 1000 : rng->NuRand(255, 0, 999);
+  }
+
+  uint32_t total_warehouses() const { return total_warehouses_; }
+  uint32_t NodeOfWarehouse(uint64_t w) const {
+    return pmap_->node_of(static_cast<uint32_t>((w - 1) / config_.warehouses_per_node));
+  }
+
+  const TpccConfig& config() const { return config_; }
+  store::Table* table(TableId id) { return engine_->catalog()->table(id); }
+
+  // Consistency checks for tests: warehouse/district YTD equals the sum of
+  // customer payments recorded against it.
+  uint64_t DistrictNextOrderId(uint32_t node, uint64_t w, uint64_t d);
+
+ private:
+  bool TxNewOrder(sim::ThreadContext* ctx, txn::TxnApi* txn, FastRand* rng, uint64_t w);
+  bool TxPayment(sim::ThreadContext* ctx, txn::TxnApi* txn, FastRand* rng, uint64_t w);
+  bool TxOrderStatus(sim::ThreadContext* ctx, txn::TxnApi* txn, FastRand* rng, uint64_t w);
+  bool TxDelivery(sim::ThreadContext* ctx, txn::TxnApi* txn, FastRand* rng, uint64_t w);
+  bool TxStockLevel(sim::ThreadContext* ctx, txn::TxnApi* txn, FastRand* rng, uint64_t w);
+
+  // Picks a warehouse hosted on this worker's node (partition-map aware, so
+  // re-hosted partitions are picked up after recovery).
+  uint64_t PickLocalWarehouse(sim::ThreadContext* ctx, FastRand* rng) const;
+  uint64_t PickRemoteWarehouse(FastRand* rng, uint64_t home) const;
+
+  txn::TxnEngine* engine_;
+  cluster::PartitionMap* pmap_;
+  TpccConfig config_;
+  uint32_t total_warehouses_;
+  store::Table* warehouse_ = nullptr;
+  store::Table* district_ = nullptr;
+  store::Table* customer_ = nullptr;
+  store::Table* history_ = nullptr;
+  store::Table* new_order_ = nullptr;
+  store::Table* order_ = nullptr;
+  store::Table* order_line_ = nullptr;
+  store::Table* item_ = nullptr;
+  store::Table* stock_ = nullptr;
+  store::Table* cust_last_order_ = nullptr;
+  store::Table* cust_name_ = nullptr;
+  std::atomic<uint64_t> history_seq_{1};
+};
+
+}  // namespace drtmr::workload
+
+#endif  // DRTMR_SRC_WORKLOAD_TPCC_H_

@@ -1,0 +1,219 @@
+// Tests of the fallback handler (§6.1-6.2): with the HTM retry threshold
+// forced to zero, every read-write commit takes the fallback path — lock all
+// records (local ones via loopback RDMA CAS), validate, apply without HTM,
+// unlock. The entire protocol must still be serializable.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/rep/primary_backup.h"
+#include "src/store/record.h"
+#include "src/txn/transaction.h"
+#include "src/txn/txn_engine.h"
+
+namespace drtmr::txn {
+namespace {
+
+struct Cell {
+  int64_t value;
+  uint64_t pad[6];
+};
+
+class FallbackTest : public ::testing::TestWithParam<bool> {
+ protected:
+  FallbackTest() {
+    cfg_.num_nodes = 3;
+    cfg_.workers_per_node = 4;
+    cfg_.memory_bytes = 16 << 20;
+    cfg_.log_bytes = 2 << 20;
+    cluster_ = std::make_unique<cluster::Cluster>(cfg_);
+    catalog_ = std::make_unique<store::Catalog>(cluster_.get());
+    store::TableOptions opt;
+    opt.value_size = sizeof(Cell);
+    opt.hash_buckets = 256;
+    table_ = catalog_->CreateTable(1, opt);
+    coordinator_ = std::make_unique<cluster::Coordinator>();
+    for (uint32_t i = 0; i < 3; ++i) {
+      coordinator_->Join(i, 0, ~0ull >> 2);
+    }
+    const bool replication = GetParam();
+    if (replication) {
+      rep::RepConfig rcfg;
+      rcfg.replicas = 3;
+      replicator_ = std::make_unique<rep::PrimaryBackupReplicator>(cluster_.get(), rcfg);
+    }
+    TxnConfig tcfg;
+    tcfg.htm_retry_threshold = 0;  // force the fallback handler on every commit
+    tcfg.replication = replication;
+    engine_ = std::make_unique<TxnEngine>(cluster_.get(), catalog_.get(), tcfg,
+                                          coordinator_.get(), replicator_.get());
+    engine_->StartServices();
+    for (uint64_t k = 1; k <= 24; ++k) {
+      Cell c{100, {}};
+      const uint32_t node = HomeOf(k);
+      EXPECT_EQ(table_->hash(node)->Insert(cluster_->node(node)->context(0), k, &c, nullptr),
+                Status::kOk);
+      if (replicator_ != nullptr) {
+        const uint64_t off = table_->hash(node)->Lookup(nullptr, k);
+        std::vector<std::byte> img(table_->record_bytes());
+        cluster_->node(node)->bus()->Read(nullptr, off, img.data(), img.size());
+        for (uint32_t r = 1; r < 3; ++r) {
+          replicator_->SeedBackup(cluster_->BackupOf(node, r), 1, node, k, img.data(),
+                                  img.size());
+        }
+      }
+    }
+  }
+
+  ~FallbackTest() override { engine_->StopServices(); }
+
+  uint32_t HomeOf(uint64_t k) const { return static_cast<uint32_t>(k % 3); }
+
+  cluster::ClusterConfig cfg_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<store::Catalog> catalog_;
+  store::Table* table_ = nullptr;
+  std::unique_ptr<cluster::Coordinator> coordinator_;
+  std::unique_ptr<rep::PrimaryBackupReplicator> replicator_;
+  std::unique_ptr<TxnEngine> engine_;
+};
+
+TEST_P(FallbackTest, SingleCommitTakesFallbackAndApplies) {
+  sim::ThreadContext* ctx = cluster_->node(0)->context(0);
+  Transaction txn(engine_.get(), ctx);
+  while (true) {
+    txn.Begin();
+    Cell a{};
+    ASSERT_EQ(txn.Read(table_, 0, 3, &a), Status::kOk);
+    a.value = 777;
+    ASSERT_EQ(txn.Write(table_, 0, 3, &a), Status::kOk);
+    if (txn.Commit() == Status::kOk) {
+      break;
+    }
+  }
+  EXPECT_GE(engine_->stats().fallbacks.load(), 1u);
+
+  // The record is unlocked and committable afterwards.
+  const uint64_t off = table_->hash(0)->Lookup(nullptr, 3);
+  EXPECT_EQ(cluster_->node(0)->bus()->ReadU64(nullptr, off + store::RecordLayout::kLockOff), 0u);
+  if (GetParam()) {
+    // Seq parity (even = committable) only exists under optimistic replication.
+    EXPECT_EQ(cluster_->node(0)->bus()->ReadU64(nullptr, off + store::RecordLayout::kSeqOff) % 2,
+              0u);
+  }
+  Cell out{};
+  std::vector<std::byte> rec(table_->record_bytes());
+  cluster_->node(0)->bus()->Read(nullptr, off, rec.data(), rec.size());
+  store::RecordLayout::GatherValue(rec.data(), &out, sizeof(out));
+  EXPECT_EQ(out.value, 777);
+}
+
+TEST_P(FallbackTest, ConcurrentFallbackTransfersConserveMoney) {
+  std::vector<std::thread> threads;
+  for (uint32_t n = 0; n < 3; ++n) {
+    for (uint32_t w = 0; w < 2; ++w) {
+      threads.emplace_back([&, n, w] {
+        sim::ThreadContext* ctx = cluster_->node(n)->context(w);
+        Transaction txn(engine_.get(), ctx);
+        FastRand rng(n * 7 + w + 1);
+        for (int i = 0; i < 100; ++i) {
+          const uint64_t from = rng.Range(1, 24);
+          uint64_t to = rng.Range(1, 24);
+          if (to == from) {
+            to = from % 24 + 1;
+          }
+          while (true) {
+            txn.Begin();
+            Cell a{}, b{};
+            if (txn.Read(table_, HomeOf(from), from, &a) != Status::kOk ||
+                txn.Read(table_, HomeOf(to), to, &b) != Status::kOk) {
+              txn.UserAbort();
+              continue;
+            }
+            a.value -= 1;
+            b.value += 1;
+            if (txn.Write(table_, HomeOf(from), from, &a) != Status::kOk ||
+                txn.Write(table_, HomeOf(to), to, &b) != Status::kOk) {
+              txn.UserAbort();
+              continue;
+            }
+            if (txn.Commit() == Status::kOk) {
+              break;
+            }
+          }
+        }
+      });
+    }
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_GT(engine_->stats().fallbacks.load(), 0u);
+
+  int64_t total = 0;
+  for (uint64_t k = 1; k <= 24; ++k) {
+    const uint32_t node = HomeOf(k);
+    const uint64_t off = table_->hash(node)->Lookup(nullptr, k);
+    std::vector<std::byte> rec(table_->record_bytes());
+    cluster_->node(node)->bus()->Read(nullptr, off, rec.data(), rec.size());
+    Cell c{};
+    store::RecordLayout::GatherValue(rec.data(), &c, sizeof(c));
+    total += c.value;
+    EXPECT_EQ(store::RecordLayout::GetLock(rec.data()), 0u) << "leaked lock on key " << k;
+    if (GetParam()) {
+      EXPECT_EQ(store::RecordLayout::GetSeq(rec.data()) % 2, 0u) << "uncommittable key " << k;
+    }
+  }
+  EXPECT_EQ(total, 24 * 100);
+}
+
+TEST_P(FallbackTest, FallbackAndFastPathInterleave) {
+  // A second engine over the same tables uses the normal threshold: fallback
+  // committers (locking) and HTM committers must cooperate via the Fig. 5
+  // lock check.
+  TxnConfig fast_cfg;
+  fast_cfg.replication = GetParam();
+  TxnEngine fast_engine(cluster_.get(), catalog_.get(), fast_cfg, coordinator_.get(),
+                        replicator_.get());
+  std::atomic<bool> stop{false};
+  std::thread fallback_thread([&] {
+    sim::ThreadContext* ctx = cluster_->node(0)->context(0);
+    Transaction txn(engine_.get(), ctx);
+    FastRand rng(3);
+    while (!stop.load()) {
+      const uint64_t k = rng.Range(1, 24);
+      txn.Begin();
+      Cell c{};
+      if (txn.Read(table_, HomeOf(k), k, &c) != Status::kOk) {
+        txn.UserAbort();
+        continue;
+      }
+      txn.Write(table_, HomeOf(k), k, &c);
+      txn.Commit();
+    }
+  });
+  sim::ThreadContext* ctx = cluster_->node(0)->context(1);
+  Transaction txn(&fast_engine, ctx);
+  FastRand rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t k = rng.Range(1, 24);
+    txn.Begin();
+    Cell c{};
+    if (txn.Read(table_, HomeOf(k), k, &c) != Status::kOk) {
+      txn.UserAbort();
+      continue;
+    }
+    txn.Write(table_, HomeOf(k), k, &c);
+    txn.Commit();
+  }
+  stop.store(true);
+  fallback_thread.join();
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(WithAndWithoutReplication, FallbackTest, ::testing::Bool());
+
+}  // namespace
+}  // namespace drtmr::txn

@@ -1,0 +1,228 @@
+// Tests of the §4.4 IBV_ATOMIC_GLOB optimization: lock+validate fused into a
+// single RDMA CAS on the seqnum, write-backs acting as implicit unlocks.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/rep/primary_backup.h"
+#include "src/store/record.h"
+#include "src/txn/transaction.h"
+#include "src/txn/txn_engine.h"
+
+namespace drtmr::txn {
+namespace {
+
+using store::RecordLayout;
+using store::SeqWord;
+
+TEST(SeqWord, LockBitEncoding) {
+  EXPECT_FALSE(SeqWord::Locked(4));
+  const uint64_t locked = SeqWord::WithLock(4);
+  EXPECT_TRUE(SeqWord::Locked(locked));
+  EXPECT_EQ(SeqWord::Value(locked), 4u);
+  EXPECT_EQ(SeqWord::Value(4), 4u);
+  // The low 16 bits (per-line version) are unaffected by the lock bit.
+  EXPECT_EQ(static_cast<uint16_t>(SeqWord::WithLock(0x1234)), 0x1234);
+}
+
+struct Cell {
+  int64_t value;
+  uint64_t pad[6];
+};
+
+class FusedLockTest : public ::testing::TestWithParam<bool> {  // param: replication
+ protected:
+  FusedLockTest() {
+    cfg_.num_nodes = 3;
+    cfg_.workers_per_node = 4;
+    cfg_.memory_bytes = 16 << 20;
+    cfg_.log_bytes = 2 << 20;
+    cfg_.atomicity = sim::AtomicityLevel::kGlob;  // required for fusing
+    cluster_ = std::make_unique<cluster::Cluster>(cfg_);
+    catalog_ = std::make_unique<store::Catalog>(cluster_.get());
+    store::TableOptions opt;
+    opt.value_size = sizeof(Cell);
+    opt.hash_buckets = 256;
+    table_ = catalog_->CreateTable(1, opt);
+    if (GetParam()) {
+      rep::RepConfig rcfg;
+      rcfg.replicas = 3;
+      replicator_ = std::make_unique<rep::PrimaryBackupReplicator>(cluster_.get(), rcfg);
+    }
+    TxnConfig tcfg;
+    tcfg.fused_seq_lock = true;
+    tcfg.replication = GetParam();
+    engine_ = std::make_unique<TxnEngine>(cluster_.get(), catalog_.get(), tcfg, nullptr,
+                                          replicator_.get());
+    engine_->StartServices();
+    for (uint64_t k = 1; k <= 24; ++k) {
+      Cell c{500, {}};
+      const uint32_t node = HomeOf(k);
+      EXPECT_EQ(table_->hash(node)->Insert(cluster_->node(node)->context(0), k, &c, nullptr),
+                Status::kOk);
+    }
+  }
+
+  ~FusedLockTest() override { engine_->StopServices(); }
+
+  uint32_t HomeOf(uint64_t k) const { return static_cast<uint32_t>(k % 3); }
+
+  uint64_t RawSeq(uint64_t key) {
+    const uint32_t node = HomeOf(key);
+    const uint64_t off = table_->hash(node)->Lookup(nullptr, key);
+    return cluster_->node(node)->bus()->ReadU64(nullptr, off + RecordLayout::kSeqOff);
+  }
+
+  cluster::ClusterConfig cfg_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<store::Catalog> catalog_;
+  store::Table* table_ = nullptr;
+  std::unique_ptr<rep::PrimaryBackupReplicator> replicator_;
+  std::unique_ptr<TxnEngine> engine_;
+};
+
+TEST_P(FusedLockTest, DistributedCommitLeavesRecordsClean) {
+  sim::ThreadContext* ctx = cluster_->node(0)->context(0);
+  Transaction txn(engine_.get(), ctx);
+  while (true) {
+    txn.Begin();
+    Cell a{}, b{};
+    ASSERT_EQ(txn.Read(table_, HomeOf(1), 1, &a), Status::kOk);   // remote
+    ASSERT_EQ(txn.Read(table_, HomeOf(3), 3, &b), Status::kOk);   // local
+    a.value -= 50;
+    b.value += 50;
+    ASSERT_EQ(txn.Write(table_, HomeOf(1), 1, &a), Status::kOk);
+    ASSERT_EQ(txn.Write(table_, HomeOf(3), 3, &b), Status::kOk);
+    if (txn.Commit() == Status::kOk) {
+      break;
+    }
+  }
+  EXPECT_FALSE(SeqWord::Locked(RawSeq(1)));
+  EXPECT_FALSE(SeqWord::Locked(RawSeq(3)));
+  if (GetParam()) {
+    EXPECT_EQ(SeqWord::Value(RawSeq(1)) % 2, 0u);
+  }
+}
+
+TEST_P(FusedLockTest, ReadOnlyRemoteLockViaSeqBitIsRespected) {
+  // Manually set the seq lock bit on a remote record; read-only readers must
+  // wait, and stale read-write validation must fail.
+  const uint32_t node = HomeOf(2);
+  const uint64_t off = table_->hash(node)->Lookup(nullptr, 2);
+  sim::MemoryBus* bus = cluster_->node(node)->bus();
+  const uint64_t seq = bus->ReadU64(nullptr, off + RecordLayout::kSeqOff);
+  bus->WriteU64(nullptr, off + RecordLayout::kSeqOff, SeqWord::WithLock(seq));
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    sim::ThreadContext* ctx = cluster_->node(0)->context(1);
+    Transaction ro(engine_.get(), ctx);
+    while (true) {
+      ro.Begin(true);
+      Cell c{};
+      if (ro.Read(table_, node, 2, &c) != Status::kOk) {
+        ro.UserAbort();
+        continue;
+      }
+      if (ro.Commit() == Status::kOk) {
+        break;
+      }
+    }
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(done.load());
+  bus->WriteU64(nullptr, off + RecordLayout::kSeqOff, seq);
+  reader.join();
+}
+
+TEST_P(FusedLockTest, FusedSavesVerbsVersusSplitLocking) {
+  // The same distributed update must issue fewer verbs in fused mode than
+  // with split lock + validate + unlock (one CAS instead of CAS+READ, and no
+  // unlock CAS for written records).
+  auto run_once = [&](TxnEngine* engine, uint64_t key) {
+    sim::ThreadContext* ctx = cluster_->node(0)->context(2);
+    Transaction txn(engine, ctx);
+    const uint64_t before = cluster_->node(0)->nic()->verbs_issued();
+    while (true) {
+      txn.Begin();
+      Cell c{};
+      EXPECT_EQ(txn.Read(table_, HomeOf(key), key, &c), Status::kOk);
+      c.value += 1;
+      EXPECT_EQ(txn.Write(table_, HomeOf(key), key, &c), Status::kOk);
+      if (txn.Commit() == Status::kOk) {
+        break;
+      }
+    }
+    return cluster_->node(0)->nic()->verbs_issued() - before;
+  };
+  TxnConfig split_cfg;
+  split_cfg.replication = GetParam();
+  TxnEngine split_engine(cluster_.get(), catalog_.get(), split_cfg, nullptr, replicator_.get());
+  const uint64_t split_verbs = run_once(&split_engine, 7);   // key 7: remote
+  const uint64_t fused_verbs = run_once(engine_.get(), 7);
+  EXPECT_LT(fused_verbs, split_verbs);
+}
+
+TEST_P(FusedLockTest, ConcurrentFusedTransfersConserveMoney) {
+  std::vector<std::thread> threads;
+  for (uint32_t n = 0; n < 3; ++n) {
+    for (uint32_t w = 0; w < 2; ++w) {
+      threads.emplace_back([&, n, w] {
+        sim::ThreadContext* ctx = cluster_->node(n)->context(w);
+        Transaction txn(engine_.get(), ctx);
+        FastRand rng(n * 13 + w + 2);
+        for (int i = 0; i < 150; ++i) {
+          const uint64_t from = rng.Range(1, 24);
+          uint64_t to = rng.Range(1, 24);
+          if (to == from) {
+            to = from % 24 + 1;
+          }
+          while (true) {
+            txn.Begin();
+            Cell a{}, b{};
+            if (txn.Read(table_, HomeOf(from), from, &a) != Status::kOk ||
+                txn.Read(table_, HomeOf(to), to, &b) != Status::kOk) {
+              txn.UserAbort();
+              continue;
+            }
+            a.value -= 2;
+            b.value += 2;
+            if (txn.Write(table_, HomeOf(from), from, &a) != Status::kOk ||
+                txn.Write(table_, HomeOf(to), to, &b) != Status::kOk) {
+              txn.UserAbort();
+              continue;
+            }
+            if (txn.Commit() == Status::kOk) {
+              break;
+            }
+          }
+        }
+      });
+    }
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  int64_t total = 0;
+  for (uint64_t k = 1; k <= 24; ++k) {
+    const uint32_t node = HomeOf(k);
+    const uint64_t off = table_->hash(node)->Lookup(nullptr, k);
+    std::vector<std::byte> rec(table_->record_bytes());
+    cluster_->node(node)->bus()->Read(nullptr, off, rec.data(), rec.size());
+    Cell c{};
+    RecordLayout::GatherValue(rec.data(), &c, sizeof(c));
+    total += c.value;
+    EXPECT_FALSE(SeqWord::Locked(RecordLayout::GetSeq(rec.data()))) << "seq lock leaked, key "
+                                                                    << k;
+    EXPECT_EQ(RecordLayout::GetLock(rec.data()), 0u);
+  }
+  EXPECT_EQ(total, 24 * 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(WithAndWithoutReplication, FusedLockTest, ::testing::Bool());
+
+}  // namespace
+}  // namespace drtmr::txn

@@ -1,0 +1,102 @@
+// Parameterized HTM semantics: capacity aborts fire at exactly the
+// configured read/write-set line budgets; records spanning different line
+// counts track exactly that many lines; conflict policy is stable across
+// configurations.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "src/sim/cost_model.h"
+#include "src/sim/htm.h"
+#include "src/sim/memory_bus.h"
+
+namespace drtmr::sim {
+namespace {
+
+// (read_cap_lines, write_cap_lines)
+class HtmCapacitySweep : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(HtmCapacitySweep, ReadCapacityIsExact) {
+  const auto [read_cap, write_cap] = GetParam();
+  CostModel cost;
+  MemoryBus bus(4 << 20, &cost, 2, read_cap, write_cap);
+  HtmEngine engine(&bus, &cost);
+  ThreadContext ctx(0, 0, 1);
+
+  HtmTxn* txn = engine.Begin(&ctx);
+  uint64_t v;
+  // Exactly read_cap distinct lines fit...
+  for (uint32_t i = 0; i < read_cap; ++i) {
+    ASSERT_EQ(txn->ReadU64(static_cast<uint64_t>(i) * kCacheLineSize, &v), Status::kOk) << i;
+  }
+  // ...re-reading a tracked line is free...
+  ASSERT_EQ(txn->ReadU64(0, &v), Status::kOk);
+  // ...and one more line aborts with a capacity code.
+  EXPECT_EQ(txn->ReadU64(static_cast<uint64_t>(read_cap) * kCacheLineSize, &v),
+            Status::kAborted);
+  EXPECT_EQ(txn->abort_code(), HtmTxn::AbortCode::kCapacity);
+}
+
+TEST_P(HtmCapacitySweep, WriteCapacityIsExact) {
+  const auto [read_cap, write_cap] = GetParam();
+  CostModel cost;
+  MemoryBus bus(4 << 20, &cost, 2, read_cap, write_cap);
+  HtmEngine engine(&bus, &cost);
+  ThreadContext ctx(0, 0, 1);
+
+  HtmTxn* txn = engine.Begin(&ctx);
+  for (uint32_t i = 0; i < write_cap; ++i) {
+    ASSERT_EQ(txn->WriteU64(static_cast<uint64_t>(i) * kCacheLineSize, i), Status::kOk) << i;
+  }
+  ASSERT_EQ(txn->WriteU64(0, 99), Status::kOk);  // tracked line: free
+  EXPECT_EQ(txn->WriteU64(static_cast<uint64_t>(write_cap) * kCacheLineSize, 1),
+            Status::kAborted);
+  EXPECT_EQ(txn->abort_code(), HtmTxn::AbortCode::kCapacity);
+}
+
+TEST_P(HtmCapacitySweep, MultiLineAccessCountsEveryLine) {
+  const auto [read_cap, write_cap] = GetParam();
+  CostModel cost;
+  MemoryBus bus(4 << 20, &cost, 2, read_cap, write_cap);
+  HtmEngine engine(&bus, &cost);
+  ThreadContext ctx(0, 0, 1);
+
+  // One read spanning `read_cap` lines fills the read set exactly.
+  std::vector<std::byte> buf(static_cast<size_t>(read_cap) * kCacheLineSize);
+  HtmTxn* txn = engine.Begin(&ctx);
+  ASSERT_EQ(txn->Read(0, buf.data(), buf.size()), Status::kOk);
+  uint64_t v;
+  EXPECT_EQ(txn->ReadU64(buf.size(), &v), Status::kAborted);
+  EXPECT_EQ(txn->abort_code(), HtmTxn::AbortCode::kCapacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, HtmCapacitySweep,
+                         ::testing::Values(std::tuple<uint32_t, uint32_t>{8, 4},
+                                           std::tuple<uint32_t, uint32_t>{64, 16},
+                                           std::tuple<uint32_t, uint32_t>{512, 512},
+                                           std::tuple<uint32_t, uint32_t>{1024, 512}));
+
+TEST(HtmCrossSocket, EvictionModelOnlyFiresAcrossSockets) {
+  CostModel cost;
+  cost.cross_socket_htm_abort_ppm_per_line = 1000000;  // abort every access
+  MemoryBus bus(1 << 20, &cost, 2, 64, 32);
+  HtmEngine engine(&bus, &cost);
+  ThreadContext ctx(0, 0, 1);
+
+  // Within one socket (scale 100): never fires.
+  HtmTxn* txn = engine.Begin(&ctx);
+  uint64_t v;
+  EXPECT_EQ(txn->ReadU64(0, &v), Status::kOk);
+  txn->Abort();
+
+  // Across sockets (scale > 100): fires deterministically at ppm=100%.
+  bus.set_cost_scale_pct(135);
+  txn = engine.Begin(&ctx);
+  EXPECT_EQ(txn->ReadU64(0, &v), Status::kAborted);
+  EXPECT_EQ(txn->abort_code(), HtmTxn::AbortCode::kCapacity);
+  bus.set_cost_scale_pct(100);
+}
+
+}  // namespace
+}  // namespace drtmr::sim

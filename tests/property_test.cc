@@ -1,0 +1,307 @@
+// Parameterized property tests: randomized store operations checked against
+// model containers, record layout round-trips over a size sweep, and
+// serializability (money conservation + consistent read-only snapshots)
+// swept across cluster shapes, distribution probabilities, and replication.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "src/rep/primary_backup.h"
+#include "src/store/btree_store.h"
+#include "src/store/hash_store.h"
+#include "src/store/record.h"
+#include "src/txn/transaction.h"
+#include "src/txn/txn_engine.h"
+#include "src/util/rand.h"
+
+namespace drtmr {
+namespace {
+
+// ---------- RecordLayout round-trip over a payload-size sweep ----------
+
+class RecordSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RecordSizeSweep, ScatterGatherAndVersions) {
+  const size_t n = GetParam();
+  std::vector<std::byte> rec(store::RecordLayout::BytesFor(n));
+  std::vector<char> payload(n);
+  FastRand rng(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    payload[i] = static_cast<char>(rng.Next());
+  }
+  const uint64_t seq = rng.Next() & ~1ull;
+  store::RecordLayout::Init(rec.data(), /*key=*/n + 1, /*inc=*/2, seq,
+                            payload.empty() ? nullptr : payload.data(), n);
+  std::vector<char> out(n);
+  store::RecordLayout::GatherValue(rec.data(), out.data(), n);
+  EXPECT_EQ(out, payload);
+  EXPECT_TRUE(store::RecordLayout::VersionsConsistent(rec.data(), n));
+  EXPECT_EQ(store::RecordLayout::GetSeq(rec.data()), seq);
+  EXPECT_EQ(store::RecordLayout::GetKey(rec.data()), n + 1);
+  // Stamping a different version must be detected on multi-line records.
+  if (store::RecordLayout::LinesFor(n) > 1) {
+    store::RecordLayout::SetSeq(rec.data(), seq + 2);
+    EXPECT_FALSE(store::RecordLayout::VersionsConsistent(rec.data(), n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RecordSizeSweep,
+                         ::testing::Values(0, 1, 8, 31, 32, 33, 64, 93, 94, 95, 128, 156, 200,
+                                           256, 400));
+
+// ---------- HashStore vs model over randomized operation streams ----------
+
+class HashModelSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HashModelSweep, MatchesUnorderedMapModel) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.workers_per_node = 1;
+  cfg.memory_bytes = 8 << 20;
+  cfg.log_bytes = 1 << 19;
+  cluster::Cluster cluster(cfg);
+  store::HashStore hs(cluster.node(0), /*nbuckets=*/64, /*value_size=*/24);
+  sim::ThreadContext* ctx = cluster.node(0)->context(0);
+
+  FastRand rng(GetParam());
+  std::unordered_map<uint64_t, uint64_t> model;  // key -> first 8 payload bytes
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t key = rng.Range(1, 200);
+    const uint64_t op = rng.Uniform(3);
+    if (op == 0) {  // insert
+      uint64_t v[3] = {rng.Next(), 0, 0};
+      const Status s = hs.Insert(ctx, key, v, nullptr);
+      if (model.count(key)) {
+        EXPECT_EQ(s, Status::kExists);
+      } else {
+        EXPECT_EQ(s, Status::kOk);
+        model[key] = v[0];
+      }
+    } else if (op == 1) {  // remove
+      const Status s = hs.Remove(ctx, key);
+      EXPECT_EQ(s, model.erase(key) ? Status::kOk : Status::kNotFound);
+    } else {  // lookup
+      const uint64_t off = hs.Lookup(ctx, key);
+      if (model.count(key)) {
+        ASSERT_NE(off, store::HashStore::kNoRecord);
+        std::vector<std::byte> rec(hs.record_bytes());
+        cluster.node(0)->bus()->Read(ctx, off, rec.data(), rec.size());
+        uint64_t v[3];
+        store::RecordLayout::GatherValue(rec.data(), v, 24);
+        EXPECT_EQ(v[0], model[key]);
+        EXPECT_EQ(store::RecordLayout::GetKey(rec.data()), key);
+      } else {
+        EXPECT_EQ(off, store::HashStore::kNoRecord);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HashModelSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------- BTree vs model ----------
+
+class BTreeModelSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeModelSweep, MatchesMapModel) {
+  store::BTreeStore bt;
+  std::map<uint64_t, uint64_t> model;
+  FastRand rng(GetParam() * 97);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.Range(1, 800);
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1: {
+        const Status s = bt.Insert(nullptr, key, key * 3);
+        EXPECT_EQ(s, model.emplace(key, key * 3).second ? Status::kOk : Status::kExists);
+        break;
+      }
+      case 2: {
+        const Status s = bt.Remove(nullptr, key);
+        EXPECT_EQ(s, model.erase(key) ? Status::kOk : Status::kNotFound);
+        break;
+      }
+      default: {
+        EXPECT_EQ(bt.Lookup(nullptr, key),
+                  model.count(key) ? model[key] : store::BTreeStore::kNoRecord);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(bt.size(), model.size());
+  // Full scan must equal the model, in order.
+  std::vector<std::pair<uint64_t, uint64_t>> scanned;
+  bt.Scan(nullptr, 0, ~0ull, [&](uint64_t k, uint64_t v) {
+    scanned.emplace_back(k, v);
+    return true;
+  });
+  std::vector<std::pair<uint64_t, uint64_t>> expect(model.begin(), model.end());
+  EXPECT_EQ(scanned, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeModelSweep, ::testing::Values(7, 8, 9, 10));
+
+// ---------- Serializability sweep across cluster shapes ----------
+
+struct Cell {
+  int64_t value;
+  uint64_t pad[6];
+};
+
+// (nodes, threads_per_node, cross_pct via key selection, replication)
+using SweepParam = std::tuple<uint32_t, uint32_t, bool>;
+
+class SerializabilitySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SerializabilitySweep, TransfersConserveAndSnapshotsConsistent) {
+  const auto [nodes, threads, replication] = GetParam();
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.workers_per_node = threads + 1;
+  cfg.memory_bytes = 16 << 20;
+  cfg.log_bytes = 2 << 20;
+  cluster::Cluster cluster(cfg);
+  store::Catalog catalog(&cluster);
+  store::TableOptions opt;
+  opt.value_size = sizeof(Cell);
+  opt.hash_buckets = 256;
+  store::Table* table = catalog.CreateTable(1, opt);
+
+  std::unique_ptr<rep::PrimaryBackupReplicator> replicator;
+  cluster::Coordinator coordinator;
+  for (uint32_t i = 0; i < nodes; ++i) {
+    coordinator.Join(i, 0, ~0ull >> 2);
+  }
+  if (replication) {
+    rep::RepConfig rcfg;
+    rcfg.replicas = std::min<uint32_t>(3, nodes);
+    replicator = std::make_unique<rep::PrimaryBackupReplicator>(&cluster, rcfg);
+  }
+  txn::TxnConfig tcfg;
+  tcfg.replication = replication;
+  txn::TxnEngine engine(&cluster, &catalog, tcfg, &coordinator, replicator.get());
+  engine.StartServices();
+
+  const uint64_t keys_per_node = 8;
+  auto key_of = [&](uint32_t n, uint64_t i) { return (static_cast<uint64_t>(n) << 16) | (i + 1); };
+  for (uint32_t n = 0; n < nodes; ++n) {
+    for (uint64_t i = 0; i < keys_per_node; ++i) {
+      Cell c{1000, {}};
+      ASSERT_EQ(table->hash(n)->Insert(cluster.node(n)->context(0), key_of(n, i), &c, nullptr),
+                Status::kOk);
+      if (replicator != nullptr) {
+        const uint64_t off = table->hash(n)->Lookup(nullptr, key_of(n, i));
+        std::vector<std::byte> img(table->record_bytes());
+        cluster.node(n)->bus()->Read(nullptr, off, img.data(), img.size());
+        for (uint32_t r = 1; r < std::min<uint32_t>(3, nodes); ++r) {
+          replicator->SeedBackup(cluster.BackupOf(n, r), 1, n, key_of(n, i), img.data(),
+                                 img.size());
+        }
+      }
+    }
+  }
+  const int64_t total = static_cast<int64_t>(nodes) * keys_per_node * 1000;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> workers;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    for (uint32_t w = 0; w < threads; ++w) {
+      workers.emplace_back([&, n, w] {
+        sim::ThreadContext* ctx = cluster.node(n)->context(w);
+        txn::Transaction txn(&engine, ctx);
+        FastRand rng(n * 31 + w + 5);
+        for (int i = 0; i < 120; ++i) {
+          const uint32_t fn = static_cast<uint32_t>(rng.Uniform(nodes));
+          const uint32_t tn = static_cast<uint32_t>(rng.Uniform(nodes));
+          const uint64_t from = key_of(fn, rng.Uniform(keys_per_node));
+          const uint64_t to = key_of(tn, rng.Uniform(keys_per_node));
+          if (from == to) {
+            continue;
+          }
+          while (true) {
+            txn.Begin();
+            Cell a{}, b{};
+            if (txn.Read(table, fn, from, &a) != Status::kOk ||
+                txn.Read(table, tn, to, &b) != Status::kOk) {
+              txn.UserAbort();
+              continue;
+            }
+            a.value -= 5;
+            b.value += 5;
+            if (txn.Write(table, fn, from, &a) != Status::kOk ||
+                txn.Write(table, tn, to, &b) != Status::kOk) {
+              txn.UserAbort();
+              continue;
+            }
+            if (txn.Commit() == Status::kOk) {
+              break;
+            }
+          }
+        }
+      });
+    }
+  }
+  // Read-only auditor on the extra worker slot of node 0.
+  std::thread auditor([&] {
+    sim::ThreadContext* ctx = cluster.node(0)->context(threads);
+    txn::Transaction ro(&engine, ctx);
+    while (!stop.load()) {
+      ro.Begin(true);
+      int64_t sum = 0;
+      bool ok = true;
+      for (uint32_t n = 0; n < nodes && ok; ++n) {
+        for (uint64_t i = 0; i < keys_per_node && ok; ++i) {
+          Cell c{};
+          ok = ro.Read(table, n, key_of(n, i), &c) == Status::kOk;
+          sum += c.value;
+        }
+      }
+      if (!ok) {
+        ro.UserAbort();
+        continue;
+      }
+      if (ro.Commit() == Status::kOk && sum != total) {
+        violations.fetch_add(1);
+      }
+    }
+  });
+  for (auto& t : workers) {
+    t.join();
+  }
+  stop.store(true);
+  auditor.join();
+  EXPECT_EQ(violations.load(), 0);
+
+  int64_t final_total = 0;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    for (uint64_t i = 0; i < keys_per_node; ++i) {
+      const uint64_t off = table->hash(n)->Lookup(nullptr, key_of(n, i));
+      std::vector<std::byte> rec(table->record_bytes());
+      cluster.node(n)->bus()->Read(nullptr, off, rec.data(), rec.size());
+      Cell c{};
+      store::RecordLayout::GatherValue(rec.data(), &c, sizeof(c));
+      final_total += c.value;
+      // Under replication all records must end committable (even seq).
+      if (replication) {
+        EXPECT_EQ(store::RecordLayout::GetSeq(rec.data()) % 2, 0u);
+      }
+      EXPECT_EQ(store::RecordLayout::GetLock(rec.data()), 0u) << "leaked lock";
+    }
+  }
+  EXPECT_EQ(final_total, total);
+  engine.StopServices();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SerializabilitySweep,
+                         ::testing::Values(SweepParam{2, 2, false}, SweepParam{3, 2, false},
+                                           SweepParam{4, 1, false}, SweepParam{3, 2, true},
+                                           SweepParam{4, 2, true}, SweepParam{2, 3, false}));
+
+}  // namespace
+}  // namespace drtmr

@@ -1,0 +1,96 @@
+#include "src/store/record.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace drtmr::store {
+namespace {
+
+TEST(RecordLayout, SizesForValueLengths) {
+  EXPECT_EQ(RecordLayout::LinesFor(0), 1u);
+  EXPECT_EQ(RecordLayout::LinesFor(32), 1u);   // fits in line 0
+  EXPECT_EQ(RecordLayout::LinesFor(33), 2u);
+  EXPECT_EQ(RecordLayout::LinesFor(32 + 62), 2u);
+  EXPECT_EQ(RecordLayout::LinesFor(32 + 62 + 1), 3u);
+  EXPECT_EQ(RecordLayout::BytesFor(94), 2 * kCacheLineSize);
+  EXPECT_EQ(RecordLayout::BytesFor(100), 3 * kCacheLineSize);
+  EXPECT_EQ(RecordLayout::BytesFor(8), kCacheLineSize);
+}
+
+TEST(RecordLayout, MetadataAccessors) {
+  std::vector<std::byte> rec(RecordLayout::BytesFor(40));
+  RecordLayout::Init(rec.data(), /*key=*/77, /*incarnation=*/2, /*seq=*/4, nullptr, 40);
+  EXPECT_EQ(RecordLayout::GetLock(rec.data()), 0u);
+  EXPECT_EQ(RecordLayout::GetIncarnation(rec.data()), 2u);
+  EXPECT_EQ(RecordLayout::GetSeq(rec.data()), 4u);
+  EXPECT_EQ(RecordLayout::GetKey(rec.data()), 77u);
+  RecordLayout::SetSeq(rec.data(), 6);
+  EXPECT_EQ(RecordLayout::GetSeq(rec.data()), 6u);
+}
+
+TEST(RecordLayout, ScatterGatherRoundTrip) {
+  for (const size_t n : {1ul, 31ul, 32ul, 33ul, 94ul, 95ul, 200ul}) {
+    std::vector<std::byte> rec(RecordLayout::BytesFor(n));
+    std::string payload;
+    for (size_t i = 0; i < n; ++i) {
+      payload.push_back(static_cast<char>('a' + i % 26));
+    }
+    RecordLayout::Init(rec.data(), 1, 2, 2, payload.data(), n);
+    std::string out(n, '\0');
+    RecordLayout::GatherValue(rec.data(), out.data(), n);
+    EXPECT_EQ(out, payload) << "value_size=" << n;
+  }
+}
+
+TEST(RecordLayout, ScatterDoesNotClobberVersionSlots) {
+  const size_t n = 200;  // 4 lines
+  std::vector<std::byte> rec(RecordLayout::BytesFor(n));
+  std::vector<char> payload(n, 'Z');
+  RecordLayout::Init(rec.data(), 1, 2, 0x1234567890ull, payload.data(), n);
+  // Each line > 0 must start with the low 16 bits of seq, not payload bytes.
+  const uint16_t expect = static_cast<uint16_t>(0x1234567890ull);
+  for (uint32_t line = 1; line < RecordLayout::LinesFor(n); ++line) {
+    uint16_t v;
+    std::memcpy(&v, rec.data() + line * kCacheLineSize, 2);
+    EXPECT_EQ(v, expect);
+  }
+}
+
+TEST(RecordLayout, VersionConsistencyDetectsTornSnapshot) {
+  const size_t n = 150;  // 3 lines
+  std::vector<std::byte> rec(RecordLayout::BytesFor(n));
+  std::vector<char> payload(n, 'A');
+  RecordLayout::Init(rec.data(), 1, 2, 10, payload.data(), n);
+  EXPECT_TRUE(RecordLayout::VersionsConsistent(rec.data(), n));
+
+  // Simulate a torn remote READ: line 2 still carries the old version.
+  const uint16_t stale = 8;
+  std::memcpy(rec.data() + 2 * kCacheLineSize, &stale, 2);
+  EXPECT_FALSE(RecordLayout::VersionsConsistent(rec.data(), n));
+
+  // Once the writer finishes stamping, the snapshot is consistent again.
+  RecordLayout::SetVersions(rec.data(), n, 10);
+  EXPECT_TRUE(RecordLayout::VersionsConsistent(rec.data(), n));
+}
+
+TEST(RecordLayout, SingleLineRecordAlwaysConsistent) {
+  std::vector<std::byte> rec(RecordLayout::BytesFor(16));
+  RecordLayout::Init(rec.data(), 1, 2, 99, nullptr, 16);
+  EXPECT_TRUE(RecordLayout::VersionsConsistent(rec.data(), 16));
+}
+
+TEST(LockWord, EncodesOwnerMachine) {
+  EXPECT_FALSE(LockWord::IsLocked(LockWord::kUnlocked));
+  const uint64_t w = LockWord::Make(/*node=*/3, /*worker=*/7);
+  EXPECT_TRUE(LockWord::IsLocked(w));
+  EXPECT_EQ(LockWord::OwnerNode(w), 3u);
+  // Node 0, worker 0 must still be distinguishable from unlocked.
+  EXPECT_TRUE(LockWord::IsLocked(LockWord::Make(0, 0)));
+  EXPECT_EQ(LockWord::OwnerNode(LockWord::Make(0, 0)), 0u);
+}
+
+}  // namespace
+}  // namespace drtmr::store

@@ -1,0 +1,401 @@
+// Tests of the optimistic replication scheme (§5, Table 4) and failure
+// recovery (§5.2).
+#include "src/rep/primary_backup.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/rep/recovery.h"
+#include "src/store/record.h"
+#include "src/txn/transaction.h"
+#include "src/txn/txn_engine.h"
+
+namespace drtmr::rep {
+namespace {
+
+using store::RecordLayout;
+using txn::SeqRules;
+
+TEST(SeqRules, Table4Conditions) {
+  // Plain OCC: exact match; updates +1.
+  SeqRules occ{false};
+  EXPECT_TRUE(occ.ReadValid(4, 4));
+  EXPECT_FALSE(occ.ReadValid(4, 5));
+  EXPECT_TRUE(occ.WriteValid(3));  // no parity rule
+  EXPECT_EQ(occ.RemoteCommitSeq(4), 5u);
+
+  // OCC + optimistic replication.
+  SeqRules orr{true};
+  // Read observed a committable record: current must be unchanged.
+  EXPECT_TRUE(orr.ReadValid(4, 4));
+  EXPECT_FALSE(orr.ReadValid(4, 5));  // writer committed locally, not replicated
+  EXPECT_FALSE(orr.ReadValid(4, 6));
+  // Read observed an uncommittable (odd) record: valid only once the writer
+  // finished replication (seq moved to the next even value).
+  EXPECT_FALSE(orr.ReadValid(5, 5));
+  EXPECT_TRUE(orr.ReadValid(5, 6));
+  EXPECT_FALSE(orr.ReadValid(5, 8));
+  // Writes require committable records.
+  EXPECT_TRUE(orr.WriteValid(6));
+  EXPECT_FALSE(orr.WriteValid(7));
+  // Increments: local commit makes it odd, makeup/remote make it even.
+  EXPECT_EQ(orr.LocalCommitSeq(4), 5u);
+  EXPECT_EQ(orr.MakeupSeq(4), 6u);
+  EXPECT_EQ(orr.RemoteCommitSeq(4), 6u);
+}
+
+struct Cell {
+  uint64_t value;
+  uint64_t pad[9];  // 80 bytes: record spans 2 cache lines
+};
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kTable = 1;
+
+  ReplicationTest() {
+    cfg_.num_nodes = 3;
+    cfg_.workers_per_node = 4;
+    cfg_.memory_bytes = 16 << 20;
+    cfg_.log_bytes = 4 << 20;
+    cluster_ = std::make_unique<cluster::Cluster>(cfg_);
+    catalog_ = std::make_unique<store::Catalog>(cluster_.get());
+    store::TableOptions opt;
+    opt.value_size = sizeof(Cell);
+    opt.hash_buckets = 512;
+    table_ = catalog_->CreateTable(kTable, opt);
+
+    RepConfig rcfg;
+    rcfg.replicas = 3;
+    replicator_ = std::make_unique<PrimaryBackupReplicator>(cluster_.get(), rcfg);
+
+    coordinator_ = std::make_unique<cluster::Coordinator>();
+    for (uint32_t i = 0; i < 3; ++i) {
+      coordinator_->Join(i, 0, 1000000);
+    }
+
+    txn::TxnConfig tcfg;
+    tcfg.replication = true;
+    tcfg.replicas = 3;
+    engine_ = std::make_unique<txn::TxnEngine>(cluster_.get(), catalog_.get(), tcfg,
+                                               coordinator_.get(), replicator_.get());
+    engine_->StartServices();
+
+    // Load keys 1..12 (home = key % 3) with value 100, seeding backups.
+    for (uint64_t k = 1; k <= 12; ++k) {
+      LoadKey(k, 100);
+    }
+  }
+
+  ~ReplicationTest() override { engine_->StopServices(); }
+
+  uint32_t HomeOf(uint64_t k) const { return static_cast<uint32_t>(k % 3); }
+
+  void LoadKey(uint64_t k, uint64_t value) {
+    Cell c{value, {}};
+    const uint32_t node = HomeOf(k);
+    uint64_t off = 0;
+    ASSERT_EQ(table_->hash(node)->Insert(cluster_->node(node)->context(0), k, &c, &off),
+              Status::kOk);
+    std::vector<std::byte> image(table_->record_bytes());
+    cluster_->node(node)->bus()->Read(nullptr, off, image.data(), image.size());
+    for (uint32_t r = 1; r < 3; ++r) {
+      replicator_->SeedBackup(cluster_->BackupOf(node, r), kTable, node, k, image.data(),
+                              image.size());
+    }
+  }
+
+  uint64_t CommitUpdate(uint32_t from_node, uint64_t key, uint64_t value) {
+    sim::ThreadContext* ctx = cluster_->node(from_node)->context(0);
+    txn::Transaction t(engine_.get(), ctx);
+    while (true) {
+      t.Begin();
+      Cell c{};
+      EXPECT_EQ(t.Read(table_, HomeOf(key), key, &c), Status::kOk);
+      c.value = value;
+      EXPECT_EQ(t.Write(table_, HomeOf(key), key, &c), Status::kOk);
+      if (t.Commit() == Status::kOk) {
+        return c.value;
+      }
+    }
+  }
+
+  uint64_t ReadCommitted(uint32_t from_node, uint32_t home, uint64_t key) {
+    sim::ThreadContext* ctx = cluster_->node(from_node)->context(1);
+    txn::Transaction t(engine_.get(), ctx);
+    while (true) {
+      t.Begin(true);
+      Cell c{};
+      if (t.Read(table_, home, key, &c) != Status::kOk) {
+        t.UserAbort();
+        std::this_thread::yield();
+        continue;
+      }
+      if (t.Commit() == Status::kOk) {
+        return c.value;
+      }
+    }
+  }
+
+  uint64_t RecordSeq(uint64_t key) {
+    const uint32_t node = HomeOf(key);
+    const uint64_t off = table_->hash(node)->Lookup(nullptr, key);
+    return cluster_->node(node)->bus()->ReadU64(nullptr, off + RecordLayout::kSeqOff);
+  }
+
+  cluster::ClusterConfig cfg_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<store::Catalog> catalog_;
+  store::Table* table_ = nullptr;
+  std::unique_ptr<PrimaryBackupReplicator> replicator_;
+  std::unique_ptr<cluster::Coordinator> coordinator_;
+  std::unique_ptr<txn::TxnEngine> engine_;
+};
+
+TEST_F(ReplicationTest, CommitLeavesRecordCommittable) {
+  const uint64_t seq_before = RecordSeq(3);
+  EXPECT_EQ(seq_before % 2, 0u);
+  CommitUpdate(0, 3, 500);
+  const uint64_t seq_after = RecordSeq(3);
+  EXPECT_EQ(seq_after, seq_before + 2) << "OR moves seq by 2 per update (odd transient)";
+  EXPECT_EQ(ReadCommitted(1, HomeOf(3), 3), 500u);
+}
+
+TEST_F(ReplicationTest, LogWrittenToBothBackups) {
+  const uint64_t before = replicator_->log_writes() + replicator_->entries_applied();
+  CommitUpdate(0, 3, 700);  // key 3 is local to node 0
+  // Two backup copies must receive the update (via RDMA log or local apply).
+  // Drain and check both backup stores hold the new image.
+  for (uint32_t n = 0; n < 3; ++n) {
+    replicator_->DrainNode(cluster_->node(n)->context(0), n);
+  }
+  (void)before;
+  std::vector<std::byte> img;
+  const uint32_t primary = HomeOf(3);
+  for (uint32_t r = 1; r < 3; ++r) {
+    const uint32_t b = cluster_->BackupOf(primary, r);
+    ASSERT_TRUE(replicator_->backup_store(b)->Get(kTable, primary, 3, &img)) << "backup " << b;
+    Cell c{};
+    RecordLayout::GatherValue(img.data(), &c, sizeof(c));
+    EXPECT_EQ(c.value, 700u);
+    EXPECT_EQ(RecordLayout::GetSeq(img.data()) % 2, 0u);
+  }
+}
+
+TEST_F(ReplicationTest, UncommittableRecordBlocksWriters) {
+  // Force key 6 (node 0) into the odd (committed-but-unreplicated) state.
+  const uint64_t off = table_->hash(0)->Lookup(nullptr, 6);
+  const uint64_t seq = cluster_->node(0)->bus()->ReadU64(nullptr, off + RecordLayout::kSeqOff);
+  cluster_->node(0)->bus()->WriteU64(nullptr, off + RecordLayout::kSeqOff, seq + 1);
+
+  sim::ThreadContext* ctx = cluster_->node(0)->context(0);
+  txn::Transaction t(engine_.get(), ctx);
+  t.Begin();
+  Cell c{};
+  ASSERT_EQ(t.Read(table_, 0, 6, &c), Status::kOk);  // optimistic read allowed
+  c.value = 1;
+  ASSERT_EQ(t.Write(table_, 0, 6, &c), Status::kOk);
+  EXPECT_EQ(t.Commit(), Status::kAborted) << "cannot update an uncommittable record";
+
+  // Once "replication finishes" (seq becomes even), the update goes through.
+  cluster_->node(0)->bus()->WriteU64(nullptr, off + RecordLayout::kSeqOff, seq + 2);
+  t.Begin();
+  ASSERT_EQ(t.Read(table_, 0, 6, &c), Status::kOk);
+  c.value = 2;
+  ASSERT_EQ(t.Write(table_, 0, 6, &c), Status::kOk);
+  EXPECT_EQ(t.Commit(), Status::kOk);
+}
+
+TEST_F(ReplicationTest, OptimisticReadOfOddRecordCommitsAfterMakeup) {
+  const uint64_t off = table_->hash(0)->Lookup(nullptr, 9);
+  const uint64_t seq = cluster_->node(0)->bus()->ReadU64(nullptr, off + RecordLayout::kSeqOff);
+  cluster_->node(0)->bus()->WriteU64(nullptr, off + RecordLayout::kSeqOff, seq + 1);
+
+  sim::ThreadContext* ctx = cluster_->node(0)->context(0);
+  txn::Transaction t(engine_.get(), ctx);
+  t.Begin(true);
+  Cell c{};
+  ASSERT_EQ(t.Read(table_, 0, 9, &c), Status::kOk);
+  // Validation fails while the record is uncommittable...
+  EXPECT_EQ(t.Commit(), Status::kAborted);
+
+  t.Begin(true);
+  ASSERT_EQ(t.Read(table_, 0, 9, &c), Status::kOk);
+  cluster_->node(0)->bus()->WriteU64(nullptr, off + RecordLayout::kSeqOff, seq + 2);
+  // ...and succeeds once the writer finished replication.
+  EXPECT_EQ(t.Commit(), Status::kOk);
+}
+
+TEST_F(ReplicationTest, RemoteUpdateReplicates) {
+  CommitUpdate(/*from_node=*/1, /*key=*/3, 900);  // key 3 lives on node 0: remote commit
+  EXPECT_EQ(ReadCommitted(2, HomeOf(3), 3), 900u);
+  for (uint32_t n = 0; n < 3; ++n) {
+    replicator_->DrainNode(cluster_->node(n)->context(0), n);
+  }
+  std::vector<std::byte> img;
+  ASSERT_TRUE(replicator_->backup_store(1)->Get(kTable, 0, 3, &img));
+  Cell c{};
+  RecordLayout::GatherValue(img.data(), &c, sizeof(c));
+  EXPECT_EQ(c.value, 900u);
+}
+
+TEST_F(ReplicationTest, RingWrapAroundManyUpdates) {
+  // Push enough updates through one ring to wrap it several times; the
+  // consumer (service threads) must keep up via flow control.
+  for (int i = 0; i < 400; ++i) {
+    CommitUpdate(1, 3, 1000 + i);  // writer node 1 -> backups of node 0
+  }
+  EXPECT_EQ(ReadCommitted(0, HomeOf(3), 3), 1399u);
+  for (uint32_t n = 0; n < 3; ++n) {
+    replicator_->DrainNode(cluster_->node(n)->context(0), n);
+  }
+  std::vector<std::byte> img;
+  ASSERT_TRUE(replicator_->backup_store(1)->Get(kTable, 0, 3, &img));
+  Cell c{};
+  RecordLayout::GatherValue(img.data(), &c, sizeof(c));
+  EXPECT_EQ(c.value, 1399u);
+}
+
+TEST_F(ReplicationTest, RecoveryRevivesDeadNodesData) {
+  // Update a few records, then kill node 1 and recover onto node 2.
+  CommitUpdate(0, 1, 111);   // key 1 on node 1
+  CommitUpdate(0, 4, 444);   // key 4 on node 1
+  CommitUpdate(0, 3, 333);   // key 3 on node 0 (unaffected)
+
+  cluster_->Kill(1);
+  coordinator_->Remove(1);
+
+  cluster::PartitionMap pmap(3);
+  RecoveryManager rm(engine_.get(), replicator_.get(), coordinator_.get());
+  const RecoveryReport report =
+      rm.RecoverAfterFailure(cluster_->node(0)->context(2), /*dead=*/1, /*host=*/2, &pmap);
+  EXPECT_GE(report.records_rehosted, 4u);  // keys 1,4,7,10 lived on node 1
+  EXPECT_EQ(pmap.node_of(1), 2u);
+  EXPECT_EQ(pmap.node_of(0), 0u);
+
+  // The revived records are readable on the host with committed values.
+  EXPECT_EQ(ReadCommitted(0, /*home=*/2, 1), 111u);
+  EXPECT_EQ(ReadCommitted(0, /*home=*/2, 4), 444u);
+  EXPECT_EQ(ReadCommitted(0, /*home=*/2, 7), 100u);
+  // Unaffected primaries still serve.
+  EXPECT_EQ(ReadCommitted(2, HomeOf(3), 3), 333u);
+
+  // New transactions can update the revived records on the new host.
+  sim::ThreadContext* ctx = cluster_->node(0)->context(0);
+  txn::Transaction t(engine_.get(), ctx);
+  while (true) {
+    t.Begin();
+    Cell c{};
+    ASSERT_EQ(t.Read(table_, 2, 1, &c), Status::kOk);
+    c.value = 112;
+    ASSERT_EQ(t.Write(table_, 2, 1, &c), Status::kOk);
+    if (t.Commit() == Status::kOk) {
+      break;
+    }
+  }
+  EXPECT_EQ(ReadCommitted(0, 2, 1), 112u);
+}
+
+TEST_F(ReplicationTest, RecoveryPatchesPartialWriteBack) {
+  // Simulate a writer (node 1) dying between R.1 (logs durable) and C.5
+  // (remote write-back): the log holds seq+2 while the primary still has the
+  // old value, locked by the dead writer.
+  const uint64_t off = table_->hash(0)->Lookup(nullptr, 3);
+  sim::MemoryBus* bus = cluster_->node(0)->bus();
+  const uint64_t seq = bus->ReadU64(nullptr, off + RecordLayout::kSeqOff);
+
+  // Dead writer's lock on the record.
+  uint64_t obs;
+  ASSERT_TRUE(bus->CasU64(nullptr, off + RecordLayout::kLockOff, 0,
+                          store::LockWord::Make(1, 0), &obs));
+  // The "logged" image with the new value and seq+2.
+  std::vector<std::byte> image(table_->record_bytes());
+  Cell c{31337, {}};
+  RecordLayout::Init(image.data(), 3, 2, seq + 2, &c, sizeof(c));
+  replicator_->SeedBackup(1, kTable, 0, 3, image.data(), image.size());
+  replicator_->SeedBackup(2, kTable, 0, 3, image.data(), image.size());
+
+  cluster_->Kill(1);
+  coordinator_->Remove(1);
+  cluster::PartitionMap pmap(3);
+  RecoveryManager rm(engine_.get(), replicator_.get(), coordinator_.get());
+  const RecoveryReport report =
+      rm.RecoverAfterFailure(cluster_->node(0)->context(2), 1, 2, &pmap);
+  EXPECT_GE(report.primaries_patched, 1u);
+
+  EXPECT_EQ(bus->ReadU64(nullptr, off + RecordLayout::kSeqOff), seq + 2);
+  EXPECT_EQ(bus->ReadU64(nullptr, off + RecordLayout::kLockOff), store::LockWord::kUnlocked);
+  EXPECT_EQ(ReadCommitted(0, 0, 3), 31337u);
+}
+
+TEST_F(ReplicationTest, ConcurrentReplicatedTransfersConserveMoney) {
+  constexpr uint64_t kTotal = 12 * 100;
+  std::vector<std::thread> threads;
+  for (uint32_t n = 0; n < 3; ++n) {
+    threads.emplace_back([this, n] {
+      sim::ThreadContext* ctx = cluster_->node(n)->context(2);
+      txn::Transaction t(engine_.get(), ctx);
+      FastRand rng(n + 77);
+      for (int i = 0; i < 150; ++i) {
+        const uint64_t from = rng.Range(1, 12);
+        uint64_t to = rng.Range(1, 12);
+        if (to == from) {
+          to = from % 12 + 1;
+        }
+        while (true) {
+          t.Begin();
+          Cell a{}, b{};
+          if (t.Read(table_, HomeOf(from), from, &a) != Status::kOk ||
+              t.Read(table_, HomeOf(to), to, &b) != Status::kOk) {
+            t.UserAbort();
+            continue;
+          }
+          if (a.value == 0) {
+            t.UserAbort();
+            break;
+          }
+          a.value -= 1;
+          b.value += 1;
+          if (t.Write(table_, HomeOf(from), from, &a) != Status::kOk ||
+              t.Write(table_, HomeOf(to), to, &b) != Status::kOk) {
+            t.UserAbort();
+            continue;
+          }
+          if (t.Commit() == Status::kOk) {
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  uint64_t total = 0;
+  for (uint64_t k = 1; k <= 12; ++k) {
+    total += ReadCommitted(0, HomeOf(k), k);
+  }
+  EXPECT_EQ(total, kTotal);
+
+  // Backups converge to the same totals after draining.
+  for (uint32_t n = 0; n < 3; ++n) {
+    replicator_->DrainNode(cluster_->node(n)->context(3), n);
+  }
+  uint64_t backup_total = 0;
+  for (uint64_t k = 1; k <= 12; ++k) {
+    const uint32_t primary = HomeOf(k);
+    std::vector<std::byte> img;
+    ASSERT_TRUE(
+        replicator_->backup_store(cluster_->BackupOf(primary, 1))->Get(kTable, primary, k, &img));
+    Cell c{};
+    RecordLayout::GatherValue(img.data(), &c, sizeof(c));
+    backup_total += c.value;
+  }
+  EXPECT_EQ(backup_total, kTotal);
+}
+
+}  // namespace
+}  // namespace drtmr::rep

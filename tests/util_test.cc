@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/util/cacheline.h"
+#include "src/util/histogram.h"
+#include "src/util/rand.h"
+#include "src/util/sim_clock.h"
+#include "src/util/spinlock.h"
+
+namespace drtmr {
+namespace {
+
+TEST(CacheLine, LineOfBoundaries) {
+  EXPECT_EQ(LineOf(0), 0u);
+  EXPECT_EQ(LineOf(63), 0u);
+  EXPECT_EQ(LineOf(64), 1u);
+  EXPECT_EQ(LineOf(128), 2u);
+}
+
+TEST(CacheLine, LineEndCoversRange) {
+  EXPECT_EQ(LineEnd(0, 1), 1u);
+  EXPECT_EQ(LineEnd(0, 64), 1u);
+  EXPECT_EQ(LineEnd(0, 65), 2u);
+  EXPECT_EQ(LineEnd(60, 8), 2u);  // straddles a boundary
+  EXPECT_EQ(LineEnd(0, 0), 0u);   // empty range covers nothing
+}
+
+TEST(CacheLine, AlignUp) {
+  EXPECT_EQ(AlignUpToLine(0), 0u);
+  EXPECT_EQ(AlignUpToLine(1), 64u);
+  EXPECT_EQ(AlignUpToLine(64), 64u);
+  EXPECT_EQ(AlignUpToLine(65), 128u);
+  EXPECT_TRUE(IsLineAligned(128));
+  EXPECT_FALSE(IsLineAligned(130));
+}
+
+TEST(FastRand, UniformWithinBounds) {
+  FastRand r(42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.Uniform(17), 17u);
+    const uint64_t v = r.Range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(FastRand, DeterministicPerSeed) {
+  FastRand a(7);
+  FastRand b(7);
+  FastRand c(8);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FastRand, NuRandStaysInRange) {
+  FastRand r(1);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = r.NuRand(1023, 1, 3000);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 3000u);
+  }
+}
+
+TEST(FastRand, NuRandIsSkewed) {
+  // NURand(255, 0, 999) concentrates mass; verify it is visibly non-uniform.
+  FastRand r(3);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    counts[r.NuRand(255, 0, 999)]++;
+  }
+  int maxc = 0;
+  for (int c : counts) {
+    maxc = std::max(maxc, c);
+  }
+  EXPECT_GT(maxc, 200);  // uniform would give ~100 per slot
+}
+
+TEST(Histogram, PercentilesOrdered) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    h.Record(i * 100);
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_LE(h.Percentile(50), h.Percentile(90));
+  EXPECT_LE(h.Percentile(90), h.Percentile(99));
+  EXPECT_LE(h.Percentile(99), h.max());
+  // The median bucket should be near 50us.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 50000.0, 5000.0);
+}
+
+TEST(Histogram, MergeAggregates) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 20.0);
+}
+
+TEST(SimClock, AdvanceMonotonic) {
+  SimClock c;
+  c.Advance(100);
+  EXPECT_EQ(c.now_ns(), 100u);
+  c.AdvanceTo(50);  // never backwards
+  EXPECT_EQ(c.now_ns(), 100u);
+  c.AdvanceTo(250);
+  EXPECT_EQ(c.now_ns(), 250u);
+}
+
+TEST(SimResource, SerializesOverlappingReservations) {
+  SimResource r;
+  const uint64_t s1 = r.Reserve(0, 100);
+  const uint64_t s2 = r.Reserve(0, 100);
+  const uint64_t s3 = r.Reserve(0, 100);
+  EXPECT_EQ(s1, 0u);
+  EXPECT_EQ(s2, 100u);
+  EXPECT_EQ(s3, 200u);
+  // A late caller starts at its own time if the resource is already free.
+  EXPECT_EQ(r.Reserve(10000, 100), 10000u);
+}
+
+TEST(SimResource, ConcurrentReservationsNeverOverlap) {
+  SimResource r;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<uint64_t>> starts(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r, &starts, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        starts[t].push_back(r.Reserve(0, 10));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::set<uint64_t> all;
+  for (const auto& v : starts) {
+    for (uint64_t s : v) {
+      EXPECT_TRUE(all.insert(s).second) << "duplicate slot " << s;
+      EXPECT_EQ(s % 10, 0u);
+    }
+  }
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(Spinlock, MutualExclusion) {
+  Spinlock mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        mu.lock();
+        counter++;
+        mu.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(Spinlock, TryLock) {
+  Spinlock mu;
+  EXPECT_TRUE(mu.try_lock());
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+}  // namespace
+}  // namespace drtmr
