@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libdrtmr_bench_common.a"
+  "../lib/libdrtmr_bench_common.pdb"
+  "CMakeFiles/drtmr_bench_common.dir/harness.cc.o"
+  "CMakeFiles/drtmr_bench_common.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtmr_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libdrtmr_bench_common.a"
+)

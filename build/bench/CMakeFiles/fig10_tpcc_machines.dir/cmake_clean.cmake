@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tpcc_machines.dir/fig10_tpcc_machines.cc.o"
+  "CMakeFiles/fig10_tpcc_machines.dir/fig10_tpcc_machines.cc.o.d"
+  "fig10_tpcc_machines"
+  "fig10_tpcc_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tpcc_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

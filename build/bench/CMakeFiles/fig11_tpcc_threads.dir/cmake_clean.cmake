@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tpcc_threads.dir/fig11_tpcc_threads.cc.o"
+  "CMakeFiles/fig11_tpcc_threads.dir/fig11_tpcc_threads.cc.o.d"
+  "fig11_tpcc_threads"
+  "fig11_tpcc_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tpcc_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_tpcc_logical_nodes.dir/fig12_tpcc_logical_nodes.cc.o"
+  "CMakeFiles/fig12_tpcc_logical_nodes.dir/fig12_tpcc_logical_nodes.cc.o.d"
+  "fig12_tpcc_logical_nodes"
+  "fig12_tpcc_logical_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_tpcc_logical_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

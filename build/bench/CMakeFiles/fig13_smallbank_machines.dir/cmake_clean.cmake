@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_smallbank_machines.dir/fig13_smallbank_machines.cc.o"
+  "CMakeFiles/fig13_smallbank_machines.dir/fig13_smallbank_machines.cc.o.d"
+  "fig13_smallbank_machines"
+  "fig13_smallbank_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_smallbank_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_smallbank_threads.dir/fig14_smallbank_threads.cc.o"
+  "CMakeFiles/fig14_smallbank_threads.dir/fig14_smallbank_threads.cc.o.d"
+  "fig14_smallbank_threads"
+  "fig14_smallbank_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_smallbank_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_smallbank_rep_machines.dir/fig15_smallbank_rep_machines.cc.o"
+  "CMakeFiles/fig15_smallbank_rep_machines.dir/fig15_smallbank_rep_machines.cc.o.d"
+  "fig15_smallbank_rep_machines"
+  "fig15_smallbank_rep_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_smallbank_rep_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_tpcc_distributed.dir/fig17_tpcc_distributed.cc.o"
+  "CMakeFiles/fig17_tpcc_distributed.dir/fig17_tpcc_distributed.cc.o.d"
+  "fig17_tpcc_distributed"
+  "fig17_tpcc_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_tpcc_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_tpcc_contention.dir/fig18_tpcc_contention.cc.o"
+  "CMakeFiles/fig18_tpcc_contention.dir/fig18_tpcc_contention.cc.o.d"
+  "fig18_tpcc_contention"
+  "fig18_tpcc_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_tpcc_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

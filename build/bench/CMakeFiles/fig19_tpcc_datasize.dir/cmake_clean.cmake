@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_tpcc_datasize.dir/fig19_tpcc_datasize.cc.o"
+  "CMakeFiles/fig19_tpcc_datasize.dir/fig19_tpcc_datasize.cc.o.d"
+  "fig19_tpcc_datasize"
+  "fig19_tpcc_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_tpcc_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

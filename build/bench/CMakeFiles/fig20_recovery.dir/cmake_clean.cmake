@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_recovery.dir/fig20_recovery.cc.o"
+  "CMakeFiles/fig20_recovery.dir/fig20_recovery.cc.o.d"
+  "fig20_recovery"
+  "fig20_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

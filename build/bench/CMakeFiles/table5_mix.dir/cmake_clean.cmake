@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_mix.dir/table5_mix.cc.o"
+  "CMakeFiles/table5_mix.dir/table5_mix.cc.o.d"
+  "table5_mix"
+  "table5_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

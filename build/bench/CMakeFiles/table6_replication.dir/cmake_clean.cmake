@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_replication.dir/table6_replication.cc.o"
+  "CMakeFiles/table6_replication.dir/table6_replication.cc.o.d"
+  "table6_replication"
+  "table6_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

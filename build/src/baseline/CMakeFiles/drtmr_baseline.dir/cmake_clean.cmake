@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtmr_baseline.dir/calvin.cc.o"
+  "CMakeFiles/drtmr_baseline.dir/calvin.cc.o.d"
+  "CMakeFiles/drtmr_baseline.dir/drtm.cc.o"
+  "CMakeFiles/drtmr_baseline.dir/drtm.cc.o.d"
+  "CMakeFiles/drtmr_baseline.dir/silo.cc.o"
+  "CMakeFiles/drtmr_baseline.dir/silo.cc.o.d"
+  "libdrtmr_baseline.a"
+  "libdrtmr_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtmr_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

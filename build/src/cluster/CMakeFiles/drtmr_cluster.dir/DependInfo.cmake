@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/coordinator.cc" "src/cluster/CMakeFiles/drtmr_cluster.dir/coordinator.cc.o" "gcc" "src/cluster/CMakeFiles/drtmr_cluster.dir/coordinator.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "src/cluster/CMakeFiles/drtmr_cluster.dir/node.cc.o" "gcc" "src/cluster/CMakeFiles/drtmr_cluster.dir/node.cc.o.d"
+  "/root/repo/src/cluster/snapshot.cc" "src/cluster/CMakeFiles/drtmr_cluster.dir/snapshot.cc.o" "gcc" "src/cluster/CMakeFiles/drtmr_cluster.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/drtmr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtmr_cluster.dir/coordinator.cc.o"
+  "CMakeFiles/drtmr_cluster.dir/coordinator.cc.o.d"
+  "CMakeFiles/drtmr_cluster.dir/node.cc.o"
+  "CMakeFiles/drtmr_cluster.dir/node.cc.o.d"
+  "CMakeFiles/drtmr_cluster.dir/snapshot.cc.o"
+  "CMakeFiles/drtmr_cluster.dir/snapshot.cc.o.d"
+  "libdrtmr_cluster.a"
+  "libdrtmr_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtmr_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

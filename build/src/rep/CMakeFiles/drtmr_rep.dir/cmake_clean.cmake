@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtmr_rep.dir/primary_backup.cc.o"
+  "CMakeFiles/drtmr_rep.dir/primary_backup.cc.o.d"
+  "CMakeFiles/drtmr_rep.dir/recovery.cc.o"
+  "CMakeFiles/drtmr_rep.dir/recovery.cc.o.d"
+  "libdrtmr_rep.a"
+  "libdrtmr_rep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtmr_rep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

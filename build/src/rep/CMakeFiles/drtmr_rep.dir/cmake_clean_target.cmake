@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrtmr_rep.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fabric.cc" "src/sim/CMakeFiles/drtmr_sim.dir/fabric.cc.o" "gcc" "src/sim/CMakeFiles/drtmr_sim.dir/fabric.cc.o.d"
+  "/root/repo/src/sim/htm.cc" "src/sim/CMakeFiles/drtmr_sim.dir/htm.cc.o" "gcc" "src/sim/CMakeFiles/drtmr_sim.dir/htm.cc.o.d"
+  "/root/repo/src/sim/memory_bus.cc" "src/sim/CMakeFiles/drtmr_sim.dir/memory_bus.cc.o" "gcc" "src/sim/CMakeFiles/drtmr_sim.dir/memory_bus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

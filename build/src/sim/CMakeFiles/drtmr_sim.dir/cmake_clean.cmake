@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtmr_sim.dir/fabric.cc.o"
+  "CMakeFiles/drtmr_sim.dir/fabric.cc.o.d"
+  "CMakeFiles/drtmr_sim.dir/htm.cc.o"
+  "CMakeFiles/drtmr_sim.dir/htm.cc.o.d"
+  "CMakeFiles/drtmr_sim.dir/memory_bus.cc.o"
+  "CMakeFiles/drtmr_sim.dir/memory_bus.cc.o.d"
+  "libdrtmr_sim.a"
+  "libdrtmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/btree_store.cc" "src/store/CMakeFiles/drtmr_store.dir/btree_store.cc.o" "gcc" "src/store/CMakeFiles/drtmr_store.dir/btree_store.cc.o.d"
+  "/root/repo/src/store/hash_store.cc" "src/store/CMakeFiles/drtmr_store.dir/hash_store.cc.o" "gcc" "src/store/CMakeFiles/drtmr_store.dir/hash_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/drtmr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/drtmr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtmr_store.dir/btree_store.cc.o"
+  "CMakeFiles/drtmr_store.dir/btree_store.cc.o.d"
+  "CMakeFiles/drtmr_store.dir/hash_store.cc.o"
+  "CMakeFiles/drtmr_store.dir/hash_store.cc.o.d"
+  "libdrtmr_store.a"
+  "libdrtmr_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtmr_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtmr_txn.dir/transaction.cc.o"
+  "CMakeFiles/drtmr_txn.dir/transaction.cc.o.d"
+  "CMakeFiles/drtmr_txn.dir/txn_engine.cc.o"
+  "CMakeFiles/drtmr_txn.dir/txn_engine.cc.o.d"
+  "libdrtmr_txn.a"
+  "libdrtmr_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtmr_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

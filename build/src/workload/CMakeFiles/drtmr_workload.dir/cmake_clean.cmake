@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drtmr_workload.dir/driver.cc.o"
+  "CMakeFiles/drtmr_workload.dir/driver.cc.o.d"
+  "CMakeFiles/drtmr_workload.dir/smallbank.cc.o"
+  "CMakeFiles/drtmr_workload.dir/smallbank.cc.o.d"
+  "CMakeFiles/drtmr_workload.dir/tpcc.cc.o"
+  "CMakeFiles/drtmr_workload.dir/tpcc.cc.o.d"
+  "libdrtmr_workload.a"
+  "libdrtmr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drtmr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fused_lock_test.dir/fused_lock_test.cc.o"
+  "CMakeFiles/fused_lock_test.dir/fused_lock_test.cc.o.d"
+  "fused_lock_test"
+  "fused_lock_test.pdb"
+  "fused_lock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fused_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htm_param_test.dir/htm_param_test.cc.o"
+  "CMakeFiles/htm_param_test.dir/htm_param_test.cc.o.d"
+  "htm_param_test"
+  "htm_param_test.pdb"
+  "htm_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htm_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

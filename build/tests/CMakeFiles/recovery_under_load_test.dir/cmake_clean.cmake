@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_under_load_test.dir/recovery_under_load_test.cc.o"
+  "CMakeFiles/recovery_under_load_test.dir/recovery_under_load_test.cc.o.d"
+  "recovery_under_load_test"
+  "recovery_under_load_test.pdb"
+  "recovery_under_load_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_under_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

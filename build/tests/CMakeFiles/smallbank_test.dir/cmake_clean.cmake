@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smallbank_test.dir/smallbank_test.cc.o"
+  "CMakeFiles/smallbank_test.dir/smallbank_test.cc.o.d"
+  "smallbank_test"
+  "smallbank_test.pdb"
+  "smallbank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smallbank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

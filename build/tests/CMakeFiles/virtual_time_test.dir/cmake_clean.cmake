@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_time_test.dir/virtual_time_test.cc.o"
+  "CMakeFiles/virtual_time_test.dir/virtual_time_test.cc.o.d"
+  "virtual_time_test"
+  "virtual_time_test.pdb"
+  "virtual_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
