@@ -10,8 +10,9 @@
 //    always-local tables.
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drtmr::bench;
+  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
   PrintHeader("Ablations (TPC-C, 6 machines x 8 threads)", "variant     cross%     throughput");
 
   for (uint32_t cross : {1u, 10u, 50u}) {
@@ -41,5 +42,6 @@ int main() {
     cfg.ptr_swap_local_tables = true;
     PrintTpccRow("ptrswap", 1, RunTpccDrtmR(cfg));
   }
+  EmitObs(obs_opt);
   return 0;
 }

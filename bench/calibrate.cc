@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace drtmr::bench;
+  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
   TpccBenchConfig cfg;
   cfg.machines = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 6;
   cfg.threads = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 8;
@@ -22,5 +23,6 @@ int main(int argc, char** argv) {
   PrintTpccRow("DrTM+R", cfg.machines, r);
   std::printf("per-machine total: %s tps\n",
               drtmr::workload::FormatTps(r.ThroughputTps() / cfg.machines).c_str());
+  EmitObs(obs_opt);
   return 0;
 }

@@ -7,8 +7,9 @@
 //  * Calvin is more than an order of magnitude (26.8x+) slower.
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drtmr::bench;
+  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
   PrintHeader("Fig.10  TPC-C throughput vs machines (8 threads each)",
               "system      machines   throughput");
   for (uint32_t m = 1; m <= 6; ++m) {
@@ -40,5 +41,6 @@ int main() {
     cfg.txns_per_thread = 60;  // Calvin is slow; fewer txns keep wall time sane
     PrintTpccRow("Calvin", m, RunTpccCalvin(cfg));
   }
+  EmitObs(obs_opt);
   return 0;
 }

@@ -7,8 +7,9 @@
 //  * per-machine DrTM+R is comparable to or faster than single-machine Silo.
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drtmr::bench;
+  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
   const uint32_t kThreads[] = {1, 2, 4, 8, 10, 12, 16};
   PrintHeader("Fig.11  TPC-C throughput vs threads (6 machines)",
               "system      threads    throughput");
@@ -42,5 +43,6 @@ int main() {
     cfg.machines = 1;
     PrintTpccRow("DrTM+R(1m)", t, RunTpccDrtmR(cfg));
   }
+  EmitObs(obs_opt);
   return 0;
 }

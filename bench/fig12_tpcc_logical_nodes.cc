@@ -5,8 +5,9 @@
 // standard-mix.
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drtmr::bench;
+  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
   PrintHeader("Fig.12  TPC-C throughput vs logical nodes (6 physical machines, 4 threads each)",
               "system      lnodes     throughput");
   for (uint32_t lpm = 1; lpm <= 4; ++lpm) {
@@ -19,5 +20,6 @@ int main() {
     cfg.log_mb = 4;
     PrintTpccRow("DrTM+R", 6 * lpm, RunTpccDrtmR(cfg));
   }
+  EmitObs(obs_opt);
   return 0;
 }

@@ -3,8 +3,9 @@
 // threads with 1% distributed.
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drtmr::bench;
+  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
   PrintHeader("Fig.14  SmallBank throughput vs threads (6 machines)",
               "cross%      threads    throughput");
   for (uint32_t cross : {1u, 5u, 10u}) {
@@ -21,5 +22,6 @@ int main() {
                   r.latency.Percentile(50) / 1000.0, r.latency.Percentile(99) / 1000.0);
     }
   }
+  EmitObs(obs_opt);
   return 0;
 }

@@ -4,8 +4,9 @@
 // Fig. 13.
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drtmr::bench;
+  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
   PrintHeader("Fig.15  SmallBank (3-way replication) vs machines (8 threads)",
               "cross%      machines   throughput");
   for (uint32_t cross : {1u, 5u, 10u}) {
@@ -24,5 +25,6 @@ int main() {
                   r.latency.Percentile(50) / 1000.0, r.latency.Percentile(99) / 1000.0);
     }
   }
+  EmitObs(obs_opt);
   return 0;
 }

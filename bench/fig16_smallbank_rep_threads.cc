@@ -4,8 +4,9 @@
 // before the 16-thread scaling of the unreplicated run (Fig. 14).
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drtmr::bench;
+  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
   PrintHeader("Fig.16  SmallBank (3-way replication) vs threads (6 machines)",
               "cross%      threads    throughput");
   for (uint32_t cross : {1u, 5u, 10u}) {
@@ -23,5 +24,6 @@ int main() {
                   r.latency.Percentile(50) / 1000.0, r.latency.Percentile(99) / 1000.0);
     }
   }
+  EmitObs(obs_opt);
   return 0;
 }

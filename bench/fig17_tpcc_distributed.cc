@@ -5,8 +5,9 @@
 // remote update mechanism).
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drtmr::bench;
+  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
   const uint32_t kCross[] = {1, 5, 10, 25, 50, 75, 100};
   PrintHeader("Fig.17  TPC-C throughput vs cross-warehouse access % (6 machines x 8 threads)",
               "system      cross%     throughput");
@@ -29,5 +30,6 @@ int main() {
     cfg.txns_per_thread = 150;
     PrintTpccRow("DrTM", c, RunTpccDrTm(cfg));
   }
+  EmitObs(obs_opt);
   return 0;
 }

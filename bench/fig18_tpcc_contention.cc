@@ -5,8 +5,9 @@
 // read-write conflict aborts in the commit phase.
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drtmr::bench;
+  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
   const uint32_t kThreads[] = {1, 2, 4, 8, 10, 12, 16};
   PrintHeader("Fig.18  TPC-C high contention: 1 warehouse/machine (6 machines)",
               "system      threads    throughput");
@@ -24,5 +25,6 @@ int main() {
     cfg.txns_per_thread = 200;
     PrintTpccRow("DrTM", t, RunTpccDrTm(cfg));
   }
+  EmitObs(obs_opt);
   return 0;
 }

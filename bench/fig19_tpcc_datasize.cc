@@ -4,8 +4,9 @@
 // raises cache misses but lowers contention.
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drtmr::bench;
+  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
   PrintHeader("Fig.19  TPC-C throughput vs warehouses/machine (6 machines x 8 threads)",
               "system      wh/node    throughput");
   for (uint32_t wpn : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
@@ -28,5 +29,6 @@ int main() {
     cfg.replication = true;
     PrintTpccRow("DrTM+R=3", wpn, RunTpccDrtmR(cfg));
   }
+  EmitObs(obs_opt);
   return 0;
 }

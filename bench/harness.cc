@@ -1,5 +1,7 @@
 #include "bench/harness.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -7,6 +9,7 @@
 #include "src/baseline/drtm.h"
 #include "src/baseline/silo.h"
 #include "src/cluster/coordinator.h"
+#include "src/obs/metrics.h"
 #include "src/rep/primary_backup.h"
 #include "src/txn/transaction.h"
 
@@ -83,6 +86,20 @@ DriverOptions MakeOptions(uint32_t threads, uint64_t txns, uint64_t warmup) {
   return opt;
 }
 
+void PrintEngineStats(const txn::TxnStats& st, const sim::HtmEngine::Stats& htm) {
+  std::printf(
+      "stats: commits=%llu aborts_lock=%llu aborts_validation=%llu user=%llu fallbacks=%llu "
+      "htm_retries=%llu remote_reads=%llu local_reads=%llu htm[commits=%llu conflict=%llu "
+      "capacity=%llu explicit=%llu io=%llu]\n",
+      (unsigned long long)st.commits, (unsigned long long)st.aborts_lock,
+      (unsigned long long)st.aborts_validation, (unsigned long long)st.aborts_user,
+      (unsigned long long)st.fallbacks, (unsigned long long)st.htm_commit_retries,
+      (unsigned long long)st.remote_reads, (unsigned long long)st.local_reads,
+      (unsigned long long)htm.commits, (unsigned long long)htm.aborts_conflict,
+      (unsigned long long)htm.aborts_capacity, (unsigned long long)htm.aborts_explicit,
+      (unsigned long long)htm.aborts_io);
+}
+
 }  // namespace
 
 DriverResult RunTpccDrtmR(const TpccBenchConfig& cfg) {
@@ -103,20 +120,7 @@ DriverResult RunTpccDrtmR(const TpccBenchConfig& cfg) {
                                  return stack.tpcc->RunOne(ctx, by_slot[n * cfg.threads + w], rng);
                                });
   if (cfg.print_stats) {
-    const txn::TxnStats& st = stack.engine->stats();
-    std::printf(
-        "stats: commits=%llu aborts_lock=%llu aborts_validation=%llu user=%llu fallbacks=%llu "
-        "htm_retries=%llu remote_reads=%llu local_reads=%llu htm[commits=%llu conflict=%llu "
-        "capacity=%llu explicit=%llu io=%llu]\n",
-        (unsigned long long)st.commits, (unsigned long long)st.aborts_lock,
-        (unsigned long long)st.aborts_validation, (unsigned long long)st.aborts_user,
-        (unsigned long long)st.fallbacks, (unsigned long long)st.htm_commit_retries,
-        (unsigned long long)st.remote_reads, (unsigned long long)st.local_reads,
-        (unsigned long long)stack.cluster->node(0)->htm()->stats().commits,
-        (unsigned long long)stack.cluster->node(0)->htm()->stats().aborts_conflict,
-        (unsigned long long)stack.cluster->node(0)->htm()->stats().aborts_capacity,
-        (unsigned long long)stack.cluster->node(0)->htm()->stats().aborts_explicit,
-        (unsigned long long)stack.cluster->node(0)->htm()->stats().aborts_io);
+    PrintEngineStats(stack.engine->stats(), stack.cluster->node(0)->htm()->stats());
   }
   return r;
 }
@@ -236,7 +240,114 @@ DriverResult RunSmallBankDrtmR(const SmallBankBenchConfig& cfg) {
                                  return bank.RunOne(ctx, by_slot[n * cfg.threads + w], rng);
                                });
   engine.StopServices();
+  if (cfg.print_stats) {
+    PrintEngineStats(engine.stats(), cluster.node(0)->htm()->stats());
+  }
   return r;
+}
+
+ObsOptions ParseObsArgs(int argc, char** argv) {
+  ObsOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
+    };
+    if (const char* v = value_of("--metrics-json=")) {
+      opt.metrics_json = v;
+    } else if (const char* v = value_of("--trace-json=")) {
+      opt.trace_json = v;
+    } else if (const char* v = value_of("--trace-events=")) {
+      opt.trace_events_per_thread = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(a, "--print-stats") == 0) {
+      opt.print_stats = true;
+    }
+  }
+  if (opt.enabled()) {
+    obs::Registry::Global().Enable(true);
+    if (!opt.trace_json.empty()) {
+      obs::Registry::Global().EnableTrace(opt.trace_events_per_thread);
+    }
+  }
+  return opt;
+}
+
+void EmitObs(const ObsOptions& opt) {
+  if (!opt.enabled()) {
+    return;
+  }
+  obs::Registry& reg = obs::Registry::Global();
+  const obs::Snapshot snap = reg.Collect();
+  if (opt.print_stats) {
+    std::printf("\n--- observability summary ---\n");
+    std::printf("commits=%llu aborts[lock=%llu validation=%llu user=%llu] fallbacks=%llu "
+                "htm_retries=%llu rep[entries=%llu bytes=%llu]\n",
+                (unsigned long long)snap.counter(obs::Counter::kTxnCommit),
+                (unsigned long long)snap.counter(obs::Counter::kTxnAbortLock),
+                (unsigned long long)snap.counter(obs::Counter::kTxnAbortValidation),
+                (unsigned long long)snap.counter(obs::Counter::kTxnAbortUser),
+                (unsigned long long)snap.counter(obs::Counter::kTxnFallback),
+                (unsigned long long)snap.counter(obs::Counter::kHtmCommitRetry),
+                (unsigned long long)snap.counter(obs::Counter::kRepLogEntries),
+                (unsigned long long)snap.counter(obs::Counter::kRepLogBytes));
+    std::printf("%-12s %12s %10s %10s %10s %10s\n", "phase", "count", "mean_us", "p50_us",
+                "p90_us", "p99_us");
+    for (size_t i = 0; i < obs::kNumPhases; ++i) {
+      const auto p = static_cast<obs::Phase>(i);
+      const Histogram& h = snap.phase(p);
+      if (h.empty()) {
+        continue;
+      }
+      std::printf("%-12s %12llu %10.2f %10.2f %10.2f %10.2f\n", obs::PhaseName(p),
+                  (unsigned long long)h.count(), h.Mean() / 1000.0, h.Percentile(50) / 1000.0,
+                  h.Percentile(90) / 1000.0, h.Percentile(99) / 1000.0);
+    }
+    if (!snap.htm_aborts.empty()) {
+      std::printf("htm aborts:");
+      for (const auto& k : snap.htm_aborts) {
+        std::printf(" %s/%s=%llu", obs::HtmAbortCodeName(static_cast<uint32_t>(k.key >> 16)),
+                    obs::HtmSiteName(static_cast<obs::HtmSite>(k.key & 0xffff)),
+                    (unsigned long long)k.ops);
+      }
+      std::printf("\n");
+    }
+    if (!snap.fabric.empty()) {
+      // Aggregate the per-pair matrix per verb for the console; the full
+      // matrix lives in the JSON output.
+      uint64_t ops[static_cast<size_t>(obs::Verb::kCount)] = {};
+      uint64_t bytes[static_cast<size_t>(obs::Verb::kCount)] = {};
+      for (const auto& k : snap.fabric) {
+        const auto verb = static_cast<size_t>((k.key >> 32) & 0xff);
+        if (verb < static_cast<size_t>(obs::Verb::kCount)) {
+          ops[verb] += k.ops;
+          bytes[verb] += k.bytes;
+        }
+      }
+      std::printf("fabric:");
+      for (size_t v = 0; v < static_cast<size_t>(obs::Verb::kCount); ++v) {
+        if (ops[v] != 0) {
+          std::printf(" %s=%llu/%lluB", obs::VerbName(static_cast<obs::Verb>(v)),
+                      (unsigned long long)ops[v], (unsigned long long)bytes[v]);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  if (!opt.metrics_json.empty()) {
+    if (snap.WriteJson(opt.metrics_json)) {
+      std::printf("metrics json: %s\n", opt.metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics json: %s\n", opt.metrics_json.c_str());
+    }
+  }
+  if (!opt.trace_json.empty()) {
+    if (reg.WriteChromeTrace(opt.trace_json)) {
+      std::printf("trace json: %s (load at chrome://tracing)\n", opt.trace_json.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace json: %s\n", opt.trace_json.c_str());
+    }
+  }
 }
 
 void PrintHeader(const char* title, const char* columns) {

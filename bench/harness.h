@@ -48,7 +48,34 @@ struct SmallBankBenchConfig {
   uint64_t warmup_per_thread = 50;
   size_t memory_mb = 48;
   size_t log_mb = 8;
+  // Diagnostics: print engine statistics (aborts, fallbacks) after the run.
+  bool print_stats = false;
 };
+
+// Observability plumbing shared by every bench binary (DESIGN.md
+// "Observability"). ParseObsArgs recognizes:
+//   --metrics-json=<path>   write a merged metrics snapshot as JSON
+//   --trace-json=<path>     write txn-lifecycle events as a Chrome
+//                           trace_event array (load at chrome://tracing)
+//   --trace-events=<n>      per-thread trace ring capacity (default 16384)
+//   --print-stats           print the structured metrics summary to stdout
+// and enables the metrics registry iff any of them is present, so a plain run
+// pays nothing. Unrecognized arguments are left alone for the bench's own
+// parsing. EmitObs, called once after the runs, writes the requested files
+// and summary.
+struct ObsOptions {
+  std::string metrics_json;
+  std::string trace_json;
+  uint32_t trace_events_per_thread = 1u << 14;
+  bool print_stats = false;
+
+  bool enabled() const {
+    return print_stats || !metrics_json.empty() || !trace_json.empty();
+  }
+};
+
+ObsOptions ParseObsArgs(int argc, char** argv);
+void EmitObs(const ObsOptions& opt);
 
 // DrTM+R (optionally with 3-way replication).
 workload::DriverResult RunTpccDrtmR(const TpccBenchConfig& config);

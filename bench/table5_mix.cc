@@ -10,8 +10,9 @@
 
 using namespace drtmr;
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drtmr::bench;
+  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
   {
     TpccBenchConfig cfg;
     cfg.machines = 3;
@@ -52,5 +53,6 @@ int main() {
                   kPattern[t]);
     }
   }
+  EmitObs(obs_opt);
   return 0;
 }

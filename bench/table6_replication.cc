@@ -23,8 +23,9 @@ void PrintLatencies(const char* label, const workload::DriverResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drtmr::bench;
+  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
   PrintHeader("Table 6  impact of 3-way replication (TPC-C, 6 machines x 8 threads)", "");
   TpccBenchConfig cfg;
   cfg.txns_per_thread = 400;
@@ -35,5 +36,6 @@ int main() {
   PrintLatencies("DrTM+R=3", rep);
   std::printf("replication overhead: %.1f%%\n",
               100.0 * (1.0 - rep.ThroughputTps() / base.ThroughputTps()));
+  EmitObs(obs_opt);
   return 0;
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 build + test cycle, plus a ThreadSanitizer
+# pass over the concurrency-sensitive observability and driver tests.
+#
+# Usage: scripts/check.sh [--no-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+RUN_TSAN=1
+if [[ "${1:-}" == "--no-tsan" ]]; then
+  RUN_TSAN=0
+fi
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "== tsan: registry + driver tests under ThreadSanitizer =="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j "$JOBS" --target \
+    obs_test obs_harness_test virtual_time_test workload_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'Histogram|ObsRegistry|ObsHarness|VirtualTime|Workload'
+fi
+
+echo "== all checks passed =="

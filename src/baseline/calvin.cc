@@ -185,13 +185,13 @@ Status CalvinTxn::Commit() {
     engine_->base()->Mutate(ctx_, m);
   }
   ReleaseAll();
-  engine_->stats().commits.fetch_add(1, std::memory_order_relaxed);
+  engine_->stats().IncCommit();
   return Status::kOk;
 }
 
 void CalvinTxn::UserAbort() {
   ReleaseAll();
-  engine_->stats().aborts_user.fetch_add(1, std::memory_order_relaxed);
+  engine_->stats().IncAbortUser();
 }
 
 }  // namespace drtmr::baseline

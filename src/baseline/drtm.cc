@@ -300,7 +300,7 @@ bool DrTmEngine::Execute(sim::ThreadContext* ctx, const std::function<bool(txn::
     };
     if (lock_failed) {
       unlock_all();
-      stats_.aborts_lock.fetch_add(1, std::memory_order_relaxed);
+      stats_.IncAbortLock();
       const uint64_t backoff = ctx->rng.Range(200, 2000);
       ctx->Charge(backoff);
       if ((attempt & 0xff) == 0xff) {
@@ -333,7 +333,7 @@ bool DrTmEngine::Execute(sim::ThreadContext* ctx, const std::function<bool(txn::
       if (htm_try == config_.htm_retry_threshold) {
         // Fallback: additionally lock every recorded local record (via
         // loopback RDMA CAS, uniform atomicity) and run without HTM.
-        stats_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+        stats_.IncFallback();
         std::vector<Target> local_targets;
         for (const auto& [table, key] : rec.local()) {
           const uint64_t off = table->Lookup(ctx, ctx->node_id, key);
@@ -390,7 +390,7 @@ bool DrTmEngine::Execute(sim::ThreadContext* ctx, const std::function<bool(txn::
         a.image = a.pristine;
         a.written = false;
       }
-      sim::HtmTxn* htm = self->htm()->Begin(ctx);
+      sim::HtmTxn* htm = self->htm()->Begin(ctx, obs::HtmSite::kBaseline);
       DRTMR_CHECK(htm != nullptr);
       ExecTxn exec(this, ctx, &remote, htm);
       const bool ok = body(&exec);
@@ -416,7 +416,7 @@ bool DrTmEngine::Execute(sim::ThreadContext* ctx, const std::function<bool(txn::
         committed = true;
         break;
       }
-      stats_.htm_commit_retries.fetch_add(1, std::memory_order_relaxed);
+      stats_.IncHtmCommitRetry();
     }
 
     if (committed) {
@@ -439,12 +439,12 @@ bool DrTmEngine::Execute(sim::ThreadContext* ctx, const std::function<bool(txn::
         nic->Fence(ctx, completion, base_->cost()->rdma_write_ns);
       }
       unlock_all();
-      stats_.commits.fetch_add(1, std::memory_order_relaxed);
+      stats_.IncCommit();
       return true;
     }
     unlock_all();
     if (!restart) {
-      stats_.aborts_validation.fetch_add(1, std::memory_order_relaxed);
+      stats_.IncAbortValidation();
     }
   }
   DRTMR_LOG(Warning) << "DrTM transaction exceeded max attempts";

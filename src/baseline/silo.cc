@@ -211,9 +211,9 @@ Status SiloTxn::Commit() {
     for (auto& m : mutations_) {
       engine_->base()->Mutate(ctx_, m);
     }
-    stats.commits.fetch_add(1, std::memory_order_relaxed);
+    stats.IncCommit();
   } else {
-    stats.aborts_validation.fetch_add(1, std::memory_order_relaxed);
+    stats.IncAbortValidation();
   }
   for (size_t i = 0; i < locked; ++i) {
     const auto& w = write_set_[order[i]];
@@ -227,7 +227,7 @@ Status SiloTxn::Commit() {
 }
 
 void SiloTxn::UserAbort() {
-  engine_->stats().aborts_user.fetch_add(1, std::memory_order_relaxed);
+  engine_->stats().IncAbortUser();
 }
 
 }  // namespace drtmr::baseline

@@ -1,0 +1,390 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace drtmr::obs {
+
+const char* PhaseName(Phase p) {
+  switch (p) {
+    case Phase::kExecution: return "execution";
+    case Phase::kLock: return "lock";
+    case Phase::kValidation: return "validation";
+    case Phase::kHtmCommit: return "htm_commit";
+    case Phase::kReplication: return "replication";
+    case Phase::kWriteBack: return "write_back";
+    case Phase::kFallback: return "fallback";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+const char* CounterName(Counter c) {
+  switch (c) {
+    case Counter::kTxnCommit: return "txn_commit";
+    case Counter::kTxnAbortLock: return "txn_abort_lock";
+    case Counter::kTxnAbortValidation: return "txn_abort_validation";
+    case Counter::kTxnAbortUser: return "txn_abort_user";
+    case Counter::kTxnFallback: return "txn_fallback";
+    case Counter::kHtmCommitRetry: return "htm_commit_retry";
+    case Counter::kRepLogEntries: return "rep_log_entries";
+    case Counter::kRepLogBytes: return "rep_log_bytes";
+    case Counter::kKeyedOverflow: return "keyed_overflow";
+    case Counter::kTraceDropped: return "trace_dropped";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+const char* VerbName(Verb v) {
+  switch (v) {
+    case Verb::kRead: return "read";
+    case Verb::kWrite: return "write";
+    case Verb::kCas: return "cas";
+    case Verb::kFaa: return "faa";
+    case Verb::kSend: return "send";
+    case Verb::kCount: break;
+  }
+  return "?";
+}
+
+const char* HtmSiteName(HtmSite s) {
+  switch (s) {
+    case HtmSite::kOther: return "other";
+    case HtmSite::kLocalRead: return "local_read";
+    case HtmSite::kCommit: return "commit";
+    case HtmSite::kStore: return "store";
+    case HtmSite::kBaseline: return "baseline";
+    case HtmSite::kCount: break;
+  }
+  return "?";
+}
+
+const char* HtmAbortCodeName(uint32_t code) {
+  // Mirrors sim::HtmDesc::DoomCode.
+  switch (code) {
+    case 0: return "none";
+    case 1: return "conflict";
+    case 2: return "capacity";
+    case 3: return "explicit";
+    case 4: return "io";
+  }
+  return "?";
+}
+
+// ---- Shard ----
+
+void Shard::AddPhase(Phase p, uint64_t ns) {
+  PhaseCell& cell = phases[static_cast<size_t>(p)];
+  const uint64_t prior = cell.count.load(std::memory_order_relaxed);
+  if (prior == 0 || ns < cell.min.load(std::memory_order_relaxed)) {
+    cell.min.store(ns, std::memory_order_relaxed);
+  }
+  if (ns > cell.max.load(std::memory_order_relaxed)) {
+    cell.max.store(ns, std::memory_order_relaxed);
+  }
+  cell.count.store(prior + 1, std::memory_order_relaxed);
+  cell.sum.fetch_add(ns, std::memory_order_relaxed);
+  cell.buckets[Histogram::BucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Shard::AddKeyed(uint64_t key, uint64_t ops, uint64_t bytes) {
+  // Single-writer open addressing: the owning thread is the only inserter, so
+  // a plain probe-and-claim is race-free; concurrent readers (Collect) pair
+  // an acquire key load with the release key store below.
+  size_t slot = (key * 0x9e3779b97f4a7c15ull) & (kKeyedCap - 1);
+  for (size_t probe = 0; probe < kKeyedCap; ++probe) {
+    KeyedCell& cell = keyed[slot];
+    const uint64_t k = cell.key.load(std::memory_order_relaxed);
+    if (k == key) {
+      cell.ops.fetch_add(ops, std::memory_order_relaxed);
+      cell.bytes.fetch_add(bytes, std::memory_order_relaxed);
+      return;
+    }
+    if (k == 0) {
+      cell.ops.store(ops, std::memory_order_relaxed);
+      cell.bytes.store(bytes, std::memory_order_relaxed);
+      cell.key.store(key, std::memory_order_release);
+      return;
+    }
+    slot = (slot + 1) & (kKeyedCap - 1);
+  }
+  counters[static_cast<size_t>(Counter::kKeyedOverflow)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Shard::Zero() {
+  for (auto& c : counters) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  for (auto& p : phases) {
+    p.count.store(0, std::memory_order_relaxed);
+    p.sum.store(0, std::memory_order_relaxed);
+    p.min.store(0, std::memory_order_relaxed);
+    p.max.store(0, std::memory_order_relaxed);
+    for (auto& b : p.buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& cell : keyed) {
+    cell.ops.store(0, std::memory_order_relaxed);
+    cell.bytes.store(0, std::memory_order_relaxed);
+    cell.key.store(0, std::memory_order_relaxed);
+  }
+  trace.clear();
+  trace.shrink_to_fit();
+  trace_next = 0;
+}
+
+// ---- Registry ----
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // leaked by design
+  return *instance;
+}
+
+void Registry::Enable(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+void Registry::EnableTrace(uint32_t events_per_thread) {
+  trace_cap_.store(events_per_thread, std::memory_order_relaxed);
+  detail::g_trace.store(events_per_thread > 0, std::memory_order_relaxed);
+}
+
+Registry::ShardHandle::~ShardHandle() {
+  if (shard != nullptr) {
+    Registry::Global().Release(shard);
+  }
+}
+
+Shard* Registry::LocalShard() {
+  static thread_local ShardHandle handle;
+  if (handle.shard == nullptr) {
+    handle.shard = Acquire();
+  }
+  return handle.shard;
+}
+
+Shard* Registry::Acquire() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!free_.empty()) {
+    Shard* s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  all_.push_back(std::make_unique<Shard>());
+  return all_.back().get();
+}
+
+void Registry::Release(Shard* shard) {
+  // Keep the shard's data (it still contributes to Collect until Reset);
+  // a later thread will reuse it, so peak memory tracks peak concurrency.
+  std::lock_guard<std::mutex> g(mu_);
+  free_.push_back(shard);
+}
+
+size_t Registry::num_shards() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return all_.size();
+}
+
+void Registry::AddCount(Counter c, uint64_t delta) {
+  LocalShard()->counters[static_cast<size_t>(c)].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::AddPhase(Phase p, uint64_t ns) { LocalShard()->AddPhase(p, ns); }
+
+void Registry::AddVerb(Verb v, uint32_t src, uint32_t dst, uint64_t bytes) {
+  LocalShard()->AddKeyed(FabricKey(v, src, dst), 1, bytes);
+}
+
+void Registry::AddHtmAbort(uint32_t code, HtmSite site) {
+  LocalShard()->AddKeyed(HtmAbortKey(code, site), 1, 0);
+}
+
+void Registry::AddTrace(TraceName name, uint32_t node, uint32_t worker, uint64_t ts_ns,
+                        uint64_t dur_ns, uint64_t arg, bool instant) {
+  const uint32_t cap = trace_cap_.load(std::memory_order_relaxed);
+  if (cap == 0) {
+    return;
+  }
+  Shard* s = LocalShard();
+  if (s->trace.size() != cap) {
+    s->trace.assign(cap, TraceEvent{});
+    s->trace_next = 0;
+  }
+  if (s->trace_next >= cap) {
+    s->counters[static_cast<size_t>(Counter::kTraceDropped)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  TraceEvent& e = s->trace[s->trace_next % cap];
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.arg = arg;
+  e.node = static_cast<uint16_t>(node);
+  e.worker = static_cast<uint16_t>(worker);
+  e.name = name;
+  e.instant = instant ? 1 : 0;
+  s->trace_next++;
+}
+
+Snapshot Registry::Collect() const {
+  Snapshot out;
+  struct KeyedAgg {
+    uint64_t ops = 0;
+    uint64_t bytes = 0;
+  };
+  std::vector<std::pair<uint64_t, KeyedAgg>> agg;  // small domain; linear merge
+
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& shard : all_) {
+    for (size_t i = 0; i < kNumCounters; ++i) {
+      out.counters[i] += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < kNumPhases; ++i) {
+      const Shard::PhaseCell& cell = shard->phases[i];
+      const uint64_t count = cell.count.load(std::memory_order_relaxed);
+      if (count == 0) {
+        continue;
+      }
+      uint64_t buckets[Histogram::kNumBuckets];
+      for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+        buckets[b] = cell.buckets[b].load(std::memory_order_relaxed);
+      }
+      out.phases[i].MergeFrom(buckets, count, cell.sum.load(std::memory_order_relaxed),
+                              cell.min.load(std::memory_order_relaxed),
+                              cell.max.load(std::memory_order_relaxed));
+    }
+    for (const Shard::KeyedCell& cell : shard->keyed) {
+      const uint64_t key = cell.key.load(std::memory_order_acquire);
+      if (key == 0) {
+        continue;
+      }
+      KeyedAgg* found = nullptr;
+      for (auto& [k, v] : agg) {
+        if (k == key) {
+          found = &v;
+          break;
+        }
+      }
+      if (found == nullptr) {
+        agg.emplace_back(key, KeyedAgg{});
+        found = &agg.back().second;
+      }
+      found->ops += cell.ops.load(std::memory_order_relaxed);
+      found->bytes += cell.bytes.load(std::memory_order_relaxed);
+    }
+  }
+  std::sort(agg.begin(), agg.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, v] : agg) {
+    Snapshot::Keyed entry{key, v.ops, v.bytes};
+    if (KeyDomain(key) == kDomainFabric) {
+      out.fabric.push_back(entry);
+    } else if (KeyDomain(key) == kDomainHtm) {
+      out.htm_aborts.push_back(entry);
+    }
+  }
+  return out;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& shard : all_) {
+    shard->Zero();
+  }
+}
+
+// ---- Snapshot ----
+
+uint64_t Snapshot::PhaseSumNs() const {
+  uint64_t total = 0;
+  for (const Histogram& h : phases) {
+    total += h.sum();
+  }
+  return total;
+}
+
+uint64_t Snapshot::FabricOps() const {
+  uint64_t total = 0;
+  for (const Keyed& k : fabric) {
+    total += k.ops;
+  }
+  return total;
+}
+
+uint64_t Snapshot::FabricBytes() const {
+  uint64_t total = 0;
+  for (const Keyed& k : fabric) {
+    total += k.bytes;
+  }
+  return total;
+}
+
+uint64_t Snapshot::HtmAborts() const {
+  uint64_t total = 0;
+  for (const Keyed& k : htm_aborts) {
+    if (((k.key >> 16) & 0xffffffffull) != 0) {  // skip code "none"
+      total += k.ops;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+void WriteHistogramJson(std::FILE* f, const Histogram& h) {
+  std::fprintf(f,
+               "{\"count\":%llu,\"sum_ns\":%llu,\"mean_ns\":%.1f,\"min_ns\":%llu,"
+               "\"max_ns\":%llu,\"p50_ns\":%llu,\"p90_ns\":%llu,\"p99_ns\":%llu}",
+               (unsigned long long)h.count(), (unsigned long long)h.sum(), h.Mean(),
+               (unsigned long long)h.min(), (unsigned long long)h.max(),
+               (unsigned long long)h.Percentile(50), (unsigned long long)h.Percentile(90),
+               (unsigned long long)h.Percentile(99));
+}
+
+}  // namespace
+
+void Snapshot::WriteJson(std::FILE* f) const {
+  std::fprintf(f, "{\n  \"counters\": {");
+  for (size_t i = 0; i < kNumCounters; ++i) {
+    std::fprintf(f, "%s\"%s\": %llu", i == 0 ? "" : ", ",
+                 CounterName(static_cast<Counter>(i)), (unsigned long long)counters[i]);
+  }
+  std::fprintf(f, "},\n  \"phases\": {");
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    std::fprintf(f, "%s\n    \"%s\": ", i == 0 ? "" : ",", PhaseName(static_cast<Phase>(i)));
+    WriteHistogramJson(f, phases[i]);
+  }
+  std::fprintf(f, "\n  },\n  \"htm_aborts\": [");
+  for (size_t i = 0; i < htm_aborts.size(); ++i) {
+    const Keyed& k = htm_aborts[i];
+    const uint32_t code = static_cast<uint32_t>((k.key >> 16) & 0xffffffffull);
+    const HtmSite site = static_cast<HtmSite>(k.key & 0xffff);
+    std::fprintf(f, "%s\n    {\"code\": \"%s\", \"site\": \"%s\", \"count\": %llu}",
+                 i == 0 ? "" : ",", HtmAbortCodeName(code), HtmSiteName(site),
+                 (unsigned long long)k.ops);
+  }
+  std::fprintf(f, "\n  ],\n  \"fabric\": [");
+  for (size_t i = 0; i < fabric.size(); ++i) {
+    const Keyed& k = fabric[i];
+    const Verb verb = static_cast<Verb>((k.key >> 32) & 0xffffffull);
+    const uint32_t src = static_cast<uint32_t>((k.key >> 16) & 0xffff);
+    const uint32_t dst = static_cast<uint32_t>(k.key & 0xffff);
+    std::fprintf(f,
+                 "%s\n    {\"verb\": \"%s\", \"src\": %u, \"dst\": %u, \"ops\": %llu, "
+                 "\"bytes\": %llu}",
+                 i == 0 ? "" : ",", VerbName(verb), src, dst, (unsigned long long)k.ops,
+                 (unsigned long long)k.bytes);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+}
+
+bool Snapshot::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  WriteJson(f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace drtmr::obs

@@ -1,0 +1,42 @@
+// Transaction-lifecycle trace events. Each obs::Registry shard owns a bounded
+// ring of TraceEvent records (single writer — the owning worker thread); the
+// Chrome trace_event exporter walks every ring at quiescence and emits a JSON
+// array loadable by chrome://tracing / Perfetto. Timestamps are *virtual*
+// nanoseconds from the per-thread SimClock, so a trace shows the simulated
+// schedule, not host wall-clock.
+#ifndef DRTMR_SRC_OBS_TRACE_H_
+#define DRTMR_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+
+namespace drtmr::obs {
+
+enum class TraceName : uint8_t {
+  kTxn = 0,        // whole read-write transaction attempt (Begin -> Commit result)
+  kTxnReadOnly,    // whole read-only transaction attempt
+  kExecution,      // execution phase (reads + buffered writes)
+  kLock,           // C.1 remote lock acquisition
+  kValidation,     // C.2 remote validation / read-only revalidation
+  kHtmCommit,      // C.3+C.4 HTM region, including retries
+  kReplication,    // R.1 log writes + fence, R.2 makeup
+  kWriteBack,      // C.5 write-back, mutations, C.6 unlock
+  kFallback,       // §6.1 fallback commit path
+  kHtmAbort,       // instant: one HTM abort (arg = abort code)
+  kCount
+};
+
+const char* TraceNameString(TraceName name);
+
+struct TraceEvent {
+  uint64_t ts_ns = 0;   // virtual-time start
+  uint64_t dur_ns = 0;  // 0 for instant events
+  uint64_t arg = 0;     // txn id, abort code, ... (meaning depends on name)
+  uint16_t node = 0;    // Chrome "pid"
+  uint16_t worker = 0;  // Chrome "tid"
+  TraceName name = TraceName::kTxn;
+  uint8_t instant = 0;  // 1 => "ph":"i", else "ph":"X"
+};
+
+}  // namespace drtmr::obs
+
+#endif  // DRTMR_SRC_OBS_TRACE_H_

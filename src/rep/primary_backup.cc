@@ -3,6 +3,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
 namespace drtmr::rep {
@@ -52,6 +53,8 @@ Status PrimaryBackupReplicator::ReplicateUpdate(sim::ThreadContext* ctx, uint64_
       // local NVM append; apply it directly (durably local).
       stores_[dst]->Apply(table_id, primary, key, image, image_len);
       entries_applied_.fetch_add(1, std::memory_order_relaxed);
+      obs::Count(obs::Counter::kRepLogEntries);
+      obs::Count(obs::Counter::kRepLogBytes, sizeof(LogSlotHeader) + image_len);
       ctx->Charge(cluster_->cost()->CopyNs(image_len));
       continue;
     }
@@ -128,6 +131,8 @@ Status PrimaryBackupReplicator::ReplicateUpdate(sim::ThreadContext* ctx, uint64_
       continue;
     }
     log_writes_.fetch_add(1, std::memory_order_relaxed);
+    obs::Count(obs::Counter::kRepLogEntries);
+    obs::Count(obs::Counter::kRepLogBytes, slot.size());
   }
   return worst;
 }

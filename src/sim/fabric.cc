@@ -1,5 +1,6 @@
 #include "src/sim/fabric.h"
 
+#include "src/obs/metrics.h"
 #include "src/sim/htm.h"
 #include "src/util/logging.h"
 
@@ -54,6 +55,7 @@ Status RdmaNic::ReadPosted(ThreadContext* ctx, uint32_t dst, uint64_t offset, vo
   if (!ChargeVerb(ctx, dst_nic, cost_->rdma_read_ns, len, /*posted=*/true, completion_ns)) {
     return Status::kAborted;
   }
+  obs::CountVerb(obs::Verb::kRead, node_id_, dst, len);
   if (!fabric_->alive(dst)) {
     return Status::kUnavailable;
   }
@@ -67,6 +69,7 @@ Status RdmaNic::WritePosted(ThreadContext* ctx, uint32_t dst, uint64_t offset, c
   if (!ChargeVerb(ctx, dst_nic, cost_->rdma_write_ns, len, /*posted=*/true, completion_ns)) {
     return Status::kAborted;
   }
+  obs::CountVerb(obs::Verb::kWrite, node_id_, dst, len);
   if (!fabric_->alive(dst)) {
     return Status::kUnavailable;
   }
@@ -82,6 +85,7 @@ Status RdmaNic::CompareSwapPosted(ThreadContext* ctx, uint32_t dst, uint64_t off
                   completion_ns)) {
     return Status::kAborted;
   }
+  obs::CountVerb(obs::Verb::kCas, node_id_, dst, sizeof(uint64_t));
   if (!fabric_->alive(dst)) {
     return Status::kUnavailable;
   }
@@ -95,6 +99,7 @@ Status RdmaNic::Read(ThreadContext* ctx, uint32_t dst, uint64_t offset, void* bu
   if (!ChargeVerb(ctx, dst_nic, cost_->rdma_read_ns, len)) {
     return Status::kAborted;
   }
+  obs::CountVerb(obs::Verb::kRead, node_id_, dst, len);
   if (!fabric_->alive(dst)) {
     return Status::kUnavailable;
   }
@@ -108,6 +113,7 @@ Status RdmaNic::Write(ThreadContext* ctx, uint32_t dst, uint64_t offset, const v
   if (!ChargeVerb(ctx, dst_nic, cost_->rdma_write_ns, len)) {
     return Status::kAborted;
   }
+  obs::CountVerb(obs::Verb::kWrite, node_id_, dst, len);
   if (!fabric_->alive(dst)) {
     return Status::kUnavailable;
   }
@@ -121,6 +127,7 @@ Status RdmaNic::CompareSwap(ThreadContext* ctx, uint32_t dst, uint64_t offset, u
   if (!ChargeVerb(ctx, dst_nic, cost_->rdma_atomic_ns, sizeof(uint64_t))) {
     return Status::kAborted;
   }
+  obs::CountVerb(obs::Verb::kCas, node_id_, dst, sizeof(uint64_t));
   if (!fabric_->alive(dst)) {
     return Status::kUnavailable;
   }
@@ -143,6 +150,7 @@ Status RdmaNic::FetchAdd(ThreadContext* ctx, uint32_t dst, uint64_t offset, uint
   if (!ChargeVerb(ctx, dst_nic, cost_->rdma_atomic_ns, sizeof(uint64_t))) {
     return Status::kAborted;
   }
+  obs::CountVerb(obs::Verb::kFaa, node_id_, dst, sizeof(uint64_t));
   if (!fabric_->alive(dst)) {
     return Status::kUnavailable;
   }
@@ -160,6 +168,7 @@ Status RdmaNic::Send(ThreadContext* ctx, uint32_t dst, std::vector<std::byte> pa
   if (!ChargeVerb(ctx, dst_nic, cost_->send_recv_ns, payload.size())) {
     return Status::kAborted;
   }
+  obs::CountVerb(obs::Verb::kSend, node_id_, dst, payload.size());
   if (!fabric_->alive(dst)) {
     return Status::kUnavailable;
   }

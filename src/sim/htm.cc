@@ -20,13 +20,13 @@ HtmEngine::~HtmEngine() {
   }
 }
 
-HtmTxn* HtmEngine::Begin(ThreadContext* ctx) {
+HtmTxn* HtmEngine::Begin(ThreadContext* ctx, obs::HtmSite site) {
   if (ctx->current_htm != nullptr) {
     return nullptr;
   }
   DRTMR_CHECK(ctx->worker_id < txns_.size()) << "worker slot out of range";
   HtmTxn* txn = txns_[ctx->worker_id];
-  txn->BeginInternal(ctx);
+  txn->BeginInternal(ctx, site);
   return txn;
 }
 
@@ -49,9 +49,10 @@ void HtmEngine::RecordAbort(HtmTxn::AbortCode code) {
   }
 }
 
-void HtmTxn::BeginInternal(ThreadContext* ctx) {
+void HtmTxn::BeginInternal(ThreadContext* ctx, obs::HtmSite site) {
   ctx_ = ctx;
   in_txn_ = true;
+  site_ = site;
   last_abort_ = AbortCode::kNone;
   redo_.clear();
   desc_->doom_code.store(HtmDesc::kNone, std::memory_order_relaxed);
@@ -76,6 +77,15 @@ void HtmTxn::End(bool committed) {
       }
     }
     engine_->RecordAbort(last_abort_);
+    if (obs::Enabled()) {
+      obs::Registry& reg = obs::Registry::Global();
+      reg.AddHtmAbort(static_cast<uint32_t>(last_abort_), site_);
+      if (obs::TraceEnabled()) {
+        reg.AddTrace(obs::TraceName::kHtmAbort, ctx_->node_id, ctx_->worker_id,
+                     ctx_->clock.now_ns(), 0, static_cast<uint64_t>(last_abort_),
+                     /*instant=*/true);
+      }
+    }
     ctx_->Charge(engine_->cost_->htm_abort_ns * bus_->cost_scale_pct() / 100);
   } else {
     engine_->stats_.commits.fetch_add(1, std::memory_order_relaxed);

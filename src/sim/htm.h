@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sim/memory_bus.h"
 #include "src/sim/thread_context.h"
 #include "src/util/status.h"
@@ -65,7 +66,7 @@ class HtmTxn {
   friend class HtmEngine;
   HtmTxn(HtmEngine* engine, MemoryBus* bus, HtmDesc* desc) : engine_(engine), bus_(bus), desc_(desc) {}
 
-  void BeginInternal(ThreadContext* ctx);
+  void BeginInternal(ThreadContext* ctx, obs::HtmSite site);
   bool CrossSocketEviction(uint64_t offset, size_t len);
   // Ends the region: clears sets/redo and detaches from the thread context.
   void End(bool committed);
@@ -78,6 +79,7 @@ class HtmTxn {
   ThreadContext* ctx_ = nullptr;
   bool in_txn_ = false;
   AbortCode last_abort_ = AbortCode::kNone;
+  obs::HtmSite site_ = obs::HtmSite::kOther;  // call site, keys the abort taxonomy
   std::vector<RedoEntry> redo_;
 };
 
@@ -103,7 +105,8 @@ class HtmEngine {
 
   // XBEGIN on the calling thread (slot = ctx->worker_id). Returns nullptr if
   // the thread is already inside a region (we do not model flattened nesting).
-  HtmTxn* Begin(ThreadContext* ctx);
+  // `site` tags the region for the observability abort taxonomy (§6.4).
+  HtmTxn* Begin(ThreadContext* ctx, obs::HtmSite site = obs::HtmSite::kOther);
 
   Stats& stats() { return stats_; }
   MemoryBus* bus() { return bus_; }

@@ -82,7 +82,7 @@ Status HashStore::Insert(sim::ThreadContext* ctx, uint64_t key, const void* valu
   // chain must be scanned for the key before reusing a freed slot — a
   // duplicate may live in an overflow bucket past the first free slot.
   while (true) {
-    sim::HtmTxn* htm = node_->htm()->Begin(ctx);
+    sim::HtmTxn* htm = node_->htm()->Begin(ctx, obs::HtmSite::kStore);
     DRTMR_CHECK(htm != nullptr) << "insert called inside an HTM region";
     uint64_t bucket = BucketOffset(key);
     uint64_t free_bucket = 0;
@@ -149,7 +149,7 @@ Status HashStore::Insert(sim::ThreadContext* ctx, uint64_t key, const void* valu
 Status HashStore::Remove(sim::ThreadContext* ctx, uint64_t key) {
   std::lock_guard<std::mutex> g(mutate_mu_);
   while (true) {
-    sim::HtmTxn* htm = node_->htm()->Begin(ctx);
+    sim::HtmTxn* htm = node_->htm()->Begin(ctx, obs::HtmSite::kStore);
     DRTMR_CHECK(htm != nullptr) << "remove called inside an HTM region";
     uint64_t bucket = BucketOffset(key);
     bool retry = false;
@@ -216,7 +216,7 @@ Status HashStore::InsertImage(sim::ThreadContext* ctx, uint64_t key, const std::
   node_->bus()->Write(ctx, rec_off, image, len);
   // Publish through the same HTM path as Insert.
   while (true) {
-    sim::HtmTxn* htm = node_->htm()->Begin(ctx);
+    sim::HtmTxn* htm = node_->htm()->Begin(ctx, obs::HtmSite::kStore);
     DRTMR_CHECK(htm != nullptr);
     uint64_t bucket = BucketOffset(key);
     bool retry = false;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/obs/phase_timer.h"
 #include "src/store/record.h"
 #include "src/util/logging.h"
 
@@ -22,6 +23,7 @@ Transaction::Transaction(TxnEngine* engine, sim::ThreadContext* ctx)
 void Transaction::Begin(bool read_only) {
   DRTMR_CHECK(!active_) << "Begin inside an active transaction";
   engine_->cluster()->SyncGate(&ctx_->clock);
+  begin_ns_ = ctx_->clock.now_ns();
   active_ = true;
   read_only_ = read_only;
   txn_id_ = engine_->NextTxnId();
@@ -167,7 +169,16 @@ Status Transaction::ScanLocal(store::Table* table, uint64_t lo, uint64_t hi,
 void Transaction::UserAbort() {
   DRTMR_CHECK(active_);
   active_ = false;
-  engine_->stats().aborts_user.fetch_add(1, std::memory_order_relaxed);
+  engine_->stats().IncAbortUser();
+  // The attempt still spent execution-phase time; account for it so phase
+  // sums cover user-aborted (business-abort) transactions too.
+  obs::PhaseSample(obs::Phase::kExecution, ctx_->clock.now_ns() - begin_ns_);
+  if (obs::TraceEnabled()) {
+    obs::Registry::Global().AddTrace(read_only_ ? obs::TraceName::kTxnReadOnly
+                                                : obs::TraceName::kTxn,
+                                     ctx_->node_id, ctx_->worker_id, begin_ns_,
+                                     ctx_->clock.now_ns() - begin_ns_, /*arg=*/0);
+  }
 }
 
 // ---------------- commit protocol ----------------
@@ -296,9 +307,9 @@ Status Transaction::HtmValidateAndApply() {
       return Status::kAborted;  // no forward progress: take the fallback
     }
     if (attempt > 0) {
-      engine_->stats().htm_commit_retries.fetch_add(1, std::memory_order_relaxed);
+      engine_->stats().IncHtmCommitRetry();
     }
-    sim::HtmTxn* htm = self_->htm()->Begin(ctx_);
+    sim::HtmTxn* htm = self_->htm()->Begin(ctx_, obs::HtmSite::kCommit);
     DRTMR_CHECK(htm != nullptr);
     bool conflict = false;
     bool htm_failed = false;
@@ -464,6 +475,7 @@ Status Transaction::WriteBackRemote() {
 
 Status Transaction::CommitReadOnly() {
   // §4.5: validate sequence numbers only; no HTM, no locks.
+  obs::PhaseTimer timer(ctx_, obs::Phase::kValidation);
   for (const AccessEntry& e : read_set_) {
     uint64_t inc, seq;
     if (IsLocal(e.node)) {
@@ -471,21 +483,21 @@ Status Transaction::CommitReadOnly() {
     } else {
       const Status s = engine_->ReadMetaRemote(ctx_, e, &inc, &seq);
       if (s != Status::kOk) {
-        engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+        engine_->stats().IncAbortValidation();
         return Status::kAborted;
       }
     }
     if (inc != e.incarnation || !rules_.ReadValid(e.seq, seq)) {
-      engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+      engine_->stats().IncAbortValidation();
       return Status::kAborted;
     }
   }
-  engine_->stats().commits.fetch_add(1, std::memory_order_relaxed);
+  engine_->stats().IncCommit();
   return Status::kOk;
 }
 
 Status Transaction::FallbackCommit(const std::vector<LockTarget>& remote_targets) {
-  engine_->stats().fallbacks.fetch_add(1, std::memory_order_relaxed);
+  engine_->stats().IncFallback();
   // §6.1: release held remote locks, then lock *all* records — local ones via
   // loopback RDMA CAS (§6.2) — in global address order to avoid deadlock.
   ReleaseLocks(held_locks_, held_locks_.size());
@@ -507,7 +519,7 @@ Status Transaction::FallbackCommit(const std::vector<LockTarget>& remote_targets
 
   const Status lock_status = LockRemoteSets(all);
   if (lock_status != Status::kOk) {
-    engine_->stats().aborts_lock.fetch_add(1, std::memory_order_relaxed);
+    engine_->stats().IncAbortLock();
     return Status::kAborted;
   }
   held_locks_ = all;
@@ -548,7 +560,7 @@ Status Transaction::FallbackCommit(const std::vector<LockTarget>& remote_targets
   if (!valid) {
     ReleaseLocks(held_locks_, held_locks_.size());
     held_locks_.clear();
-    engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+    engine_->stats().IncAbortValidation();
     return Status::kAborted;
   }
 
@@ -581,7 +593,7 @@ Status Transaction::FallbackCommit(const std::vector<LockTarget>& remote_targets
   if (engine_->config().replication) {
     engine_->replicator()->EndTransaction(ctx_, txn_id_);
   }
-  engine_->stats().commits.fetch_add(1, std::memory_order_relaxed);
+  engine_->stats().IncCommit();
   ReleaseLocks(held_locks_, held_locks_.size());
   held_locks_.clear();
   return Status::kOk;
@@ -608,42 +620,57 @@ Status Transaction::CommitReadWrite() {
   remote_targets.erase(std::unique(remote_targets.begin(), remote_targets.end()),
                        remote_targets.end());
 
-  Status s = LockRemoteSets(remote_targets);
+  Status s;
+  {
+    obs::PhaseTimer timer(ctx_, obs::Phase::kLock);
+    s = LockRemoteSets(remote_targets);
+  }
   if (s != Status::kOk) {
-    engine_->stats().aborts_lock.fetch_add(1, std::memory_order_relaxed);
+    engine_->stats().IncAbortLock();
     return Status::kAborted;
   }
   held_locks_ = remote_targets;
 
   // C.2: validate the remote read set (and remote write committability).
-  s = ValidateRemote(nullptr);
+  {
+    obs::PhaseTimer timer(ctx_, obs::Phase::kValidation);
+    s = ValidateRemote(nullptr);
+  }
   if (s != Status::kOk) {
     ReleaseLocks(held_locks_, held_locks_.size());
     held_locks_.clear();
-    engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+    engine_->stats().IncAbortValidation();
     return Status::kAborted;
   }
 
   // C.3 + C.4 inside one HTM region.
-  s = HtmValidateAndApply();
+  {
+    obs::PhaseTimer timer(ctx_, obs::Phase::kHtmCommit);
+    s = HtmValidateAndApply();
+  }
   if (s == Status::kConflict) {
     ReleaseLocks(held_locks_, held_locks_.size());
     held_locks_.clear();
-    engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+    engine_->stats().IncAbortValidation();
     return Status::kAborted;
   }
   if (s == Status::kAborted) {
+    // The fallback is timed as one opaque phase — its internal re-lock /
+    // validate / apply steps are not re-attributed to the phases above.
+    obs::PhaseTimer timer(ctx_, obs::Phase::kFallback);
     return FallbackCommit(remote_targets);
   }
 
   // R.1 + R.2 (replication), C.5 (remote write-back).
   if (engine_->config().replication) {
+    obs::PhaseTimer timer(ctx_, obs::Phase::kReplication);
     const Status rs = ReplicateAll();
     if (rs != Status::kOk) {
       DRTMR_LOG(Warning) << "replication failed: " << StatusString(rs);
     }
     MakeupLocal();
   }
+  obs::PhaseTimer wb_timer(ctx_, obs::Phase::kWriteBack);
   WriteBackRemote();
 
   // Apply queued inserts/removes (validated transaction; see DESIGN.md on
@@ -656,7 +683,7 @@ Status Transaction::CommitReadWrite() {
   if (engine_->config().replication) {
     engine_->replicator()->EndTransaction(ctx_, txn_id_);
   }
-  engine_->stats().commits.fetch_add(1, std::memory_order_relaxed);
+  engine_->stats().IncCommit();
 
   // C.6: unlock remote records.
   ReleaseLocks(held_locks_, held_locks_.size());
@@ -667,13 +694,26 @@ Status Transaction::CommitReadWrite() {
 Status Transaction::Commit() {
   DRTMR_CHECK(active_);
   active_ = false;
-  if (read_only_ || (write_set_.empty() && mutations_.empty())) {
-    return CommitReadOnly();
+  // Everything since Begin() is the execution phase: reads, buffered writes,
+  // and application logic between them.
+  obs::PhaseSample(obs::Phase::kExecution, ctx_->clock.now_ns() - begin_ns_);
+  const bool read_only = read_only_ || (write_set_.empty() && mutations_.empty());
+  Status s;
+  if (read_only) {
+    s = CommitReadOnly();
+  } else if (engine_->config().fused_seq_lock) {
+    s = CommitReadWriteFused();
+  } else {
+    s = CommitReadWrite();
   }
-  if (engine_->config().fused_seq_lock) {
-    return CommitReadWriteFused();
+  if (obs::TraceEnabled()) {
+    const uint64_t end_ns = ctx_->clock.now_ns();
+    obs::Registry::Global().AddTrace(
+        read_only ? obs::TraceName::kTxnReadOnly : obs::TraceName::kTxn, ctx_->node_id,
+        ctx_->worker_id, begin_ns_, end_ns - begin_ns_,
+        /*arg=*/s == Status::kOk ? 1 : 0);
   }
-  return CommitReadWrite();
+  return s;
 }
 
 Status Transaction::CommitReadWriteFused() {
@@ -719,18 +759,23 @@ Status Transaction::CommitReadWriteFused() {
     return std::tie(a.node, a.offset) < std::tie(b.node, b.offset);
   });
 
-  // Fused C.1+C.2: lock-and-validate with one CAS per record.
+  // Fused C.1+C.2: lock-and-validate with one CAS per record. The fused CAS
+  // does both jobs at once, so the whole loop is attributed to kLock.
   sim::RdmaNic* nic = self_->nic();
   size_t locked = 0;
   bool failed = false;
-  for (; locked < targets.size(); ++locked) {
-    const FusedTarget& t = targets[locked];
-    uint64_t obs = 0;
-    const Status s = nic->CompareSwap(ctx_, t.node, t.offset + RecordLayout::kSeqOff, t.expected,
-                                      store::SeqWord::WithLock(t.expected), &obs);
-    if (s != Status::kOk) {
-      failed = true;
-      break;
+  {
+    obs::PhaseTimer timer(ctx_, obs::Phase::kLock);
+    for (; locked < targets.size(); ++locked) {
+      const FusedTarget& t = targets[locked];
+      uint64_t observed = 0;
+      const Status cs =
+          nic->CompareSwap(ctx_, t.node, t.offset + RecordLayout::kSeqOff, t.expected,
+                           store::SeqWord::WithLock(t.expected), &observed);
+      if (cs != Status::kOk) {
+        failed = true;
+        break;
+      }
     }
   }
   auto unlock_range = [&](size_t count, bool written_too) {
@@ -747,7 +792,7 @@ Status Transaction::CommitReadWriteFused() {
   };
   if (failed) {
     unlock_range(locked, /*written_too=*/true);
-    engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+    engine_->stats().IncAbortValidation();
     return Status::kAborted;
   }
   // Record the commit-base seq of remote write entries.
@@ -760,25 +805,30 @@ Status Transaction::CommitReadWriteFused() {
 
   // C.3 + C.4 inside one HTM region (unchanged; local records are never
   // fused-locked by this transaction).
-  Status s = HtmValidateAndApply();
+  Status s;
+  {
+    obs::PhaseTimer timer(ctx_, obs::Phase::kHtmCommit);
+    s = HtmValidateAndApply();
+  }
   if (s == Status::kConflict) {
     unlock_range(targets.size(), true);
-    engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+    engine_->stats().IncAbortValidation();
     return Status::kAborted;
   }
   if (s == Status::kAborted) {
     // Fallback (Â§6.1 under the fused scheme). The remote records stay fused-
     // locked the whole time, so their validation keeps holding; first give
     // the HTM region more attempts, then lock the local read/write sets with
-    // loopback fused CASes and apply without HTM.
-    engine_->stats().fallbacks.fetch_add(1, std::memory_order_relaxed);
+    // loopback fused CASes and apply without HTM. One opaque kFallback phase.
+    obs::PhaseTimer fallback_timer(ctx_, obs::Phase::kFallback);
+    engine_->stats().IncFallback();
     for (int attempt = 0; attempt < 16 && s == Status::kAborted; ++attempt) {
       std::this_thread::yield();
       s = HtmValidateAndApply();
     }
     if (s == Status::kConflict) {
       unlock_range(targets.size(), true);
-      engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+      engine_->stats().IncAbortValidation();
       return Status::kAborted;
     }
     if (s == Status::kAborted) {
@@ -827,9 +877,9 @@ Status Transaction::CommitReadWriteFused() {
             t.expected = cur;
           }
         }
-        uint64_t obs = 0;
+        uint64_t observed = 0;
         if (nic->CompareSwap(ctx_, ctx_->node_id, t.offset + RecordLayout::kSeqOff, t.expected,
-                             store::SeqWord::WithLock(t.expected), &obs) != Status::kOk) {
+                             store::SeqWord::WithLock(t.expected), &observed) != Status::kOk) {
           lfail = true;
           break;
         }
@@ -849,7 +899,7 @@ Status Transaction::CommitReadWriteFused() {
       if (lfail) {
         unlock_locals(llocked, true);
         unlock_range(targets.size(), true);
-        engine_->stats().aborts_validation.fetch_add(1, std::memory_order_relaxed);
+        engine_->stats().IncAbortValidation();
         return Status::kAborted;
       }
       // Everything is locked and validated; apply local writes without HTM.
@@ -872,12 +922,14 @@ Status Transaction::CommitReadWriteFused() {
   }
 
   if (engine_->config().replication) {
+    obs::PhaseTimer timer(ctx_, obs::Phase::kReplication);
     const Status rs = ReplicateAll();
     if (rs != Status::kOk) {
       DRTMR_LOG(Warning) << "replication failed: " << StatusString(rs);
     }
     MakeupLocal();
   }
+  obs::PhaseTimer wb_timer(ctx_, obs::Phase::kWriteBack);
   WriteBackRemote();  // clears the lock bit of written records (new seq)
   for (MutationEntry& m : mutations_) {
     engine_->Mutate(ctx_, m);
@@ -885,7 +937,7 @@ Status Transaction::CommitReadWriteFused() {
   if (engine_->config().replication) {
     engine_->replicator()->EndTransaction(ctx_, txn_id_);
   }
-  engine_->stats().commits.fetch_add(1, std::memory_order_relaxed);
+  engine_->stats().IncCommit();
   // C.6: unlock read-only remote records (one posted CAS each).
   unlock_range(targets.size(), /*written_too=*/false);
   return Status::kOk;

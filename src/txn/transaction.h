@@ -124,6 +124,7 @@ class Transaction : public TxnApi {
   cluster::Node* self_;
   SeqRules rules_;
   uint64_t txn_id_ = 0;
+  uint64_t begin_ns_ = 0;  // virtual time at Begin(), for phase/trace spans
   uint64_t lock_word_;
   bool read_only_ = false;
   bool active_ = false;

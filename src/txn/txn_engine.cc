@@ -76,7 +76,7 @@ Status TxnEngine::ReadLocalRecord(sim::ThreadContext* ctx, store::Table* table, 
   // remote committer holds the lock; a locked record is about to change, so
   // abort and retry with randomized backoff rather than read a doomed value.
   for (uint32_t attempt = 0; attempt < config_.local_read_retry_threshold; ++attempt) {
-    sim::HtmTxn* htm = node->htm()->Begin(ctx);
+    sim::HtmTxn* htm = node->htm()->Begin(ctx, obs::HtmSite::kLocalRead);
     if (htm == nullptr) {
       return Status::kInvalid;  // nested inside another HTM region
     }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/store/table.h"
 
 namespace drtmr::txn {
@@ -91,7 +92,39 @@ struct TxnStats {
   std::atomic<uint64_t> remote_reads{0};
   std::atomic<uint64_t> local_reads{0};
 
-  uint64_t TotalAborts() const { return aborts_lock + aborts_validation; }
+  // Aborts caused by the commit protocol itself (lock conflicts and
+  // validation failures). Excludes user-requested aborts.
+  uint64_t ProtocolAborts() const { return aborts_lock + aborts_validation; }
+  // Every aborted transaction attempt, including explicit user aborts.
+  uint64_t TotalAborts() const { return ProtocolAborts() + aborts_user; }
+
+  // Increment helpers: bump the local counter and mirror it into the
+  // observability registry (no-ops there when obs is disabled), so a metrics
+  // snapshot is self-contained without re-walking every engine.
+  void IncCommit() {
+    commits.fetch_add(1, std::memory_order_relaxed);
+    obs::Count(obs::Counter::kTxnCommit);
+  }
+  void IncAbortLock() {
+    aborts_lock.fetch_add(1, std::memory_order_relaxed);
+    obs::Count(obs::Counter::kTxnAbortLock);
+  }
+  void IncAbortValidation() {
+    aborts_validation.fetch_add(1, std::memory_order_relaxed);
+    obs::Count(obs::Counter::kTxnAbortValidation);
+  }
+  void IncAbortUser() {
+    aborts_user.fetch_add(1, std::memory_order_relaxed);
+    obs::Count(obs::Counter::kTxnAbortUser);
+  }
+  void IncFallback() {
+    fallbacks.fetch_add(1, std::memory_order_relaxed);
+    obs::Count(obs::Counter::kTxnFallback);
+  }
+  void IncHtmCommitRetry(uint64_t n = 1) {
+    htm_commit_retries.fetch_add(n, std::memory_order_relaxed);
+    obs::Count(obs::Counter::kHtmCommitRetry, n);
+  }
 
   void Reset() {
     commits = 0;

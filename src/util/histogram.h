@@ -1,6 +1,10 @@
 // Log-bucketed latency histogram. Records nanosecond samples into power-of-two
 // buckets subdivided 16 ways, supporting percentile extraction without storing
 // raw samples. Single-writer; merge across threads at report time.
+//
+// The bucket layout (BucketFor / BucketUpperBound / kNumBuckets) is public so
+// that external sharded collectors (src/obs) can accumulate compatible bucket
+// arrays lock-free and fold them in with MergeFrom at snapshot time.
 #ifndef DRTMR_SRC_UTIL_HISTOGRAM_H_
 #define DRTMR_SRC_UTIL_HISTOGRAM_H_
 
@@ -11,64 +15,10 @@ namespace drtmr {
 
 class Histogram {
  public:
-  void Record(uint64_t ns) {
-    count_++;
-    sum_ += ns;
-    if (ns > max_) {
-      max_ = ns;
-    }
-    if (min_ == 0 || ns < min_) {
-      min_ = ns;
-    }
-    buckets_[BucketFor(ns)]++;
-  }
-
-  void Merge(const Histogram& other) {
-    count_ += other.count_;
-    sum_ += other.sum_;
-    if (other.max_ > max_) {
-      max_ = other.max_;
-    }
-    if (min_ == 0 || (other.min_ != 0 && other.min_ < min_)) {
-      min_ = other.min_;
-    }
-    for (size_t i = 0; i < buckets_.size(); ++i) {
-      buckets_[i] += other.buckets_[i];
-    }
-  }
-
-  uint64_t count() const { return count_; }
-  uint64_t max() const { return max_; }
-  uint64_t min() const { return min_; }
-  double Mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
-
-  // Approximate percentile (p in [0,100]) as the upper bound of the bucket
-  // containing the p-th sample.
-  uint64_t Percentile(double p) const {
-    if (count_ == 0) {
-      return 0;
-    }
-    uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
-    if (rank >= count_) {
-      rank = count_ - 1;
-    }
-    uint64_t seen = 0;
-    for (size_t i = 0; i < buckets_.size(); ++i) {
-      seen += buckets_[i];
-      if (seen > rank) {
-        const uint64_t ub = UpperBound(i);
-        return ub < max_ ? ub : max_;
-      }
-    }
-    return max_;
-  }
-
-  void Reset() { *this = Histogram(); }
-
- private:
   // 64 exponents x 16 sub-buckets covers [0, 2^63].
   static constexpr int kSubBits = 4;
   static constexpr int kSub = 1 << kSubBits;
+  static constexpr size_t kNumBuckets = (64 - kSubBits + 1) * kSub;
 
   static size_t BucketFor(uint64_t ns) {
     if (ns < kSub) {
@@ -79,7 +29,7 @@ class Histogram {
     return static_cast<size_t>((exp - kSubBits + 1) * kSub + sub);
   }
 
-  static uint64_t UpperBound(size_t bucket) {
+  static uint64_t BucketUpperBound(size_t bucket) {
     if (bucket < kSub) {
       return bucket;
     }
@@ -88,11 +38,101 @@ class Histogram {
     return (1ull << exp) + ((sub + 1) << (exp - kSubBits)) - 1;
   }
 
-  std::array<uint64_t, (64 - kSubBits + 1) * kSub> buckets_{};
+  void Record(uint64_t ns) {
+    if (count_ == 0 || ns < min_) {
+      min_ = ns;
+    }
+    count_++;
+    sum_ += ns;
+    if (ns > max_) {
+      max_ = ns;
+    }
+    buckets_[BucketFor(ns)]++;
+  }
+
+  void Merge(const Histogram& other) {
+    // An empty histogram contributes nothing; in particular its min_ sentinel
+    // must not clobber a genuine 0 ns minimum on either side.
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  }
+
+  // Folds in an externally-accumulated bucket array laid out by BucketFor
+  // (e.g. one obs::Registry shard). `min` is only meaningful when count > 0.
+  void MergeFrom(const uint64_t* buckets, uint64_t count, uint64_t sum, uint64_t min,
+                 uint64_t max) {
+    if (count == 0) {
+      return;
+    }
+    if (count_ == 0 || min < min_) {
+      min_ = min;
+    }
+    count_ += count;
+    sum_ += sum;
+    if (max > max_) {
+      max_ = max;
+    }
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += buckets[i];
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+  // 0 when empty (no samples recorded); otherwise the smallest sample, which
+  // may itself be a genuine 0 ns.
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  bool empty() const { return count_ == 0; }
+  double Mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+
+  // Approximate percentile (p in [0,100]) as the upper bound of the bucket
+  // containing the p-th sample, clamped to [min, max].
+  uint64_t Percentile(double p) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
+    if (rank >= count_) {
+      rank = count_ - 1;
+    }
+    if (rank == 0) {
+      return min_;  // the 0th sample is the minimum, exactly
+    }
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen > rank) {
+        uint64_t ub = BucketUpperBound(i);
+        if (ub > max_) {
+          ub = max_;
+        }
+        return ub < min_ ? min_ : ub;
+      }
+    }
+    return max_;
+  }
+
+  void Reset() { *this = Histogram(); }
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
   uint64_t count_ = 0;
   uint64_t sum_ = 0;
   uint64_t max_ = 0;
-  uint64_t min_ = 0;
+  uint64_t min_ = 0;  // valid only when count_ > 0
 };
 
 }  // namespace drtmr

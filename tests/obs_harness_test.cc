@@ -1,0 +1,154 @@
+// End-to-end observability test: runs a small SmallBank benchmark with
+// metrics and tracing enabled and checks that the snapshot is coherent with
+// the driver's own result — nonzero commits, per-phase virtual time summing
+// to ~ the end-to-end latency sum, fabric traffic present, and both JSON
+// artifacts well-formed.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/harness.h"
+#include "src/obs/metrics.h"
+
+namespace drtmr {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class ObsHarnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Registry::Global().Reset();
+    obs::Registry::Global().Enable(true);
+    obs::Registry::Global().EnableTrace(1u << 12);
+  }
+  void TearDown() override {
+    obs::Registry::Global().Enable(false);
+    obs::Registry::Global().EnableTrace(0);
+    obs::Registry::Global().Reset();
+  }
+};
+
+TEST_F(ObsHarnessTest, SmallBankMetricsMatchDriverResult) {
+  bench::SmallBankBenchConfig cfg;
+  cfg.machines = 3;
+  cfg.threads = 2;
+  cfg.cross_pct = 10;
+  cfg.accounts_per_node = 2000;
+  cfg.hot_accounts = 100;
+  cfg.txns_per_thread = 200;
+  // No warmup: warmup transactions would record phases without contributing
+  // to the driver's latency histogram, breaking the phase-sum comparison.
+  cfg.warmup_per_thread = 0;
+  const workload::DriverResult r = bench::RunSmallBankDrtmR(cfg);
+
+  const uint64_t expected_txns = uint64_t{3} * 2 * 200;
+  EXPECT_EQ(r.committed, expected_txns);
+
+  const obs::Snapshot snap = obs::Registry::Global().Collect();
+
+  // Every driver iteration ends in an engine commit or a business
+  // (user) abort, e.g. an insufficient-funds send-payment; protocol aborts
+  // retry within the iteration and add on top.
+  EXPECT_GE(snap.counter(obs::Counter::kTxnCommit) + snap.counter(obs::Counter::kTxnAbortUser),
+            expected_txns);
+  EXPECT_GT(snap.counter(obs::Counter::kTxnCommit), 0u);
+
+  // Every attempt (committed or aborted) passed through the execution phase.
+  const Histogram& exec = snap.phase(obs::Phase::kExecution);
+  EXPECT_GE(exec.count(), expected_txns);
+  EXPECT_GT(exec.sum(), 0u);
+
+  // Phases partition each transaction's virtual time: summed across the run
+  // they must account for ~ the whole end-to-end latency sum. (Slack covers
+  // per-iteration work outside Begin()..Commit(), e.g. parameter generation.)
+  const uint64_t phase_sum = snap.PhaseSumNs();
+  const uint64_t latency_sum = r.latency.sum();
+  ASSERT_GT(latency_sum, 0u);
+  EXPECT_LE(phase_sum, latency_sum);
+  EXPECT_GE(static_cast<double>(phase_sum), 0.85 * static_cast<double>(latency_sum))
+      << "phase sum " << phase_sum << " vs latency sum " << latency_sum;
+
+  // Cross-machine SmallBank traffic must show up in the fabric matrix.
+  EXPECT_GT(snap.FabricOps(), 0u);
+  EXPECT_GT(snap.FabricBytes(), 0u);
+  bool has_cas = false;
+  for (const auto& k : snap.fabric) {
+    if (static_cast<obs::Verb>((k.key >> 32) & 0xff) == obs::Verb::kCas) {
+      has_cas = true;  // C.1 locking uses RDMA CAS
+    }
+  }
+  EXPECT_TRUE(has_cas);
+}
+
+TEST_F(ObsHarnessTest, SmallBankJsonArtifactsAreWellFormed) {
+  bench::SmallBankBenchConfig cfg;
+  cfg.machines = 2;
+  cfg.threads = 2;
+  cfg.cross_pct = 10;
+  cfg.accounts_per_node = 1000;
+  cfg.hot_accounts = 100;
+  cfg.txns_per_thread = 50;
+  cfg.warmup_per_thread = 0;
+  (void)bench::RunSmallBankDrtmR(cfg);
+
+  const obs::Snapshot snap = obs::Registry::Global().Collect();
+  const std::string metrics_path = std::string(::testing::TempDir()) + "/obs_hm_metrics.json";
+  ASSERT_TRUE(snap.WriteJson(metrics_path));
+  const std::string metrics = Slurp(metrics_path);
+  EXPECT_NE(metrics.find("\"counters\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"txn_commit\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"phases\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"p99_ns\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"fabric\""), std::string::npos);
+  EXPECT_EQ(metrics.front(), '{');
+
+  const std::string trace_path = std::string(::testing::TempDir()) + "/obs_hm_trace.json";
+  ASSERT_TRUE(obs::Registry::Global().WriteChromeTrace(trace_path));
+  const std::string trace = Slurp(trace_path);
+  ASSERT_GE(trace.size(), 2u);
+  EXPECT_EQ(trace.front(), '[');
+  EXPECT_EQ(trace.substr(trace.size() - 2), "]\n");
+  // Transaction spans in the Chrome trace_event "complete" form.
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"txn\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cat\":\"drtmr\""), std::string::npos);
+}
+
+TEST_F(ObsHarnessTest, DisabledObservabilityRecordsNothing) {
+  // With the registry disabled every hook is a relaxed load and a branch: a
+  // full benchmark run must leave the registry completely empty. (Individual
+  // run timings are not compared: virtual-time results depend on real thread
+  // interleavings through simulated HTM conflicts, so two runs are not
+  // bit-identical — and recording charges no virtual time either way.)
+  obs::Registry::Global().Enable(false);
+  obs::Registry::Global().EnableTrace(0);
+  obs::Registry::Global().Reset();
+  bench::SmallBankBenchConfig cfg;
+  cfg.machines = 2;
+  cfg.threads = 2;
+  cfg.accounts_per_node = 1000;
+  cfg.hot_accounts = 100;
+  cfg.txns_per_thread = 100;
+  const workload::DriverResult r = bench::RunSmallBankDrtmR(cfg);
+  EXPECT_EQ(r.committed, uint64_t{2} * 2 * 100);
+  const obs::Snapshot snap = obs::Registry::Global().Collect();
+  for (size_t i = 0; i < obs::kNumCounters; ++i) {
+    EXPECT_EQ(snap.counters[i], 0u) << obs::CounterName(static_cast<obs::Counter>(i));
+  }
+  for (size_t i = 0; i < obs::kNumPhases; ++i) {
+    EXPECT_TRUE(snap.phases[i].empty()) << obs::PhaseName(static_cast<obs::Phase>(i));
+  }
+  EXPECT_TRUE(snap.fabric.empty());
+  EXPECT_TRUE(snap.htm_aborts.empty());
+}
+
+}  // namespace
+}  // namespace drtmr
