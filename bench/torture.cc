@@ -1,0 +1,186 @@
+// Torture sweep driver: runs the fault-injection harness (src/chk/torture.h)
+// over seeds × fault-plan families × cluster shapes, and shrinks any failing
+// plan to a minimal rule set before reporting it.
+//
+//   torture [--seeds=N] [--start-seed=S] [--plans=delay,kill,...]
+//           [--shapes=3x2x3,4x2x3] [--txns=N] [--keys=N] [--no-shrink]
+//
+// Shapes are nodes x workers-per-node x replicas. Every failure line carries
+// the (seed, plan, shape) triple that reproduces it:
+//   torture --seeds=1 --start-seed=<seed> --plans=<plan> --shapes=<shape>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/chk/torture.h"
+
+namespace drtmr::chk {
+namespace {
+
+struct Shape {
+  uint32_t nodes;
+  uint32_t workers;
+  uint32_t replicas;
+};
+
+bool ParseShape(const std::string& s, Shape* out) {
+  return std::sscanf(s.c_str(), "%ux%ux%u", &out->nodes, &out->workers, &out->replicas) == 3;
+}
+
+bool ParsePlan(const std::string& s, TorturePlanKind* out) {
+  for (uint32_t k = 0; k < static_cast<uint32_t>(TorturePlanKind::kNumKinds); ++k) {
+    if (s == TorturePlanKindName(static_cast<TorturePlanKind>(k))) {
+      *out = static_cast<TorturePlanKind>(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> SplitCommas(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (; *s != '\0'; ++s) {
+    if (*s == ',') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+      }
+      cur.clear();
+    } else {
+      cur.push_back(*s);
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+// Greedily removes rules while the run keeps failing; returns a minimal plan
+// (every remaining rule is necessary for this failure at this seed).
+sim::FaultPlan ShrinkFailingPlan(TortureOptions opt, sim::FaultPlan plan) {
+  bool shrunk = true;
+  while (shrunk && plan.num_rules() > 0) {
+    shrunk = false;
+    for (size_t i = 0; i < plan.num_rules(); ++i) {
+      sim::FaultPlan candidate = plan.WithoutRule(i);
+      opt.plan_override = &candidate;
+      if (!RunTorture(opt).ok) {
+        plan = candidate;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+int Main(int argc, char** argv) {
+  uint64_t seeds = 64;
+  uint64_t start_seed = 1;
+  uint32_t txns = 120;
+  uint32_t keys = 8;
+  bool shrink = true;
+  std::vector<TorturePlanKind> plans = {TorturePlanKind::kClean,    TorturePlanKind::kDelay,
+                                        TorturePlanKind::kHtmAbort, TorturePlanKind::kFreeze,
+                                        TorturePlanKind::kPartition, TorturePlanKind::kKill};
+  std::vector<Shape> shapes = {{3, 2, 3}, {4, 2, 3}};
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--seeds=", 8) == 0) {
+      seeds = std::strtoull(a + 8, nullptr, 0);
+    } else if (std::strncmp(a, "--start-seed=", 13) == 0) {
+      start_seed = std::strtoull(a + 13, nullptr, 0);
+    } else if (std::strncmp(a, "--txns=", 7) == 0) {
+      txns = static_cast<uint32_t>(std::strtoul(a + 7, nullptr, 0));
+    } else if (std::strncmp(a, "--keys=", 7) == 0) {
+      keys = static_cast<uint32_t>(std::strtoul(a + 7, nullptr, 0));
+    } else if (std::strcmp(a, "--no-shrink") == 0) {
+      shrink = false;
+    } else if (std::strncmp(a, "--plans=", 8) == 0) {
+      plans.clear();
+      for (const std::string& name : SplitCommas(a + 8)) {
+        TorturePlanKind kind;
+        if (!ParsePlan(name, &kind)) {
+          std::fprintf(stderr, "unknown plan '%s'\n", name.c_str());
+          return 2;
+        }
+        plans.push_back(kind);
+      }
+    } else if (std::strncmp(a, "--shapes=", 9) == 0) {
+      shapes.clear();
+      for (const std::string& spec : SplitCommas(a + 9)) {
+        Shape shape;
+        if (!ParseShape(spec, &shape)) {
+          std::fprintf(stderr, "bad shape '%s' (want NxWxR)\n", spec.c_str());
+          return 2;
+        }
+        shapes.push_back(shape);
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: torture [--seeds=N] [--start-seed=S] [--plans=a,b] "
+                   "[--shapes=3x2x3] [--txns=N] [--keys=N] [--no-shrink]\n");
+      return 2;
+    }
+  }
+
+  uint64_t runs = 0;
+  uint64_t failures = 0;
+  for (const Shape& shape : shapes) {
+    for (const TorturePlanKind kind : plans) {
+      if (kind == TorturePlanKind::kKill && shape.replicas < 2) {
+        std::printf("shape %ux%ux%u plan %-9s SKIP (kill needs replication)\n", shape.nodes,
+                    shape.workers, shape.replicas, TorturePlanKindName(kind));
+        continue;
+      }
+      uint64_t pass = 0;
+      uint64_t committed = 0;
+      for (uint64_t s = 0; s < seeds; ++s) {
+        TortureOptions opt;
+        opt.shape.nodes = shape.nodes;
+        opt.shape.workers = shape.workers;
+        opt.shape.replicas = shape.replicas;
+        opt.shape.keys_per_node = keys;
+        opt.shape.txns_per_worker = txns;
+        opt.seed = start_seed + s;
+        opt.plan_kind = kind;
+        const TortureResult r = RunTorture(opt);
+        ++runs;
+        committed += r.committed;
+        if (r.ok) {
+          ++pass;
+          continue;
+        }
+        ++failures;
+        std::printf("FAIL: seed=%" PRIu64 " plan=%s shape=%ux%ux%u\n%s\n", opt.seed,
+                    TorturePlanKindName(kind), shape.nodes, shape.workers, shape.replicas,
+                    r.Summary().c_str());
+        sim::FaultPlan plan = MakeTorturePlan(kind, opt.seed, shape.nodes);
+        std::printf("  plan:\n%s", plan.Describe().c_str());
+        if (shrink && plan.num_rules() > 1) {
+          const sim::FaultPlan minimal = ShrinkFailingPlan(opt, plan);
+          std::printf("  minimal failing plan (%zu of %zu rules):\n%s",
+                      minimal.num_rules(), plan.num_rules(), minimal.Describe().c_str());
+        }
+      }
+      std::printf("shape %ux%ux%u plan %-9s %3" PRIu64 "/%" PRIu64
+                  " seeds ok, %" PRIu64 " txns committed\n",
+                  shape.nodes, shape.workers, shape.replicas, TorturePlanKindName(kind), pass,
+                  seeds, committed);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("torture: %" PRIu64 " runs, %" PRIu64 " failure(s)\n", runs, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace drtmr::chk
+
+int main(int argc, char** argv) { return drtmr::chk::Main(argc, argv); }

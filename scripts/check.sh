@@ -1,32 +1,78 @@
 #!/usr/bin/env bash
-# Repo verification: the tier-1 build + test cycle, plus a ThreadSanitizer
-# pass over the concurrency-sensitive observability and driver tests.
+# Repo verification cycles, keyed off the ctest labels (tests/CMakeLists.txt):
+#   tier1  — the correctness gate (every test carries it)
+#   slow   — multi-second property/recovery suites
+#   stress — seed-scalable torture sweeps (DRTMR_TORTURE_SEEDS widens them)
 #
-# Usage: scripts/check.sh [--no-tsan]
+# Usage: scripts/check.sh [fast|full] [--no-tsan] [--no-asan]
+#
+#   fast (default) — build + `ctest -L tier1 -LE slow`: the inner-loop cycle,
+#                    a couple of minutes.
+#   full           — build + the whole tier-1 gate (slow suites included) +
+#                    a widened torture sweep + ThreadSanitizer and
+#                    AddressSanitizer passes over the stress-labeled targets
+#                    with a small seed budget.
+#
+# A failing randomized test prints its DRTMR_TEST_SEED; reproduce with
+#   DRTMR_TEST_SEED=<seed> ctest --test-dir build -R <test> --output-on-failure
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
+CYCLE=fast
 RUN_TSAN=1
-if [[ "${1:-}" == "--no-tsan" ]]; then
-  RUN_TSAN=0
-fi
+RUN_ASAN=1
+for arg in "$@"; do
+  case "$arg" in
+    fast|full) CYCLE="$arg" ;;
+    --no-tsan) RUN_TSAN=0 ;;
+    --no-asan) RUN_ASAN=0 ;;
+    *) echo "usage: scripts/check.sh [fast|full] [--no-tsan] [--no-asan]" >&2; exit 2 ;;
+  esac
+done
 
-echo "== tier-1: configure + build + ctest =="
+echo "== build =="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$CYCLE" == fast ]]; then
+  echo "== fast cycle: tier1 minus slow =="
+  ctest --test-dir build --output-on-failure -j "$JOBS" -L tier1 -LE slow
+  echo "== fast cycle passed =="
+  exit 0
+fi
+
+echo "== full cycle: complete tier-1 gate =="
+ctest --test-dir build --output-on-failure -j "$JOBS" -L tier1
+
+echo "== full cycle: widened torture sweep (DRTMR_TORTURE_SEEDS=8) =="
+DRTMR_TORTURE_SEEDS=8 ctest --test-dir build --output-on-failure -j "$JOBS" -L stress
 
 if [[ "$RUN_TSAN" == 1 ]]; then
-  echo "== tsan: registry + driver tests under ThreadSanitizer =="
+  echo "== tsan: stress + concurrency tests under ThreadSanitizer =="
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j "$JOBS" --target \
-    obs_test obs_harness_test virtual_time_test workload_test
+    obs_test obs_harness_test virtual_time_test workload_test torture_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -R 'Histogram|ObsRegistry|ObsHarness|VirtualTime|Workload'
+  # Sanitized runs are ~10x slower: keep the sweep to one seed per shape.
+  DRTMR_TORTURE_SEEDS=1 ctest --test-dir build-tsan --output-on-failure -L stress
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo "== asan: stress targets under AddressSanitizer =="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address"
+  cmake --build build-asan -j "$JOBS" --target torture_test recovery_fault_test fault_test
+  DRTMR_TORTURE_SEEDS=1 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -L stress
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -R 'RecoveryFault|FaultPlan'
 fi
 
 echo "== all checks passed =="

@@ -1,0 +1,90 @@
+#include "src/chk/history.h"
+
+#include <algorithm>
+
+namespace drtmr::chk {
+
+HistoryRecorder& HistoryRecorder::Global() {
+  static HistoryRecorder* instance = new HistoryRecorder();  // leaked by design
+  return *instance;
+}
+
+void HistoryRecorder::Enable(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+HistoryRecorder::ShardHandle::~ShardHandle() {
+  if (shard != nullptr) {
+    HistoryRecorder::Global().Release(shard);
+  }
+}
+
+HistoryRecorder::Shard* HistoryRecorder::LocalShard() {
+  static thread_local ShardHandle handle;
+  if (handle.shard == nullptr) {
+    handle.shard = Acquire();
+  }
+  return handle.shard;
+}
+
+HistoryRecorder::Shard* HistoryRecorder::Acquire() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!free_.empty()) {
+    Shard* s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  all_.push_back(std::make_unique<Shard>());
+  return all_.back().get();
+}
+
+void HistoryRecorder::Release(Shard* shard) {
+  // Released shards keep their records (they contribute to Collect until
+  // Reset); a later thread reuses the shard, so memory tracks concurrency.
+  std::lock_guard<std::mutex> g(mu_);
+  free_.push_back(shard);
+}
+
+void HistoryRecorder::Record(TxnRec&& rec) {
+  Shard* s = LocalShard();
+  std::lock_guard<std::mutex> g(s->mu);
+  s->recs.push_back(std::move(rec));
+}
+
+std::vector<TxnRec> HistoryRecorder::Collect() const {
+  std::vector<TxnRec> out;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (const auto& s : all_) {
+      std::lock_guard<std::mutex> sg(s->mu);
+      out.insert(out.end(), s->recs.begin(), s->recs.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TxnRec& a, const TxnRec& b) {
+    if (a.commit_ns != b.commit_ns) {
+      return a.commit_ns < b.commit_ns;
+    }
+    return a.txn_id < b.txn_id;
+  });
+  return out;
+}
+
+void HistoryRecorder::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& s : all_) {
+    std::lock_guard<std::mutex> sg(s->mu);
+    s->recs.clear();
+  }
+}
+
+size_t HistoryRecorder::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  size_t n = 0;
+  for (const auto& s : all_) {
+    std::lock_guard<std::mutex> sg(s->mu);
+    n += s->recs.size();
+  }
+  return n;
+}
+
+}  // namespace drtmr::chk

@@ -1,0 +1,103 @@
+// Transaction history recording for offline serializability checking
+// (DESIGN.md §9).
+//
+// The recorder captures, for every *committed* transaction, its read set
+// (observed record versions) and write set (final installed versions). Like
+// the obs layer it is compile-in but runtime-toggled: disabled (the default),
+// the commit-path hook is one relaxed bool load; enabled, recording appends
+// to a per-thread shard under an uncontended mutex. Recording charges no
+// virtual time, so torture runs measure the same simulated timings as
+// production runs.
+//
+// Version convention (ties the history to SeqRules, src/txn/types.h):
+//  * a read is logged with its observed seq normalized to the *committable*
+//    value — under replication `(seq+1) & ~1`, else `seq` — which equals the
+//    final seq of the write that produced the observed payload;
+//  * a write is logged with the final stable seq it installs,
+//    `SeqRules::RemoteCommitSeq(commit_seq)`, uniform across the fast,
+//    fallback, and fused commit paths;
+//  * versions <= 2 are the pre-history seed state (stores install records at
+//    seq 2).
+// The checker (chk/checker.h) rebuilds WR/WW/RW dependencies from exactly
+// these values.
+#ifndef DRTMR_SRC_CHK_HISTORY_H_
+#define DRTMR_SRC_CHK_HISTORY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace drtmr::chk {
+
+struct AccessRec {
+  uint32_t table_id = 0;
+  uint64_t key = 0;
+  // Reads: normalized observed version. Writes: final installed version.
+  uint64_t version = 0;
+};
+
+struct TxnRec {
+  uint64_t txn_id = 0;
+  uint32_t node = 0;
+  uint32_t worker = 0;
+  uint64_t begin_ns = 0;
+  uint64_t commit_ns = 0;  // virtual time at commit completion
+  bool read_only = false;
+  std::vector<AccessRec> reads;
+  std::vector<AccessRec> writes;
+};
+
+class HistoryRecorder {
+ public:
+  // Process-wide instance (leaked, like obs::Registry: thread-local shard
+  // handles may be released after static destructors run).
+  static HistoryRecorder& Global();
+
+  void Enable(bool on);
+
+  // Appends one committed transaction to the calling thread's shard.
+  // Callers gate on Enabled().
+  void Record(TxnRec&& rec);
+
+  // Merges every shard into one vector, ordered by (commit_ns, txn_id).
+  // Writers must be quiescent for an exact history.
+  std::vector<TxnRec> Collect() const;
+
+  // Drops all recorded transactions (shards stay allocated). Callers must be
+  // quiesced.
+  void Reset();
+
+  size_t size() const;
+
+ private:
+  HistoryRecorder() = default;
+
+  struct Shard {
+    mutable std::mutex mu;  // uncontended on the hot path (single writer)
+    std::vector<TxnRec> recs;
+  };
+  struct ShardHandle {
+    Shard* shard = nullptr;
+    ~ShardHandle();
+  };
+
+  Shard* LocalShard();
+  Shard* Acquire();
+  void Release(Shard* shard);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> all_;
+  std::vector<Shard*> free_;
+};
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+inline bool Enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+}  // namespace drtmr::chk
+
+#endif  // DRTMR_SRC_CHK_HISTORY_H_

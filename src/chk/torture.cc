@@ -1,0 +1,488 @@
+#include "src/chk/torture.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/chk/history.h"
+#include "src/cluster/coordinator.h"
+#include "src/cluster/node.h"
+#include "src/cluster/partition_map.h"
+#include "src/rep/primary_backup.h"
+#include "src/rep/recovery.h"
+#include "src/sim/htm.h"
+#include "src/store/hash_store.h"
+#include "src/store/record.h"
+#include "src/store/table.h"
+#include "src/txn/transaction.h"
+#include "src/txn/txn_engine.h"
+#include "src/util/rand.h"
+
+namespace drtmr::chk {
+namespace {
+
+struct Cell {
+  int64_t value;
+  uint64_t pad[6];
+};
+
+constexpr uint32_t kTableId = 1;
+constexpr int64_t kInitialBalance = 1000;
+
+// Victim workers park this far (virtual time) before the kill instant so the
+// machine dies between transactions — fail-stop, never fail-torn. Generous
+// relative to one transfer's virtual cost (a few microseconds).
+constexpr uint64_t kKillMarginNs = 40'000;
+
+uint64_t KeyOf(uint32_t part, uint64_t i) {
+  return (static_cast<uint64_t>(part) << 16) | (i + 1);
+}
+
+}  // namespace
+
+const char* TorturePlanKindName(TorturePlanKind kind) {
+  switch (kind) {
+    case TorturePlanKind::kClean:
+      return "clean";
+    case TorturePlanKind::kDelay:
+      return "delay";
+    case TorturePlanKind::kHtmAbort:
+      return "htm-abort";
+    case TorturePlanKind::kFreeze:
+      return "freeze";
+    case TorturePlanKind::kPartition:
+      return "partition";
+    case TorturePlanKind::kKill:
+      return "kill";
+    case TorturePlanKind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+sim::FaultPlan MakeTorturePlan(TorturePlanKind kind, uint64_t seed, uint32_t nodes) {
+  // Pure function of (kind, seed, nodes): the sweep reproduces any failure
+  // from the three numbers it prints.
+  FastRand rng(seed * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(kind) + 1);
+  sim::FaultPlan plan(seed);
+  const auto any = sim::FaultPlan::kAnyNode;
+  switch (kind) {
+    case TorturePlanKind::kClean:
+    case TorturePlanKind::kNumKinds:
+      break;
+    case TorturePlanKind::kDelay: {
+      // Background jitter on every path plus one heavily delayed pair; the
+      // posted-verb variants slide completions, reordering batch arrival.
+      plan.DelayVerbs(any, any, {0, 0}, 200 + rng.Uniform(2000),
+                      /*ppm=*/300'000 + rng.Uniform(400'000));
+      const uint32_t a = static_cast<uint32_t>(rng.Uniform(nodes));
+      const uint32_t b = static_cast<uint32_t>(rng.Uniform(nodes));
+      const uint64_t from = 20'000 + rng.Uniform(100'000);
+      plan.DelayVerbs(a, b, {from, from + 150'000}, 5'000 + rng.Uniform(10'000));
+      break;
+    }
+    case TorturePlanKind::kHtmAbort: {
+      // Conflict-coded aborts at the commit region drive the §6.1 fallback;
+      // capacity-coded aborts at the local-read region drive its retry loop.
+      plan.ForceHtmAbort(obs::HtmSite::kCommit,
+                         static_cast<uint32_t>(sim::HtmTxn::AbortCode::kConflict),
+                         /*ppm=*/150'000 + rng.Uniform(250'000));
+      plan.ForceHtmAbort(obs::HtmSite::kLocalRead,
+                         static_cast<uint32_t>(sim::HtmTxn::AbortCode::kCapacity),
+                         /*ppm=*/50'000 + rng.Uniform(100'000));
+      break;
+    }
+    case TorturePlanKind::kFreeze: {
+      const uint32_t victim = static_cast<uint32_t>(rng.Uniform(nodes));
+      const uint64_t from = 30'000 + rng.Uniform(100'000);
+      const uint64_t dur = 40'000 + rng.Uniform(80'000);
+      plan.Freeze(victim, {from, from + dur});
+      // A second, later freeze of (usually) another node.
+      const uint32_t victim2 = static_cast<uint32_t>(rng.Uniform(nodes));
+      const uint64_t from2 = from + dur + rng.Uniform(100'000);
+      plan.Freeze(victim2, {from2, from2 + 30'000 + rng.Uniform(50'000)});
+      break;
+    }
+    case TorturePlanKind::kPartition: {
+      const uint32_t a = static_cast<uint32_t>(rng.Uniform(nodes));
+      const uint32_t b = (a + 1 + static_cast<uint32_t>(rng.Uniform(nodes - 1))) % nodes;
+      const uint64_t from = 30'000 + rng.Uniform(80'000);
+      plan.Partition(a, b, {from, from + 50'000 + rng.Uniform(100'000)});
+      plan.DelayVerbs(any, any, {0, 0}, 500 + rng.Uniform(1'500),
+                      /*ppm=*/100'000 + rng.Uniform(200'000));
+      break;
+    }
+    case TorturePlanKind::kKill: {
+      const uint32_t victim = static_cast<uint32_t>(rng.Uniform(nodes));
+      plan.KillAt(victim, 120'000 + rng.Uniform(80'000));
+      break;
+    }
+  }
+  return plan;
+}
+
+std::string TortureResult::Summary() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "FAILED") << ": " << committed << " transfers, " << audits << " audits";
+  if (killed) {
+    os << ", killed+recovered (" << recovered_records << " records rehosted)";
+  }
+  os << "\n  checker: " << check.Summary();
+  for (const std::string& e : errors) {
+    os << "\n  oracle: " << e;
+  }
+  return os.str();
+}
+
+TortureResult RunTorture(const TortureOptions& opt) {
+  const TortureShape& shape = opt.shape;
+  const uint32_t nodes = shape.nodes;
+  const uint32_t replicas = std::min(shape.replicas, nodes);
+  const bool replication = replicas > 1;
+
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.workers_per_node = shape.workers + 1;  // extra slot runs the read-only auditor
+  cfg.memory_bytes = 16 << 20;
+  cfg.log_bytes = 4 << 20;
+  cluster::Cluster cluster(cfg);
+  store::Catalog catalog(&cluster);
+  store::TableOptions topt;
+  topt.value_size = sizeof(Cell);
+  topt.hash_buckets = 256;
+  store::Table* table = catalog.CreateTable(kTableId, topt);
+
+  cluster::Coordinator coordinator;
+  for (uint32_t i = 0; i < nodes; ++i) {
+    coordinator.Join(i, 0, ~0ull >> 2);
+  }
+  std::unique_ptr<rep::PrimaryBackupReplicator> replicator;
+  if (replication) {
+    rep::RepConfig rcfg;
+    rcfg.replicas = replicas;
+    replicator = std::make_unique<rep::PrimaryBackupReplicator>(&cluster, rcfg);
+  }
+  txn::TxnConfig tcfg;
+  tcfg.replication = replication;
+  tcfg.unsafe_skip_read_validation = opt.unsafe_skip_read_validation;
+  txn::TxnEngine engine(&cluster, &catalog, tcfg, &coordinator, replicator.get());
+  engine.StartServices();
+  cluster::PartitionMap pmap(nodes);
+
+  for (uint32_t n = 0; n < nodes; ++n) {
+    for (uint64_t i = 0; i < shape.keys_per_node; ++i) {
+      Cell c{kInitialBalance, {}};
+      table->hash(n)->Insert(cluster.node(n)->context(0), KeyOf(n, i), &c, nullptr);
+      if (replicator != nullptr) {
+        const uint64_t off = table->hash(n)->Lookup(nullptr, KeyOf(n, i));
+        std::vector<std::byte> img(table->record_bytes());
+        cluster.node(n)->bus()->Read(nullptr, off, img.data(), img.size());
+        for (uint32_t r = 1; r < replicas; ++r) {
+          replicator->SeedBackup(cluster.BackupOf(n, r), kTableId, n, KeyOf(n, i), img.data(),
+                                 img.size());
+        }
+      }
+    }
+  }
+  const int64_t total = static_cast<int64_t>(nodes) * shape.keys_per_node * kInitialBalance;
+
+  const sim::FaultPlan local_plan =
+      opt.plan_override != nullptr ? *opt.plan_override
+                                   : MakeTorturePlan(opt.plan_kind, opt.seed, nodes);
+  const sim::FaultPlan& plan = local_plan;
+  cluster.SetFaultPlan(&plan);
+
+  uint32_t victim = sim::FaultPlan::kAnyNode;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    if (plan.KillTimeOf(n) != ~0ull) {
+      victim = n;
+    }
+  }
+
+  TortureResult result;
+  result.killed = victim != sim::FaultPlan::kAnyNode;
+  std::mutex err_mu;
+  auto flag = [&](const std::string& msg) {
+    std::lock_guard<std::mutex> g(err_mu);
+    if (result.errors.size() < 20) {
+      result.errors.push_back(msg);
+    }
+  };
+
+  HistoryRecorder::Global().Reset();
+  HistoryRecorder::Global().Enable(true);
+
+  // One transfer with retry-until-commit; every loop re-checks the kill
+  // boundary so a victim worker parks at a transaction boundary.
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> audits{0};
+  std::atomic<uint32_t> running{nodes * shape.workers};
+  const bool debug = std::getenv("DRTMR_TORTURE_DEBUG") != nullptr;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> dbg_stage;
+  for (uint32_t i = 0; i < nodes * shape.workers; ++i) {
+    dbg_stage.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+  std::vector<std::thread> workers;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    const uint64_t kill_ns = plan.KillTimeOf(n);
+    for (uint32_t w = 0; w < shape.workers; ++w) {
+      workers.emplace_back([&, n, w, kill_ns] {
+        sim::ThreadContext* ctx = cluster.node(n)->context(w);
+        txn::Transaction txn(&engine, ctx);
+        FastRand rng(opt.seed * 131 + n * 31 + w + 5);
+        std::atomic<uint64_t>& stage = *dbg_stage[n * shape.workers + w];
+        uint64_t done = 0;
+        uint64_t attempts = 0;
+        const uint64_t max_attempts = static_cast<uint64_t>(shape.txns_per_worker) * 50;
+        while (done < shape.txns_per_worker && attempts < max_attempts) {
+          if (kill_ns != ~0ull && ctx->clock.now_ns() + kKillMarginNs >= kill_ns) {
+            break;  // our machine is about to fail-stop
+          }
+          ++attempts;
+          stage.store(attempts * 10 + 1, std::memory_order_relaxed);
+          const uint32_t fp = static_cast<uint32_t>(rng.Uniform(nodes));
+          const uint32_t tp = static_cast<uint32_t>(rng.Uniform(nodes));
+          const uint64_t from = KeyOf(fp, rng.Uniform(shape.keys_per_node));
+          const uint64_t to = KeyOf(tp, rng.Uniform(shape.keys_per_node));
+          if (from == to) {
+            continue;
+          }
+          const int64_t amt = 1 + static_cast<int64_t>(rng.Uniform(9));
+          txn.Begin();
+          Cell a{}, b{};
+          stage.store(attempts * 10 + 2, std::memory_order_relaxed);
+          if (txn.Read(table, pmap.node_of(fp), from, &a) != Status::kOk ||
+              txn.Read(table, pmap.node_of(tp), to, &b) != Status::kOk) {
+            txn.UserAbort();
+            continue;
+          }
+          a.value -= amt;
+          b.value += amt;
+          stage.store(attempts * 10 + 3, std::memory_order_relaxed);
+          if (txn.Write(table, pmap.node_of(fp), from, &a) != Status::kOk ||
+              txn.Write(table, pmap.node_of(tp), to, &b) != Status::kOk) {
+            txn.UserAbort();
+            continue;
+          }
+          stage.store(attempts * 10 + 4, std::memory_order_relaxed);
+          if (txn.Commit() == Status::kOk) {
+            ++done;
+          }
+        }
+        committed.fetch_add(done);
+        running.fetch_sub(1);
+      });
+    }
+  }
+  std::thread monitor;
+  std::atomic<bool> monitor_stop{false};
+  if (debug) {
+    monitor = std::thread([&] {
+      while (!monitor_stop.load()) {
+        std::this_thread::sleep_for(std::chrono::seconds(2));
+        std::ostringstream os;
+        os << "[torture] running=" << running.load() << " committed=" << committed.load()
+           << " stages:";
+        for (uint32_t i = 0; i < nodes * shape.workers; ++i) {
+          os << " " << dbg_stage[i]->load();
+        }
+        std::fprintf(stderr, "%s\n", os.str().c_str());
+      }
+    });
+  }
+  // Read-only auditors on each node's extra worker slot: any committed
+  // snapshot must observe the conserved total.
+  std::vector<std::thread> auditors;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    const uint64_t kill_ns = plan.KillTimeOf(n);
+    auditors.emplace_back([&, n, kill_ns] {
+      sim::ThreadContext* ctx = cluster.node(n)->context(shape.workers);
+      txn::Transaction ro(&engine, ctx);
+      while (running.load(std::memory_order_relaxed) > 0) {
+        if (kill_ns != ~0ull && ctx->clock.now_ns() + kKillMarginNs >= kill_ns) {
+          return;
+        }
+        ro.Begin(true);
+        int64_t sum = 0;
+        bool readable = true;
+        for (uint32_t p = 0; p < nodes && readable; ++p) {
+          for (uint64_t i = 0; i < shape.keys_per_node && readable; ++i) {
+            Cell c{};
+            readable = ro.Read(table, pmap.node_of(p), KeyOf(p, i), &c) == Status::kOk;
+            sum += c.value;
+          }
+        }
+        if (!readable) {
+          ro.UserAbort();
+          std::this_thread::yield();
+          continue;
+        }
+        if (ro.Commit() == Status::kOk) {
+          audits.fetch_add(1);
+          if (sum != total) {
+            flag("auditor snapshot sum " + std::to_string(sum) + " != " +
+                 std::to_string(total));
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : workers) {
+    t.join();
+  }
+  for (auto& t : auditors) {
+    t.join();
+  }
+  if (monitor.joinable()) {
+    monitor_stop.store(true);
+    monitor.join();
+  }
+
+  // Fail-stop + recovery: commit a configuration without the victim, re-host
+  // its partition on a survivor, then prove the re-hosted partition serves
+  // transactions (all still recorded and checked).
+  uint64_t post_committed = 0;
+  if (result.killed) {
+    const uint32_t host = (victim + 1) % nodes;
+    cluster.Kill(victim);
+    coordinator.Remove(victim);
+    if (replicator != nullptr) {
+      rep::RecoveryManager rm(&engine, replicator.get(), &coordinator);
+      const rep::RecoveryReport report =
+          rm.RecoverAfterFailure(cluster.node(host)->tool_context(), victim, host, &pmap);
+      result.recovered_records = report.records_rehosted;
+      if (report.records_rehosted < shape.keys_per_node) {
+        flag("recovery rehosted " + std::to_string(report.records_rehosted) + " < " +
+             std::to_string(shape.keys_per_node) + " records");
+      }
+
+      sim::ThreadContext* ctx = cluster.node(host)->context(0);
+      txn::Transaction txn(&engine, ctx);
+      FastRand rng(opt.seed ^ 0xdead5eedull);
+      uint64_t attempts = 0;
+      for (uint64_t i = 0; i < 20 && attempts < 400; ++i) {
+        // Always touch the re-hosted partition on one side.
+        const uint64_t from = KeyOf(victim, rng.Uniform(shape.keys_per_node));
+        uint32_t tp = static_cast<uint32_t>(rng.Uniform(nodes));
+        uint64_t to = KeyOf(tp, rng.Uniform(shape.keys_per_node));
+        if (to == from) {
+          continue;
+        }
+        while (attempts < 400) {
+          ++attempts;
+          txn.Begin();
+          Cell a{}, b{};
+          if (txn.Read(table, pmap.node_of(victim), from, &a) != Status::kOk ||
+              txn.Read(table, pmap.node_of(tp), to, &b) != Status::kOk) {
+            txn.UserAbort();
+            continue;
+          }
+          a.value -= 3;
+          b.value += 3;
+          if (txn.Write(table, pmap.node_of(victim), from, &a) != Status::kOk ||
+              txn.Write(table, pmap.node_of(tp), to, &b) != Status::kOk) {
+            txn.UserAbort();
+            continue;
+          }
+          if (txn.Commit() == Status::kOk) {
+            ++post_committed;
+            break;
+          }
+        }
+      }
+      if (post_committed == 0) {
+        flag("no transaction committed against the re-hosted partition");
+      }
+      // One final audited snapshot through the transaction layer.
+      txn::Transaction ro(&engine, ctx);
+      for (uint32_t attempt = 0; attempt < 50; ++attempt) {
+        ro.Begin(true);
+        int64_t sum = 0;
+        bool readable = true;
+        for (uint32_t p = 0; p < nodes && readable; ++p) {
+          for (uint64_t i = 0; i < shape.keys_per_node && readable; ++i) {
+            Cell c{};
+            readable = ro.Read(table, pmap.node_of(p), KeyOf(p, i), &c) == Status::kOk;
+            sum += c.value;
+          }
+        }
+        if (!readable) {
+          ro.UserAbort();
+          continue;
+        }
+        if (ro.Commit() == Status::kOk) {
+          audits.fetch_add(1);
+          if (sum != total) {
+            flag("post-recovery snapshot sum " + std::to_string(sum) + " != " +
+                 std::to_string(total));
+          }
+          break;
+        }
+      }
+    } else {
+      flag("kill plan on an unreplicated shape: nothing to recover from");
+    }
+  }
+
+  HistoryRecorder::Global().Enable(false);
+  result.committed = committed.load() + post_committed;
+  result.audits = audits.load();
+
+  // Quiescent sweep: conservation, no leaked locks (a lock owned by the dead
+  // machine may linger until touched — passive release), committable seqs.
+  int64_t final_total = 0;
+  for (uint32_t p = 0; p < nodes; ++p) {
+    const uint32_t n = pmap.node_of(p);
+    for (uint64_t i = 0; i < shape.keys_per_node; ++i) {
+      const uint64_t off = table->hash(n)->Lookup(nullptr, KeyOf(p, i));
+      if (off == store::HashStore::kNoRecord) {
+        flag("partition " + std::to_string(p) + " key " + std::to_string(i) +
+             " unreachable at quiescence");
+        continue;
+      }
+      std::vector<std::byte> rec(table->record_bytes());
+      cluster.node(n)->bus()->Read(nullptr, off, rec.data(), rec.size());
+      Cell c{};
+      store::RecordLayout::GatherValue(rec.data(), &c, sizeof(c));
+      final_total += c.value;
+      const uint64_t lock = store::RecordLayout::GetLock(rec.data());
+      if (lock != 0 && !(result.killed && store::LockWord::OwnerNode(lock) == victim)) {
+        flag("leaked lock on partition " + std::to_string(p) + " key " + std::to_string(i));
+      }
+      if (replication && store::RecordLayout::GetSeq(rec.data()) % 2 != 0) {
+        flag("odd (uncommitted) seq at quiescence on partition " + std::to_string(p) +
+             " key " + std::to_string(i));
+      }
+    }
+  }
+  if (final_total != total) {
+    flag("final balance sum " + std::to_string(final_total) + " != " + std::to_string(total));
+  }
+
+  const std::vector<TxnRec> history = HistoryRecorder::Global().Collect();
+  if (history.size() != result.committed + result.audits) {
+    flag("history records " + std::to_string(history.size()) + " != commits " +
+         std::to_string(result.committed + result.audits));
+  }
+  CheckOptions copts;
+  copts.version_step = replication ? 2 : 1;
+  // Committed transactions are always fully recorded (the committing worker
+  // survives by construction: victims park before the kill instant and verb
+  // failures after the local-apply point are absorbed by replication), so the
+  // history is complete even in kill runs.
+  copts.expect_complete = true;
+  result.check = CheckSerializability(history, copts);
+
+  result.ok = result.check.ok && result.errors.empty();
+  cluster.SetFaultPlan(nullptr);
+  engine.StopServices();
+  return result;
+}
+
+}  // namespace drtmr::chk

@@ -1,0 +1,79 @@
+// Torture harness (DESIGN.md §9): one self-contained run of a replicated
+// transfer workload on a simulated cluster under a deterministic fault plan,
+// checked three ways at quiescence:
+//   1. the serializability checker (chk/checker.h) over the recorded history;
+//   2. a balance-conservation oracle — read-only auditor snapshots during the
+//      run plus a direct sweep of every record at the end;
+//   3. structural invariants — no leaked lock words, committed (even under
+//      replication) sequence numbers, and, after a kill, a recovered
+//      partition that serves new transactions.
+//
+// A run is parameterized by (shape, seed, plan kind); the fault plan is a
+// pure function of (kind, seed, nodes), so any failure reproduces from the
+// three numbers a test or the bench prints. bench/torture.cc sweeps seeds ×
+// plans × shapes and shrinks a failing plan to a minimal rule set.
+#ifndef DRTMR_SRC_CHK_TORTURE_H_
+#define DRTMR_SRC_CHK_TORTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/chk/checker.h"
+#include "src/sim/fault.h"
+
+namespace drtmr::chk {
+
+// The canned fault-plan families the sweep draws from. Concrete rule
+// parameters (victims, windows, probabilities) are derived from the seed.
+enum class TorturePlanKind : uint32_t {
+  kClean = 0,     // no faults: baseline sanity
+  kDelay,         // random verb latency inflation (reorders posted batches)
+  kHtmAbort,      // forced HTM aborts at commit/read sites (fallback paths)
+  kFreeze,        // transient full isolation of one node (lossless stall)
+  kPartition,     // transient pairwise partition (lossless stall)
+  kKill,          // permanent fail-stop mid-run + recovery onto a survivor
+  kNumKinds,
+};
+
+const char* TorturePlanKindName(TorturePlanKind kind);
+
+// Deterministically builds the plan for (kind, seed) on an n-node cluster.
+sim::FaultPlan MakeTorturePlan(TorturePlanKind kind, uint64_t seed, uint32_t nodes);
+
+struct TortureShape {
+  uint32_t nodes = 3;
+  uint32_t workers = 2;    // transfer workers per node (one extra slot runs the auditor)
+  uint32_t replicas = 3;   // clamped to nodes; 1 disables replication
+  uint32_t keys_per_node = 8;
+  uint32_t txns_per_worker = 120;  // committed-transfer target per worker
+};
+
+struct TortureOptions {
+  TortureShape shape;
+  uint64_t seed = 1;
+  TorturePlanKind plan_kind = TorturePlanKind::kClean;
+  // Shrinking support: run this exact plan instead of MakeTorturePlan's.
+  // Must stay alive for the duration of RunTorture.
+  const sim::FaultPlan* plan_override = nullptr;
+  // Teeth: disable commit-time read validation in the engine. The run is
+  // expected to FAIL the checker — this proves the oracle has teeth.
+  bool unsafe_skip_read_validation = false;
+};
+
+struct TortureResult {
+  bool ok = false;           // check.ok && errors.empty()
+  CheckResult check;         // serializability verdict over the history
+  uint64_t committed = 0;    // transfers the workers got to commit
+  uint64_t audits = 0;       // read-only conservation snapshots that committed
+  bool killed = false;       // plan killed a node (recovery ran)
+  uint64_t recovered_records = 0;
+  std::vector<std::string> errors;  // oracle/invariant failures (non-checker)
+  std::string Summary() const;
+};
+
+TortureResult RunTorture(const TortureOptions& opt);
+
+}  // namespace drtmr::chk
+
+#endif  // DRTMR_SRC_CHK_TORTURE_H_

@@ -100,6 +100,13 @@ void Cluster::Revive(uint32_t id) {
   nodes_[id]->Revive();
 }
 
+void Cluster::SetFaultPlan(const sim::FaultPlan* plan) {
+  fabric_->set_fault_plan(plan);
+  for (auto& n : nodes_) {
+    n->htm()->set_fault_plan(plan);
+  }
+}
+
 void Cluster::ResetSimTime() {
   for (auto& n : nodes_) {
     for (uint32_t s = 0; s < n->num_slots(); ++s) {

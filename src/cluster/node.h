@@ -116,6 +116,11 @@ class Cluster {
   void Kill(uint32_t id);
   void Revive(uint32_t id);
 
+  // Installs a deterministic fault schedule (sim/fault.h) on the fabric and
+  // on every node's HTM engine; nullptr clears it. The plan must outlive its
+  // installation and stay immutable while installed.
+  void SetFaultPlan(const sim::FaultPlan* plan);
+
   // Rewinds all virtual clocks and NIC occupancy resources to zero so that
   // benchmark runs over the same cluster start from a clean time base.
   void ResetSimTime();

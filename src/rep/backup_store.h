@@ -53,12 +53,23 @@ class BackupStore {
     return true;
   }
 
-  // Visits every backup entry (recovery).
+  // Visits every backup entry (recovery). mu_ is held for the whole walk, so
+  // the callback must never block on anything a log-applying thread can hold
+  // — in particular record locks, whose owner may be inside Apply() right
+  // now. Lock-taking consumers use Snapshot() instead.
   void ForEach(const std::function<void(const Key&, const std::vector<std::byte>&)>& fn) const {
     std::lock_guard<std::mutex> g(mu_);
     for (const auto& [k, v] : map_) {
       fn(k, v);
     }
+  }
+
+  // Copies the current contents, for consumers that need to acquire record
+  // locks per entry (recovery's primary patching): spinning on a lock while
+  // holding mu_ deadlocks against a lock holder blocked in Apply().
+  std::vector<std::pair<Key, std::vector<std::byte>>> Snapshot() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return {map_.begin(), map_.end()};
   }
 
   size_t size() const {

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "src/obs/metrics.h"
+#include "src/store/record.h"
 #include "src/util/logging.h"
 
 namespace drtmr::rep {
@@ -168,6 +169,15 @@ void PrimaryBackupReplicator::PumpRing(sim::ThreadContext* ctx, uint32_t node, u
     }
     DRTMR_CHECK(hdr.image_len <= ring.slot_bytes - sizeof(LogSlotHeader));
     bus->Read(ctx, ring.slot_offset(index) + sizeof(LogSlotHeader), slot.data(), hdr.image_len);
+    if (!store::RecordLayout::ImageConsistent(slot.data(), hdr.image_len)) {
+      // Torn slot: the writer died mid-write and the payload lines disagree
+      // with the header's seqnum. The transaction behind it never reached its
+      // commit point, so the entry must not be applied — and the entries
+      // behind it must not be skipped past it either (log order is the
+      // roll-forward order). Stop here; recovery truncates at the tear.
+      torn_slots_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
     stores_[node]->Apply(hdr.table_id, hdr.primary, hdr.key, slot.data(), hdr.image_len);
     entries_applied_.fetch_add(1, std::memory_order_relaxed);
     consumed.store(index + 1, std::memory_order_relaxed);
@@ -191,12 +201,48 @@ void PrimaryBackupReplicator::Pump(sim::ThreadContext* ctx) {
 }
 
 void PrimaryBackupReplicator::DrainNode(sim::ThreadContext* ctx, uint32_t node) {
+  // Bounded at two ring laps, not "until empty": consumption is FIFO, so the
+  // first nslots consumed slots necessarily include everything present when
+  // the drain started — an unbounded loop could chase live writers that keep
+  // appending at the consumption rate and never terminate.
+  const uint64_t budget = 2 * Ring(0).nslots;
   for (uint32_t w = 0; w < num_nodes_; ++w) {
     if (w == node) {
       continue;
     }
-    PumpRing(ctx, node, w, ~0ull, /*wait=*/true);
+    PumpRing(ctx, node, w, budget, /*wait=*/true);
   }
+}
+
+uint64_t PrimaryBackupReplicator::TruncateTornTail(sim::ThreadContext* ctx, uint32_t node,
+                                                   uint32_t writer) {
+  Spinlock& mu = pump_mu_[node * num_nodes_ + writer];
+  mu.lock();
+  const RingGeometry ring = Ring(writer);
+  sim::MemoryBus* bus = cluster_->node(node)->bus();
+  std::atomic<uint64_t>& consumed = consumed_[node * num_nodes_ + writer];
+  std::vector<std::byte> slot(ring.slot_bytes);
+  uint64_t dropped = 0;
+  while (true) {
+    const uint64_t index = consumed.load(std::memory_order_relaxed);
+    LogSlotHeader hdr;
+    bus->Read(ctx, ring.slot_offset(index), &hdr, sizeof(hdr));
+    if (hdr.stamp != index + 1 ||
+        hdr.image_len > ring.slot_bytes - sizeof(LogSlotHeader)) {
+      break;  // empty tail (or garbage header): nothing more to discard
+    }
+    bus->Read(ctx, ring.slot_offset(index) + sizeof(LogSlotHeader), slot.data(), hdr.image_len);
+    if (store::RecordLayout::ImageConsistent(slot.data(), hdr.image_len)) {
+      break;  // a complete entry: leave it for the normal pump
+    }
+    consumed.store(index + 1, std::memory_order_relaxed);
+    ++dropped;
+  }
+  if (dropped > 0) {
+    bus->WriteU64(ctx, ring.header_offset(), consumed.load(std::memory_order_relaxed));
+  }
+  mu.unlock();
+  return dropped;
 }
 
 void PrimaryBackupReplicator::SeedBackup(uint32_t backup_node, uint32_t table_id, uint32_t primary,

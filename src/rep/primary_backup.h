@@ -50,8 +50,17 @@ class PrimaryBackupReplicator : public txn::Replicator {
   // backup copies; also callable on live nodes).
   void DrainNode(sim::ThreadContext* ctx, uint32_t node);
 
+  // Discards torn slots at the head of `writer`'s ring on `node` and advances
+  // the consumed counter past them. Only valid once `writer` is dead: a torn
+  // slot is the incomplete tail of its log (in-order delivery means nothing
+  // complete follows it), and the transaction behind it never reached its
+  // commit point, so discarding is the roll-back the protocol requires
+  // (§5.2). Returns the number of slots discarded.
+  uint64_t TruncateTornTail(sim::ThreadContext* ctx, uint32_t node, uint32_t writer);
+
   uint64_t log_writes() const { return log_writes_.load(std::memory_order_relaxed); }
   uint64_t entries_applied() const { return entries_applied_.load(std::memory_order_relaxed); }
+  uint64_t torn_slots() const { return torn_slots_.load(std::memory_order_relaxed); }
 
  private:
   // Consumes at most `budget` slots of writer `writer`'s ring on `node`.
@@ -85,6 +94,7 @@ class PrimaryBackupReplicator : public txn::Replicator {
 
   std::atomic<uint64_t> log_writes_{0};
   std::atomic<uint64_t> entries_applied_{0};
+  std::atomic<uint64_t> torn_slots_{0};
 };
 
 }  // namespace drtmr::rep

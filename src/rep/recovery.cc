@@ -32,6 +32,11 @@ RecoveryReport RecoveryManager::RecoverAfterFailure(sim::ThreadContext* ctx, uin
       continue;
     }
     replicator_->DrainNode(ctx, n);
+    // The dead writer can leave a torn slot at the tail of its ring (it died
+    // mid-write). The drain stopped there; the entry never completed R.1, so
+    // its transaction never committed — discard the tail rather than leaving
+    // the ring wedged on it.
+    report.torn_tail_truncated += replicator_->TruncateTornTail(ctx, n, dead);
   }
   report.log_entries_drained = replicator_->entries_applied() - applied_before;
 
@@ -44,11 +49,13 @@ RecoveryReport RecoveryManager::RecoverAfterFailure(sim::ThreadContext* ctx, uin
     if (n == dead || cluster->node(n)->killed()) {
       continue;
     }
-    replicator_->backup_store(n)->ForEach([&](const BackupStore::Key& k,
-                                              const std::vector<std::byte>& image) {
+    // Snapshot, not ForEach: the patch path below spins on record locks, and
+    // a lock owner may itself be blocked in BackupStore::Apply (R.1 local
+    // append) waiting for the store mutex ForEach would hold.
+    for (const auto& [k, image] : replicator_->backup_store(n)->Snapshot()) {
       store::Table* table = catalog->table(k.table);
       if (table == nullptr || table->kind() != store::StoreKind::kHash) {
-        return;
+        continue;
       }
       if (k.primary == dead) {
         // Revive on the host node under the same key. InsertImage keeps the
@@ -58,22 +65,22 @@ RecoveryReport RecoveryManager::RecoverAfterFailure(sim::ThreadContext* ctx, uin
         if (s == Status::kOk) {
           report.records_rehosted++;
         }
-        return;
+        continue;
       }
       if (cluster->node(k.primary)->killed()) {
-        return;
+        continue;
       }
       // Patch a surviving primary that missed its write-back: the log holds a
       // newer image than the record (writer crashed between R.1 and C.5).
       const uint64_t off = table->hash(k.primary)->Lookup(nullptr, k.key);
       if (off == store::HashStore::kNoRecord) {
-        return;
+        continue;
       }
       sim::MemoryBus* bus = cluster->node(k.primary)->bus();
       const uint64_t cur_seq = bus->ReadU64(ctx, off + RecordLayout::kSeqOff);
       const uint64_t log_seq = RecordLayout::GetSeq(image.data());
       if (log_seq <= cur_seq) {
-        return;
+        continue;
       }
       // Take the record's lock (or steal it from the dead owner) so live
       // transactions keep away while we splice the image in.
@@ -89,12 +96,17 @@ RecoveryReport RecoveryManager::RecoverAfterFailure(sim::ThreadContext* ctx, uin
         }
         std::this_thread::yield();
       }
-      bus->Write(ctx, off + RecordLayout::kSeqOff, image.data() + RecordLayout::kSeqOff,
-                 image.size() - RecordLayout::kSeqOff);
+      // Re-validate under the lock: a live transaction may have committed a
+      // newer version between the unlocked seq probe and the CAS — splicing
+      // the log image over it would be a lost update.
+      if (RecordLayout::GetSeq(image.data()) > bus->ReadU64(ctx, off + RecordLayout::kSeqOff)) {
+        bus->Write(ctx, off + RecordLayout::kSeqOff, image.data() + RecordLayout::kSeqOff,
+                   image.size() - RecordLayout::kSeqOff);
+        report.primaries_patched++;
+      }
       uint64_t obs = 0;
       bus->CasU64(ctx, off + RecordLayout::kLockOff, rec_lock, LockWord::kUnlocked, &obs);
-      report.primaries_patched++;
-    });
+    }
   }
 
   // 4) Route the dead machine's partitions to the host.

@@ -22,6 +22,10 @@ struct RecoveryReport {
   uint64_t records_rehosted = 0;
   uint64_t primaries_patched = 0;
   uint64_t log_entries_drained = 0;
+  // Torn tail slots of the dead machine's logs discarded during promotion:
+  // the writer died mid-slot, so the transaction behind the slot never
+  // reached its commit point and must not be rolled forward.
+  uint64_t torn_tail_truncated = 0;
 };
 
 class RecoveryManager {

@@ -49,6 +49,41 @@ void RdmaNic::Fence(ThreadContext* ctx, uint64_t completion_ns, uint64_t latency
   ctx->clock.AdvanceTo(completion_ns + latency_ns);
 }
 
+Status RdmaNic::ApplyFaults(ThreadContext* ctx, uint32_t dst, uint64_t* completion_ns) {
+  if (!fabric_->alive(node_id_) || !fabric_->alive(dst)) {
+    return Status::kUnavailable;
+  }
+  const FaultPlan* plan = fabric_->fault_plan();
+  if (plan == nullptr) {
+    return Status::kOk;
+  }
+  uint64_t extra_ns = 0;
+  uint64_t stall_until_ns = 0;
+  switch (plan->OnVerb(ctx, node_id_, dst, &extra_ns, &stall_until_ns)) {
+    case FaultPlan::VerbFate::kUnreachable:
+    case FaultPlan::VerbFate::kDrop:
+      return Status::kUnavailable;
+    case FaultPlan::VerbFate::kDeliver:
+      break;
+  }
+  if (completion_ns != nullptr) {
+    // Posted verb: its completion slides out; the caller observes the
+    // stall/delay at Fence, so batched verbs still overlap.
+    if (stall_until_ns > *completion_ns) {
+      *completion_ns = stall_until_ns;
+    }
+    *completion_ns += extra_ns;
+  } else {
+    if (stall_until_ns > ctx->clock.now_ns()) {
+      ctx->clock.AdvanceTo(stall_until_ns);
+    }
+    if (extra_ns > 0) {
+      ctx->Charge(extra_ns);
+    }
+  }
+  return Status::kOk;
+}
+
 Status RdmaNic::ReadPosted(ThreadContext* ctx, uint32_t dst, uint64_t offset, void* buf,
                            size_t len, uint64_t* completion_ns) {
   RdmaNic* dst_nic = fabric_->nic(dst);
@@ -56,8 +91,8 @@ Status RdmaNic::ReadPosted(ThreadContext* ctx, uint32_t dst, uint64_t offset, vo
     return Status::kAborted;
   }
   obs::CountVerb(obs::Verb::kRead, node_id_, dst, len);
-  if (!fabric_->alive(dst)) {
-    return Status::kUnavailable;
+  if (Status s = ApplyFaults(ctx, dst, completion_ns); s != Status::kOk) {
+    return s;
   }
   fabric_->bus(dst)->Read(/*ctx=*/nullptr, offset, buf, len);
   return Status::kOk;
@@ -70,8 +105,8 @@ Status RdmaNic::WritePosted(ThreadContext* ctx, uint32_t dst, uint64_t offset, c
     return Status::kAborted;
   }
   obs::CountVerb(obs::Verb::kWrite, node_id_, dst, len);
-  if (!fabric_->alive(dst)) {
-    return Status::kUnavailable;
+  if (Status s = ApplyFaults(ctx, dst, completion_ns); s != Status::kOk) {
+    return s;
   }
   fabric_->bus(dst)->Write(/*ctx=*/nullptr, offset, src, len);
   return Status::kOk;
@@ -86,8 +121,8 @@ Status RdmaNic::CompareSwapPosted(ThreadContext* ctx, uint32_t dst, uint64_t off
     return Status::kAborted;
   }
   obs::CountVerb(obs::Verb::kCas, node_id_, dst, sizeof(uint64_t));
-  if (!fabric_->alive(dst)) {
-    return Status::kUnavailable;
+  if (Status s = ApplyFaults(ctx, dst, completion_ns); s != Status::kOk) {
+    return s;
   }
   const bool swapped = fabric_->bus(dst)->CasU64(/*ctx=*/nullptr, offset, expected, desired,
                                                  observed);
@@ -100,8 +135,8 @@ Status RdmaNic::Read(ThreadContext* ctx, uint32_t dst, uint64_t offset, void* bu
     return Status::kAborted;
   }
   obs::CountVerb(obs::Verb::kRead, node_id_, dst, len);
-  if (!fabric_->alive(dst)) {
-    return Status::kUnavailable;
+  if (Status s = ApplyFaults(ctx, dst); s != Status::kOk) {
+    return s;
   }
   fabric_->bus(dst)->Read(/*ctx=*/nullptr, offset, buf, len);
   return Status::kOk;
@@ -114,8 +149,8 @@ Status RdmaNic::Write(ThreadContext* ctx, uint32_t dst, uint64_t offset, const v
     return Status::kAborted;
   }
   obs::CountVerb(obs::Verb::kWrite, node_id_, dst, len);
-  if (!fabric_->alive(dst)) {
-    return Status::kUnavailable;
+  if (Status s = ApplyFaults(ctx, dst); s != Status::kOk) {
+    return s;
   }
   fabric_->bus(dst)->Write(/*ctx=*/nullptr, offset, src, len);
   return Status::kOk;
@@ -128,8 +163,8 @@ Status RdmaNic::CompareSwap(ThreadContext* ctx, uint32_t dst, uint64_t offset, u
     return Status::kAborted;
   }
   obs::CountVerb(obs::Verb::kCas, node_id_, dst, sizeof(uint64_t));
-  if (!fabric_->alive(dst)) {
-    return Status::kUnavailable;
+  if (Status s = ApplyFaults(ctx, dst); s != Status::kOk) {
+    return s;
   }
   // Under IBV_ATOMIC_HCA, atomics are serialized by the target HCA rather
   // than by the host's coherence fabric: reserve the NIC's atomic unit in
@@ -151,8 +186,8 @@ Status RdmaNic::FetchAdd(ThreadContext* ctx, uint32_t dst, uint64_t offset, uint
     return Status::kAborted;
   }
   obs::CountVerb(obs::Verb::kFaa, node_id_, dst, sizeof(uint64_t));
-  if (!fabric_->alive(dst)) {
-    return Status::kUnavailable;
+  if (Status s = ApplyFaults(ctx, dst); s != Status::kOk) {
+    return s;
   }
   const uint64_t old = fabric_->bus(dst)->FetchAddU64(/*ctx=*/nullptr, offset, delta);
   if (old_value != nullptr) {
@@ -169,8 +204,8 @@ Status RdmaNic::Send(ThreadContext* ctx, uint32_t dst, std::vector<std::byte> pa
     return Status::kAborted;
   }
   obs::CountVerb(obs::Verb::kSend, node_id_, dst, payload.size());
-  if (!fabric_->alive(dst)) {
-    return Status::kUnavailable;
+  if (Status s = ApplyFaults(ctx, dst); s != Status::kOk) {
+    return s;
   }
   Message m;
   m.src_node = node_id_;

@@ -18,7 +18,10 @@
 //    reserve it in virtual time, which models NIC saturation (Figs. 15/16).
 //
 // Failure injection: Kill(node) makes a machine unreachable (fail-stop);
-// verbs targeting it return kUnavailable after a timeout charge.
+// verbs targeting it return kUnavailable after a timeout charge. Richer,
+// deterministic fault schedules (delays, drops, partitions, timed kills) are
+// installed via Fabric::set_fault_plan (see sim/fault.h); every verb consults
+// the plan after charging its cost.
 #ifndef DRTMR_SRC_SIM_FABRIC_H_
 #define DRTMR_SRC_SIM_FABRIC_H_
 
@@ -30,6 +33,7 @@
 #include <vector>
 
 #include "src/sim/cost_model.h"
+#include "src/sim/fault.h"
 #include "src/sim/memory_bus.h"
 #include "src/sim/thread_context.h"
 #include "src/util/sim_clock.h"
@@ -124,6 +128,13 @@ class RdmaNic {
   bool ChargeVerb(ThreadContext* ctx, RdmaNic* dst_nic, uint64_t latency_ns, uint64_t bytes,
                   bool posted = false, uint64_t* completion_ns = nullptr);
 
+  // Liveness check + installed-FaultPlan consultation for one verb to `dst`.
+  // Returns kOk to proceed with the remote access, kUnavailable if the verb
+  // is lost (dead node, permanent partition, drop rule). Injected delays and
+  // partition stalls advance the caller's clock (or raise *completion_ns for
+  // posted verbs) before returning.
+  Status ApplyFaults(ThreadContext* ctx, uint32_t dst, uint64_t* completion_ns = nullptr);
+
   Fabric* fabric_;
   uint32_t node_id_;
   const CostModel* cost_;
@@ -155,6 +166,13 @@ class Fabric {
   void Kill(uint32_t node) { nodes_[node]->alive.store(false, std::memory_order_release); }
   void Revive(uint32_t node) { nodes_[node]->alive.store(true, std::memory_order_release); }
 
+  // Installs (or clears, with nullptr) the fault plan every verb consults.
+  // The plan must outlive its installation and stay immutable while installed.
+  void set_fault_plan(const FaultPlan* plan) {
+    fault_plan_.store(plan, std::memory_order_release);
+  }
+  const FaultPlan* fault_plan() const { return fault_plan_.load(std::memory_order_acquire); }
+
  private:
   friend class RdmaNic;
 
@@ -167,6 +185,7 @@ class Fabric {
   const CostModel* cost_;
   AtomicityLevel atomicity_;
   std::vector<std::unique_ptr<NodePort>> nodes_;
+  std::atomic<const FaultPlan*> fault_plan_{nullptr};
 };
 
 }  // namespace drtmr::sim

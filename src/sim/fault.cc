@@ -1,0 +1,274 @@
+#include "src/sim/fault.h"
+
+#include <cstdio>
+
+#include "src/sim/thread_context.h"
+#include "src/util/logging.h"
+
+namespace drtmr::sim {
+
+namespace {
+
+// Bernoulli draw with probability ppm/1e6 from the issuing thread's RNG.
+// Thread RNGs are seeded deterministically at node construction, so the draw
+// sequence per thread is a pure function of the workload seed.
+bool Draw(ThreadContext* ctx, uint64_t ppm) {
+  if (ppm >= FaultPlan::kPpmAlways) {
+    return true;
+  }
+  return ctx->rng.Uniform(FaultPlan::kPpmAlways) < ppm;
+}
+
+const char* SiteName(obs::HtmSite site) {
+  switch (site) {
+    case obs::HtmSite::kLocalRead:
+      return "local_read";
+    case obs::HtmSite::kCommit:
+      return "commit";
+    case obs::HtmSite::kStore:
+      return "store";
+    case obs::HtmSite::kBaseline:
+      return "baseline";
+    case obs::HtmSite::kOther:
+      break;
+  }
+  return "other";
+}
+
+void AppendNode(std::string* out, uint32_t node) {
+  if (node == FaultPlan::kAnyNode) {
+    out->append("*");
+  } else {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u", node);
+    out->append(buf);
+  }
+}
+
+void AppendWindow(std::string* out, const FaultWindow& win) {
+  char buf[64];
+  if (win.until_ns == 0) {
+    std::snprintf(buf, sizeof(buf), "[%llu, inf)", static_cast<unsigned long long>(win.from_ns));
+  } else {
+    std::snprintf(buf, sizeof(buf), "[%llu, %llu)", static_cast<unsigned long long>(win.from_ns),
+                  static_cast<unsigned long long>(win.until_ns));
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::DelayVerbs(uint32_t src, uint32_t dst, FaultWindow win, uint64_t extra_ns,
+                                 uint64_t ppm) {
+  Rule r;
+  r.kind = Kind::kDelay;
+  r.a = src;
+  r.b = dst;
+  r.win = win;
+  r.ppm = ppm;
+  r.extra_ns = extra_ns;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::DropVerbs(uint32_t src, uint32_t dst, FaultWindow win, uint64_t ppm) {
+  Rule r;
+  r.kind = Kind::kDrop;
+  r.a = src;
+  r.b = dst;
+  r.win = win;
+  r.ppm = ppm;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::Partition(uint32_t a, uint32_t b, FaultWindow win) {
+  Rule r;
+  r.kind = Kind::kPartition;
+  r.a = a;
+  r.b = b;
+  r.win = win;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::KillAt(uint32_t node, uint64_t at_ns) {
+  DRTMR_CHECK(node != kAnyNode) << "KillAt needs a concrete node";
+  Rule r;
+  r.kind = Kind::kKill;
+  r.a = node;
+  r.win = {at_ns, 0};
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::ForceHtmAbort(obs::HtmSite site, uint32_t abort_code, uint64_t ppm,
+                                    FaultWindow win) {
+  Rule r;
+  r.kind = Kind::kHtmAbort;
+  r.win = win;
+  r.ppm = ppm;
+  r.abort_code = abort_code;
+  r.site = site;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan::VerbFate FaultPlan::OnVerb(ThreadContext* ctx, uint32_t src, uint32_t dst,
+                                      uint64_t* extra_delay_ns, uint64_t* stall_until_ns) const {
+  const uint64_t now = ctx->clock.now_ns();
+
+  // Partitions first: a verb crossing an open cut waits (losslessly, in
+  // virtual time) for every covering window to close. The scan repeats
+  // because waiting out one window can land the verb inside another.
+  uint64_t eff = now;
+  for (bool moved = true; moved;) {
+    moved = false;
+    for (const Rule& r : rules_) {
+      if (r.kind != Kind::kPartition || !MatchesPair(r, src, dst) || !r.win.Contains(eff)) {
+        continue;
+      }
+      if (r.win.until_ns == 0) {
+        return VerbFate::kUnreachable;  // permanent partition: like fail-stop
+      }
+      eff = r.win.until_ns;
+      moved = true;
+    }
+  }
+  if (eff > now && stall_until_ns != nullptr && eff > *stall_until_ns) {
+    *stall_until_ns = eff;
+  }
+
+  for (const Rule& r : rules_) {
+    switch (r.kind) {
+      case Kind::kKill:
+        // Evaluated at the post-stall instant: a verb that waited out a
+        // partition and emerges after the kill finds the node gone.
+        if ((r.a == src || r.a == dst) && eff >= r.win.from_ns) {
+          return VerbFate::kUnreachable;
+        }
+        break;
+      case Kind::kDrop:
+        if (MatchesPair(r, src, dst) && r.win.Contains(now) && Draw(ctx, r.ppm)) {
+          return VerbFate::kDrop;
+        }
+        break;
+      case Kind::kDelay:
+        if (MatchesPair(r, src, dst) && r.win.Contains(now) && Draw(ctx, r.ppm) &&
+            extra_delay_ns != nullptr) {
+          *extra_delay_ns += r.extra_ns;
+        }
+        break;
+      case Kind::kPartition:
+      case Kind::kHtmAbort:
+        break;
+    }
+  }
+  return VerbFate::kDeliver;
+}
+
+uint32_t FaultPlan::ForcedHtmAbort(ThreadContext* ctx, obs::HtmSite site, uint64_t now_ns) const {
+  for (const Rule& r : rules_) {
+    if (r.kind == Kind::kHtmAbort && r.site == site && r.win.Contains(now_ns) &&
+        Draw(ctx, r.ppm)) {
+      return r.abort_code;
+    }
+  }
+  return 0;
+}
+
+uint64_t FaultPlan::KillTimeOf(uint32_t node) const {
+  uint64_t earliest = ~0ull;
+  for (const Rule& r : rules_) {
+    if (r.kind == Kind::kKill && r.a == node && r.win.from_ns < earliest) {
+      earliest = r.win.from_ns;
+    }
+  }
+  return earliest;
+}
+
+uint64_t FaultPlan::FrozenUntil(uint32_t node, uint64_t now_ns) const {
+  // Only full-isolation rules (one side == kAnyNode) freeze a node outright;
+  // a pairwise partition still lets it talk to third parties.
+  uint64_t until = 0;
+  for (const Rule& r : rules_) {
+    if (r.kind != Kind::kPartition || r.win.until_ns == 0) {
+      continue;
+    }
+    const bool freezes = (r.a == kAnyNode && r.b == node) || (r.b == kAnyNode && r.a == node);
+    if (freezes && r.win.Contains(now_ns) && r.win.until_ns > until) {
+      until = r.win.until_ns;
+    }
+  }
+  return until;
+}
+
+FaultPlan FaultPlan::WithoutRule(size_t index) const {
+  FaultPlan out(seed_);
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (i != index) {
+      out.rules_.push_back(rules_[i]);
+    }
+  }
+  return out;
+}
+
+std::string FaultPlan::Describe() const {
+  std::string out;
+  char buf[96];
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& r = rules_[i];
+    std::snprintf(buf, sizeof(buf), "  rule %zu: ", i);
+    out.append(buf);
+    switch (r.kind) {
+      case Kind::kDelay:
+        out.append("delay ");
+        AppendNode(&out, r.a);
+        out.append("<->");
+        AppendNode(&out, r.b);
+        std::snprintf(buf, sizeof(buf), " +%lluns ppm=%llu ",
+                      static_cast<unsigned long long>(r.extra_ns),
+                      static_cast<unsigned long long>(r.ppm));
+        out.append(buf);
+        AppendWindow(&out, r.win);
+        break;
+      case Kind::kDrop:
+        out.append("drop ");
+        AppendNode(&out, r.a);
+        out.append("<->");
+        AppendNode(&out, r.b);
+        std::snprintf(buf, sizeof(buf), " ppm=%llu ", static_cast<unsigned long long>(r.ppm));
+        out.append(buf);
+        AppendWindow(&out, r.win);
+        break;
+      case Kind::kPartition:
+        out.append("partition ");
+        AppendNode(&out, r.a);
+        out.append("<->");
+        AppendNode(&out, r.b);
+        out.append(" ");
+        AppendWindow(&out, r.win);
+        break;
+      case Kind::kKill:
+        out.append("kill ");
+        AppendNode(&out, r.a);
+        std::snprintf(buf, sizeof(buf), " at %lluns",
+                      static_cast<unsigned long long>(r.win.from_ns));
+        out.append(buf);
+        break;
+      case Kind::kHtmAbort:
+        std::snprintf(buf, sizeof(buf), "htm-abort site=%s code=%u ppm=%llu ", SiteName(r.site),
+                      r.abort_code, static_cast<unsigned long long>(r.ppm));
+        out.append(buf);
+        AppendWindow(&out, r.win);
+        break;
+    }
+    out.append("\n");
+  }
+  if (out.empty()) {
+    out = "  (no fault rules)\n";
+  }
+  return out;
+}
+
+}  // namespace drtmr::sim

@@ -1,0 +1,139 @@
+// Deterministic fault injection for the torture harness (DESIGN.md §9).
+//
+// A FaultPlan is an immutable set of rules, each scoped to a window of
+// *virtual* time, that the simulated hardware consults on every RDMA verb and
+// HTM commit. Decisions are functions of (the issuing thread's per-thread RNG,
+// the thread's virtual clock, the rule parameters), so a run is reproducible
+// from (workload seed, plan): thread interleaving in real time never changes
+// which faults fire, only — as in any concurrent run — which transactions
+// collide.
+//
+// Fault taxonomy (mapped onto the paper's failure model, §5):
+//  * kDelay      — a verb between (src, dst) is charged extra latency with
+//                  probability ppm/1e6. Posted verbs' completions are pushed
+//                  out instead, which also reorders batch completion order.
+//  * kDrop       — a verb between (src, dst) is LOST (returns kUnavailable
+//                  without performing the remote access). Real lossless RDMA
+//                  fabrics do not do this; drop rules exist to demonstrate
+//                  that the serializability checker catches the resulting
+//                  protocol violations (torture "teeth" tests), not to model
+//                  sanctioned behavior.
+//  * kPartition  — verbs crossing the (a, b) cut during the window stall (in
+//                  virtual time) until the window closes, then deliver: the
+//                  lossless-fabric rendering of a transient partition, per the
+//                  paper's reliable-transport assumption. a == kAnyNode makes
+//                  it a full freeze of b.
+//  * kKill       — permanent fail-stop at a virtual instant: from `from_ns`
+//                  on, every verb from or to the node returns kUnavailable.
+//                  Recovery (rep::RecoveryManager) is the harness's job.
+//  * kHtmAbort   — an HTM region opened at a matching call site aborts at
+//                  commit with the given code (capacity/conflict), with
+//                  probability ppm/1e6: drives the §6.1 fallback paths.
+#ifndef DRTMR_SRC_SIM_FAULT_H_
+#define DRTMR_SRC_SIM_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace drtmr::sim {
+
+struct ThreadContext;
+
+// [from_ns, until_ns) in virtual time; until_ns == 0 means "forever".
+struct FaultWindow {
+  uint64_t from_ns = 0;
+  uint64_t until_ns = 0;
+
+  bool Contains(uint64_t now_ns) const {
+    return now_ns >= from_ns && (until_ns == 0 || now_ns < until_ns);
+  }
+};
+
+class FaultPlan {
+ public:
+  static constexpr uint32_t kAnyNode = ~0u;
+  static constexpr uint64_t kPpmAlways = 1000000;
+
+  explicit FaultPlan(uint64_t seed = 0) : seed_(seed) {}
+
+  // ---- builders (chainable) ----
+
+  FaultPlan& DelayVerbs(uint32_t src, uint32_t dst, FaultWindow win, uint64_t extra_ns,
+                        uint64_t ppm = kPpmAlways);
+  FaultPlan& DropVerbs(uint32_t src, uint32_t dst, FaultWindow win, uint64_t ppm);
+  // Symmetric: verbs in either direction across the (a, b) cut stall.
+  FaultPlan& Partition(uint32_t a, uint32_t b, FaultWindow win);
+  // Full isolation of `node` (network freeze) during the window.
+  FaultPlan& Freeze(uint32_t node, FaultWindow win) { return Partition(kAnyNode, node, win); }
+  // Permanent fail-stop of `node` at virtual time `at_ns`.
+  FaultPlan& KillAt(uint32_t node, uint64_t at_ns);
+  // Force HTM regions opened at `site` to abort at commit with `code`
+  // (sim::HtmTxn::AbortCode numeric value) with probability ppm/1e6.
+  FaultPlan& ForceHtmAbort(obs::HtmSite site, uint32_t abort_code, uint64_t ppm,
+                           FaultWindow win = {});
+
+  // ---- queries (hot path; plan is immutable while installed) ----
+
+  enum class VerbFate : uint8_t { kDeliver = 0, kDrop, kUnreachable };
+
+  // Decides the fate of one verb from src to dst issued at the caller's
+  // current virtual time. On kDeliver, *extra_delay_ns accumulates injected
+  // latency and *stall_until_ns is raised to the close of any partition
+  // window the verb had to wait out (0 if none).
+  VerbFate OnVerb(ThreadContext* ctx, uint32_t src, uint32_t dst, uint64_t* extra_delay_ns,
+                  uint64_t* stall_until_ns) const;
+
+  // Non-zero AbortCode value if a region at `site` must abort now.
+  uint32_t ForcedHtmAbort(ThreadContext* ctx, obs::HtmSite site, uint64_t now_ns) const;
+
+  // Virtual time of the permanent kill of `node`; ~0 if the plan never kills
+  // it. Harness worker loops use this to park the victim's threads at a
+  // transaction boundary.
+  uint64_t KillTimeOf(uint32_t node) const;
+
+  // End of the latest freeze/partition window covering `node` at `now_ns`
+  // (0 if the node is not frozen). Harness loops advance the victim's clock
+  // past it so "its machine was stalled" is reflected in virtual time.
+  uint64_t FrozenUntil(uint32_t node, uint64_t now_ns) const;
+
+  uint64_t seed() const { return seed_; }
+  size_t num_rules() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+
+  // Shrinking support: the same plan minus rule `index`.
+  FaultPlan WithoutRule(size_t index) const;
+  // One line per rule, for failure reproduction printouts.
+  std::string Describe() const;
+
+ private:
+  enum class Kind : uint8_t { kDelay, kDrop, kPartition, kKill, kHtmAbort };
+
+  struct Rule {
+    Kind kind;
+    uint32_t a = kAnyNode;  // src / partition side / victim
+    uint32_t b = kAnyNode;  // dst / partition side
+    FaultWindow win;
+    uint64_t ppm = kPpmAlways;
+    uint64_t extra_ns = 0;
+    uint32_t abort_code = 0;
+    obs::HtmSite site = obs::HtmSite::kOther;
+  };
+
+  static bool MatchesNode(uint32_t rule_node, uint32_t node) {
+    return rule_node == kAnyNode || rule_node == node;
+  }
+  static bool MatchesPair(const Rule& r, uint32_t src, uint32_t dst) {
+    return (MatchesNode(r.a, src) && MatchesNode(r.b, dst)) ||
+           (MatchesNode(r.a, dst) && MatchesNode(r.b, src));
+  }
+
+  uint64_t seed_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace drtmr::sim
+
+#endif  // DRTMR_SRC_SIM_FAULT_H_

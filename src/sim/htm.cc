@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/sim/fault.h"
 #include "src/util/logging.h"
 
 namespace drtmr::sim {
@@ -181,6 +182,15 @@ Status HtmTxn::WriteU64(uint64_t offset, uint64_t value) {
 Status HtmTxn::Commit() {
   if (!in_txn_) {
     return Status::kInvalid;
+  }
+  if (active()) {
+    if (const FaultPlan* plan = engine_->fault_plan()) {
+      const uint32_t code = plan->ForcedHtmAbort(ctx_, site_, ctx_->clock.now_ns());
+      if (code != 0) {
+        Abort(static_cast<AbortCode>(code));
+        return Status::kAborted;
+      }
+    }
   }
   const bool committed = bus_->TxCommitApply(ctx_, desc_, redo_);
   End(committed);

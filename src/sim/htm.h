@@ -30,6 +30,8 @@
 
 namespace drtmr::sim {
 
+class FaultPlan;
+
 struct HtmConfig {
   uint32_t read_lines_cap = 1024;  // lines trackable in the read set
   uint32_t write_lines_cap = 512;  // 32KB L1 / 64B lines
@@ -112,6 +114,14 @@ class HtmEngine {
   MemoryBus* bus() { return bus_; }
   const CostModel* cost() const { return cost_; }
 
+  // Fault injection (sim/fault.h): regions whose call site matches a
+  // ForceHtmAbort rule abort at XEND instead of committing, exercising the
+  // fallback handler deterministically. nullptr clears.
+  void set_fault_plan(const FaultPlan* plan) {
+    fault_plan_.store(plan, std::memory_order_release);
+  }
+  const FaultPlan* fault_plan() const { return fault_plan_.load(std::memory_order_acquire); }
+
  private:
   friend class HtmTxn;
   void RecordAbort(HtmTxn::AbortCode code);
@@ -120,6 +130,7 @@ class HtmEngine {
   const CostModel* cost_;
   std::vector<HtmTxn*> txns_;  // one per descriptor slot
   Stats stats_;
+  std::atomic<const FaultPlan*> fault_plan_{nullptr};
 };
 
 }  // namespace drtmr::sim

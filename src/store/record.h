@@ -116,6 +116,24 @@ struct RecordLayout {
     return true;
   }
 
+  // Like VersionsConsistent, but for a whole-record image of known byte size
+  // (e.g. a replication-log slot) where the payload size is not at hand: the
+  // image is torn iff any line's version disagrees with the seqnum. A crashed
+  // writer can leave a slot whose header landed but whose payload lines did
+  // not; consumers must refuse to apply such an image (§5.2).
+  static bool ImageConsistent(const std::byte* rec, size_t image_bytes) {
+    const uint16_t expect = static_cast<uint16_t>(GetSeq(rec));
+    const size_t lines = image_bytes / kCacheLineSize;
+    for (size_t line = 1; line < lines; ++line) {
+      uint16_t v;
+      std::memcpy(&v, rec + line * kCacheLineSize, sizeof(v));
+      if (v != expect) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   // Initializes a fresh record image: unlocked, given incarnation/seq/key,
   // payload scattered, versions stamped.
   static void Init(std::byte* rec, uint64_t key, uint64_t incarnation, uint64_t seq,

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/chk/history.h"
 #include "src/obs/phase_timer.h"
 #include "src/store/record.h"
 #include "src/util/logging.h"
@@ -713,7 +714,35 @@ Status Transaction::Commit() {
         ctx_->worker_id, begin_ns_, end_ns - begin_ns_,
         /*arg=*/s == Status::kOk ? 1 : 0);
   }
+  if (s == Status::kOk && chk::Enabled()) {
+    RecordHistory(read_only);
+  }
   return s;
+}
+
+void Transaction::RecordHistory(bool read_only) {
+  chk::TxnRec rec;
+  rec.txn_id = txn_id_;
+  rec.node = ctx_->node_id;
+  rec.worker = ctx_->worker_id;
+  rec.begin_ns = begin_ns_;
+  rec.commit_ns = ctx_->clock.now_ns();
+  rec.read_only = read_only;
+  rec.reads.reserve(read_set_.size());
+  for (const AccessEntry& e : read_set_) {
+    // Normalize to the committable version the commit-time re-check validated
+    // against — the final seq of the write that produced the observed payload.
+    const uint64_t v = rules_.replication ? ((e.seq + 1) & ~1ull) : e.seq;
+    rec.reads.push_back({e.table->id(), e.key, v});
+  }
+  rec.writes.reserve(write_set_.size());
+  for (size_t i = 0; i < write_set_.size(); ++i) {
+    // commit_seq_ is index-aligned with write_set_ on every committed path
+    // (fast, fallback, fused); RemoteCommitSeq gives the final installed seq.
+    rec.writes.push_back({write_set_[i].access.table->id(), write_set_[i].access.key,
+                          rules_.RemoteCommitSeq(commit_seq_[i])});
+  }
+  chk::HistoryRecorder::Global().Record(std::move(rec));
 }
 
 Status Transaction::CommitReadWriteFused() {

@@ -115,6 +115,10 @@ class Transaction : public TxnApi {
   // Builds the full record image for write_set_[i] carrying `seq`.
   void BuildImage(const WriteEntry& w, uint64_t seq, std::vector<std::byte>* image) const;
 
+  // Appends this committed transaction's read/write versions to the global
+  // chk::HistoryRecorder (no-op unless recording is enabled).
+  void RecordHistory(bool read_only);
+
   WriteEntry* FindWrite(store::Table* table, uint32_t node, uint64_t key);
   AccessEntry* FindRead(store::Table* table, uint32_t node, uint64_t key);
   bool IsLocal(uint32_t node) const { return node == ctx_->node_id; }

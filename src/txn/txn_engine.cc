@@ -115,9 +115,14 @@ Status TxnEngine::ReadLocalRecord(sim::ThreadContext* ctx, store::Table* table, 
   }
 
   // Seqlock-style fallback read: two stable snapshots with equal seq and no
-  // lock imply a consistent copy (the HTM path had no forward progress).
+  // lock imply a consistent copy (the HTM path had no forward progress). The
+  // wait is bounded: a lock held past the spin budget is leaked — its owner
+  // failed mid-commit or the unlock verb was lost — and waiting for it would
+  // hang the reader until a configuration change releases it, so abort the
+  // read and let the transaction retry instead.
   std::vector<std::byte> buf2(rec_bytes);
-  while (true) {
+  bool stable = false;
+  for (uint32_t spin = 0; spin < config_.seqlock_read_spin_threshold; ++spin) {
     if (node->killed()) {
       return Status::kUnavailable;
     }
@@ -138,8 +143,12 @@ Status TxnEngine::ReadLocalRecord(sim::ThreadContext* ctx, store::Table* table, 
     if (RecordLayout::GetLock(buf2.data()) == 0 &&
         RecordLayout::GetSeq(buf.data()) == RecordLayout::GetSeq(buf2.data()) &&
         std::memcmp(buf.data(), buf2.data(), rec_bytes) == 0) {
+      stable = true;
       break;
     }
+  }
+  if (!stable) {
+    return Status::kConflict;  // leaked lock or livelock: abort, do not hang
   }
   entry->table = table;
   entry->node = ctx->node_id;

@@ -31,7 +31,9 @@ class TxnEngine {
   cluster::Cluster* cluster() { return cluster_; }
   store::Catalog* catalog() { return catalog_; }
   const TxnConfig& config() const { return config_; }
-  SeqRules seq_rules() const { return SeqRules{config_.replication}; }
+  SeqRules seq_rules() const {
+    return SeqRules{config_.replication, config_.unsafe_skip_read_validation};
+  }
   Replicator* replicator() { return replicator_; }
   TxnStats& stats() { return stats_; }
   const sim::CostModel* cost() const { return cluster_->cost(); }

@@ -59,6 +59,12 @@ struct TxnConfig {
   uint32_t local_read_retry_threshold = 16;
   // Max consistency retries for a remote versioned read.
   uint32_t remote_read_retry_threshold = 64;
+  // Spins of the seqlock fallback read before giving up with kConflict. A
+  // healthy committer clears the lock within a handful of spins; a lock that
+  // outlives this budget is leaked (its owner died or its unlock verb was
+  // lost) and only a configuration change can release it, so the read must
+  // abort rather than wait (DESIGN.md §9).
+  uint32_t seqlock_read_spin_threshold = 256;
 
   // Ablation (DESIGN.md §5): when false, remote read-set records are only
   // validated (FaRM-style), not locked, during commit. This sacrifices the
@@ -79,6 +85,12 @@ struct TxnConfig {
   // and abort their HTM regions — the reason §4.4 insists on one-sided
   // verbs).
   bool message_passing_commit = false;
+
+  // Torture-harness teeth (DESIGN.md §9): skips the commit-time read-set
+  // seqnum re-check (C.2/C.3), deliberately breaking serializability. Exists
+  // only to prove the chk::SerializabilityChecker detects the resulting
+  // anomalies; never enable outside that test.
+  bool unsafe_skip_read_validation = false;
 };
 
 struct TxnStats {
@@ -144,10 +156,15 @@ struct TxnStats {
 // not yet replicated) to the next even value; without OR it just increments.
 struct SeqRules {
   bool replication;
+  // Mirrors TxnConfig::unsafe_skip_read_validation (torture teeth only).
+  bool skip_read_validation = false;
 
   // Validation for read-set entries: the current seq must equal the closest
   // committable value at or after the observed one.
   bool ReadValid(uint64_t observed, uint64_t current) const {
+    if (skip_read_validation) {
+      return true;
+    }
     if (!replication) {
       return observed == current;
     }

@@ -504,4 +504,111 @@ uint64_t TpccWorkload::DistrictNextOrderId(uint32_t node, uint64_t w, uint64_t d
   return row.next_o_id;
 }
 
+namespace {
+
+template <typename Row>
+bool ReadHashRow(cluster::Cluster* cluster, store::Table* table, uint32_t node, uint64_t key,
+                 Row* out) {
+  const uint64_t off = table->hash(node)->Lookup(nullptr, key);
+  if (off == 0) {
+    return false;
+  }
+  std::vector<std::byte> rec(table->record_bytes());
+  cluster->node(node)->bus()->Read(nullptr, off, rec.data(), rec.size());
+  store::RecordLayout::GatherValue(rec.data(), out, sizeof(*out));
+  return true;
+}
+
+void Flag(TpccWorkload::ConsistencyReport* rep, std::string msg) {
+  rep->ok = false;
+  if (rep->violations.size() < 20) {
+    rep->violations.push_back(std::move(msg));
+  }
+}
+
+std::string FmtWd(const char* what, uint64_t w, uint64_t d, uint64_t got, uint64_t want) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s (w=%llu d=%llu): got %llu, want %llu", what,
+                static_cast<unsigned long long>(w), static_cast<unsigned long long>(d),
+                static_cast<unsigned long long>(got), static_cast<unsigned long long>(want));
+  return buf;
+}
+
+}  // namespace
+
+TpccWorkload::ConsistencyReport TpccWorkload::CheckConsistency() {
+  ConsistencyReport rep;
+  cluster::Cluster* cluster = engine_->cluster();
+  for (uint64_t w = 1; w <= total_warehouses_; ++w) {
+    const uint32_t node = NodeOfWarehouse(w);
+    WarehouseRow wrow;
+    if (!ReadHashRow(cluster, warehouse_, node, WKey(w), &wrow)) {
+      Flag(&rep, FmtWd("warehouse row missing", w, 0, 0, 1));
+      continue;
+    }
+    uint64_t district_ytd_sum = 0;
+    for (uint64_t d = 1; d <= config_.districts; ++d) {
+      DistrictRow drow;
+      if (!ReadHashRow(cluster, district_, node, DKey(w, d), &drow)) {
+        Flag(&rep, FmtWd("district row missing", w, d, 0, 1));
+        continue;
+      }
+      district_ytd_sum += drow.ytd;
+
+      // ORDER rows are never deleted: exactly next_o_id - 1 per district,
+      // with o_ids 1..next_o_id-1 (A2 plus a completeness check on inserts).
+      uint64_t order_count = 0;
+      uint64_t order_max = 0;
+      order_->btree(node)->Scan(nullptr, OKey(w, d, 1), OKey(w, d, ~0ull >> 28),
+                                [&](uint64_t key, uint64_t) {
+                                  ++order_count;
+                                  order_max = key & 0xfffffffffull;
+                                  return true;
+                                });
+      const uint64_t issued = drow.next_o_id - 1;
+      if (order_count != issued) {
+        Flag(&rep, FmtWd("A2: ORDER row count vs issued orders", w, d, order_count, issued));
+      }
+      if (issued > 0 && order_max != issued) {
+        Flag(&rep, FmtWd("A2: max(O_ID) vs D_NEXT_O_ID-1", w, d, order_max, issued));
+      }
+
+      // Pending NEW-ORDER rows form a contiguous suffix ending at the newest
+      // order (deliveries consume the oldest first).
+      uint64_t no_count = 0;
+      uint64_t no_min = ~0ull;
+      uint64_t no_max = 0;
+      new_order_->btree(node)->Scan(nullptr, OKey(w, d, 1), OKey(w, d, ~0ull >> 28),
+                                    [&](uint64_t key, uint64_t) {
+                                      const uint64_t o = key & 0xfffffffffull;
+                                      ++no_count;
+                                      no_min = std::min(no_min, o);
+                                      no_max = std::max(no_max, o);
+                                      return true;
+                                    });
+      if (no_count > 0) {
+        if (no_max != issued) {
+          Flag(&rep, FmtWd("A2: max(NO_O_ID) vs D_NEXT_O_ID-1", w, d, no_max, issued));
+        }
+        if (no_max - no_min + 1 != no_count) {
+          Flag(&rep, FmtWd("A3: NEW-ORDER contiguity", w, d, no_count, no_max - no_min + 1));
+        }
+      }
+    }
+    if (wrow.ytd != district_ytd_sum) {
+      Flag(&rep, FmtWd("A1: W_YTD vs sum(D_YTD)", w, 0, wrow.ytd, district_ytd_sum));
+    }
+  }
+  return rep;
+}
+
+std::string TpccWorkload::ConsistencyReport::Summary() const {
+  std::string out = ok ? "tpcc consistent" : "TPCC INCONSISTENT";
+  for (const std::string& v : violations) {
+    out += "\n  ";
+    out += v;
+  }
+  return out;
+}
+
 }  // namespace drtmr::workload

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/cluster/partition_map.h"
@@ -184,6 +185,22 @@ class TpccWorkload {
   // Consistency checks for tests: warehouse/district YTD equals the sum of
   // customer payments recorded against it.
   uint64_t DistrictNextOrderId(uint32_t node, uint64_t w, uint64_t d);
+
+  // TPC-C consistency conditions (spec §3.3.2), run offline at quiescence:
+  //   A1  W_YTD = sum of the warehouse's D_YTD;
+  //   A2  D_NEXT_O_ID - 1 = max(O_ID) in ORDER (and = max(NO_O_ID) in
+  //       NEW-ORDER when any rows are pending), per district;
+  //   A3  pending NEW-ORDER rows per district are contiguous:
+  //       max(NO_O_ID) - min(NO_O_ID) + 1 = row count.
+  // Also checks ORDER row count equals the orders ever issued (inserts are
+  // never deleted). Walks tables directly through the partition map, so it
+  // works after recovery re-hosts a dead node's warehouses.
+  struct ConsistencyReport {
+    bool ok = true;
+    std::vector<std::string> violations;
+    std::string Summary() const;
+  };
+  ConsistencyReport CheckConsistency();
 
  private:
   bool TxNewOrder(sim::ThreadContext* ctx, txn::TxnApi* txn, FastRand* rng, uint64_t w);

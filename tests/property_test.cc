@@ -18,6 +18,7 @@
 #include "src/txn/transaction.h"
 #include "src/txn/txn_engine.h"
 #include "src/util/rand.h"
+#include "src/util/test_seed.h"
 
 namespace drtmr {
 namespace {
@@ -27,10 +28,11 @@ namespace {
 class RecordSizeSweep : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(RecordSizeSweep, ScatterGatherAndVersions) {
+  SCOPED_TRACE(::testing::Message() << "DRTMR_TEST_SEED=" << util::TestSeed());
   const size_t n = GetParam();
   std::vector<std::byte> rec(store::RecordLayout::BytesFor(n));
   std::vector<char> payload(n);
-  FastRand rng(n + 1);
+  FastRand rng(util::DeriveSeed(n + 1));
   for (size_t i = 0; i < n; ++i) {
     payload[i] = static_cast<char>(rng.Next());
   }
@@ -68,7 +70,8 @@ TEST_P(HashModelSweep, MatchesUnorderedMapModel) {
   store::HashStore hs(cluster.node(0), /*nbuckets=*/64, /*value_size=*/24);
   sim::ThreadContext* ctx = cluster.node(0)->context(0);
 
-  FastRand rng(GetParam());
+  SCOPED_TRACE(::testing::Message() << "DRTMR_TEST_SEED=" << util::TestSeed());
+  FastRand rng(util::DeriveSeed(GetParam()));
   std::unordered_map<uint64_t, uint64_t> model;  // key -> first 8 payload bytes
   for (int i = 0; i < 3000; ++i) {
     const uint64_t key = rng.Range(1, 200);
@@ -111,7 +114,8 @@ class BTreeModelSweep : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(BTreeModelSweep, MatchesMapModel) {
   store::BTreeStore bt;
   std::map<uint64_t, uint64_t> model;
-  FastRand rng(GetParam() * 97);
+  SCOPED_TRACE(::testing::Message() << "DRTMR_TEST_SEED=" << util::TestSeed());
+  FastRand rng(util::DeriveSeed(GetParam() * 97));
   for (int i = 0; i < 5000; ++i) {
     const uint64_t key = rng.Range(1, 800);
     switch (rng.Uniform(4)) {
@@ -159,6 +163,7 @@ using SweepParam = std::tuple<uint32_t, uint32_t, bool>;
 class SerializabilitySweep : public ::testing::TestWithParam<SweepParam> {};
 
 TEST_P(SerializabilitySweep, TransfersConserveAndSnapshotsConsistent) {
+  SCOPED_TRACE(::testing::Message() << "DRTMR_TEST_SEED=" << util::TestSeed());
   const auto [nodes, threads, replication] = GetParam();
   cluster::ClusterConfig cfg;
   cfg.num_nodes = nodes;
@@ -215,7 +220,7 @@ TEST_P(SerializabilitySweep, TransfersConserveAndSnapshotsConsistent) {
       workers.emplace_back([&, n, w] {
         sim::ThreadContext* ctx = cluster.node(n)->context(w);
         txn::Transaction txn(&engine, ctx);
-        FastRand rng(n * 31 + w + 5);
+        FastRand rng(util::DeriveSeed(n * 31 + w + 5));
         for (int i = 0; i < 120; ++i) {
           const uint32_t fn = static_cast<uint32_t>(rng.Uniform(nodes));
           const uint32_t tn = static_cast<uint32_t>(rng.Uniform(nodes));

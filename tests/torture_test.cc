@@ -1,0 +1,109 @@
+// Torture harness sweeps (DESIGN.md §9): seeded runs of the transfer workload
+// under every fault-plan family, checked by the serializability oracle and
+// the conservation/invariant oracles. The tier-1 sweep keeps a small seed
+// budget; scale it with DRTMR_TORTURE_SEEDS (and shift the base seed with
+// DRTMR_TEST_SEED) for stress runs — every failure message carries the
+// (seed, plan, shape) triple that reproduces it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "src/chk/torture.h"
+#include "src/util/test_seed.h"
+
+namespace drtmr::chk {
+namespace {
+
+// (nodes, workers per node, replicas, plan kind)
+using SweepParam = std::tuple<uint32_t, uint32_t, uint32_t, TorturePlanKind>;
+
+class TortureSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(TortureSweep, SerializableUnderFaults) {
+  const auto [nodes, workers, replicas, kind] = GetParam();
+  const uint64_t base = util::TestSeed();
+  const uint64_t num_seeds = util::EnvCount("DRTMR_TORTURE_SEEDS", 2);
+  for (uint64_t s = 0; s < num_seeds; ++s) {
+    TortureOptions opt;
+    opt.shape.nodes = nodes;
+    opt.shape.workers = workers;
+    opt.shape.replicas = replicas;
+    opt.seed = base + s * 7919 + nodes * 131 + workers * 17;
+    opt.plan_kind = kind;
+    const TortureResult r = RunTorture(opt);
+    EXPECT_TRUE(r.ok) << "repro: seed=" << opt.seed << " plan=" << TorturePlanKindName(kind)
+                      << " shape=" << nodes << "x" << workers << "x" << replicas << "\n"
+                      << MakeTorturePlan(kind, opt.seed, nodes).Describe() << "\n"
+                      << r.Summary();
+    EXPECT_GT(r.committed, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, TortureSweep,
+    ::testing::Values(SweepParam{3, 2, 3, TorturePlanKind::kClean},
+                      SweepParam{3, 2, 3, TorturePlanKind::kDelay},
+                      SweepParam{3, 2, 3, TorturePlanKind::kHtmAbort},
+                      SweepParam{3, 2, 3, TorturePlanKind::kFreeze},
+                      SweepParam{3, 2, 3, TorturePlanKind::kPartition},
+                      SweepParam{3, 2, 3, TorturePlanKind::kKill},
+                      SweepParam{4, 2, 3, TorturePlanKind::kPartition},
+                      SweepParam{4, 2, 3, TorturePlanKind::kKill},
+                      SweepParam{2, 2, 2, TorturePlanKind::kKill},
+                      SweepParam{3, 2, 1, TorturePlanKind::kDelay},
+                      SweepParam{3, 2, 1, TorturePlanKind::kHtmAbort}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string name = TorturePlanKindName(std::get<3>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_" + std::to_string(std::get<0>(info.param)) + "x" +
+             std::to_string(std::get<1>(info.param)) + "x" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---- teeth: a deliberately broken engine must FAIL the checker ----
+
+// Skipping commit-time read validation admits stale reads; the dependency
+// graph then contains RW/WW cycles the checker must find. If this test fails,
+// the torture harness is toothless.
+TEST(TortureTeeth, SkipReadValidationIsCaught) {
+  TortureOptions opt;
+  opt.shape.nodes = 3;
+  opt.shape.workers = 2;
+  opt.shape.replicas = 3;
+  opt.shape.keys_per_node = 2;  // hot keys: races on every transfer
+  opt.shape.txns_per_worker = 300;
+  opt.seed = util::TestSeed(7);
+  opt.plan_kind = TorturePlanKind::kClean;
+  opt.unsafe_skip_read_validation = true;
+  const TortureResult r = RunTorture(opt);
+  EXPECT_FALSE(r.check.ok) << "checker passed a run with read validation disabled "
+                           << "(seed=" << opt.seed << ")\n"
+                           << r.Summary();
+  EXPECT_FALSE(r.ok);
+}
+
+// Losing verbs (which a lossless RDMA fabric never does) silently swallows
+// write-backs and unlocks; the oracles must notice the damage.
+TEST(TortureTeeth, DroppedVerbsAreCaught) {
+  TortureOptions opt;
+  opt.shape.nodes = 3;
+  opt.shape.workers = 2;
+  opt.shape.replicas = 3;
+  opt.shape.keys_per_node = 4;
+  opt.shape.txns_per_worker = 80;
+  opt.seed = util::TestSeed(11);
+  opt.plan_kind = TorturePlanKind::kClean;
+  sim::FaultPlan lossy(opt.seed);
+  lossy.DropVerbs(sim::FaultPlan::kAnyNode, sim::FaultPlan::kAnyNode, {0, 0},
+                  /*ppm=*/200'000);
+  opt.plan_override = &lossy;
+  const TortureResult r = RunTorture(opt);
+  EXPECT_FALSE(r.ok) << "oracles passed a run on a lossy fabric (seed=" << opt.seed << ")\n"
+                     << r.Summary();
+}
+
+}  // namespace
+}  // namespace drtmr::chk
