@@ -4,10 +4,16 @@
 //
 //   torture [--seeds=N] [--start-seed=S] [--plans=delay,kill,...]
 //           [--shapes=3x2x3,4x2x3] [--txns=N] [--keys=N] [--no-shrink]
+//           [--no-oracle]
 //
 // Shapes are nodes x workers-per-node x replicas. Every failure line carries
 // the (seed, plan, shape) triple that reproduces it:
 //   torture --seeds=1 --start-seed=<seed> --plans=<plan> --shapes=<shape>
+//
+// --no-oracle hands failure handling to the membership layer
+// (src/cluster/membership.h): the harness injects the faults but never tells
+// anyone — detection, epoch fencing, re-hosting, and rejoin must all happen
+// automatically before the quiescence oracles run. Requires replicas >= 2.
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -85,6 +91,7 @@ int Main(int argc, char** argv) {
   uint32_t txns = 120;
   uint32_t keys = 8;
   bool shrink = true;
+  bool no_oracle = false;
   std::vector<TorturePlanKind> plans = {TorturePlanKind::kClean,    TorturePlanKind::kDelay,
                                         TorturePlanKind::kHtmAbort, TorturePlanKind::kFreeze,
                                         TorturePlanKind::kPartition, TorturePlanKind::kKill};
@@ -102,6 +109,8 @@ int Main(int argc, char** argv) {
       keys = static_cast<uint32_t>(std::strtoul(a + 7, nullptr, 0));
     } else if (std::strcmp(a, "--no-shrink") == 0) {
       shrink = false;
+    } else if (std::strcmp(a, "--no-oracle") == 0) {
+      no_oracle = true;
     } else if (std::strncmp(a, "--plans=", 8) == 0) {
       plans.clear();
       for (const std::string& name : SplitCommas(a + 8)) {
@@ -125,7 +134,7 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: torture [--seeds=N] [--start-seed=S] [--plans=a,b] "
-                   "[--shapes=3x2x3] [--txns=N] [--keys=N] [--no-shrink]\n");
+                   "[--shapes=3x2x3] [--txns=N] [--keys=N] [--no-shrink] [--no-oracle]\n");
       return 2;
     }
   }
@@ -134,8 +143,8 @@ int Main(int argc, char** argv) {
   uint64_t failures = 0;
   for (const Shape& shape : shapes) {
     for (const TorturePlanKind kind : plans) {
-      if (kind == TorturePlanKind::kKill && shape.replicas < 2) {
-        std::printf("shape %ux%ux%u plan %-9s SKIP (kill needs replication)\n", shape.nodes,
+      if ((kind == TorturePlanKind::kKill || no_oracle) && shape.replicas < 2) {
+        std::printf("shape %ux%ux%u plan %-9s SKIP (needs replication)\n", shape.nodes,
                     shape.workers, shape.replicas, TorturePlanKindName(kind));
         continue;
       }
@@ -150,6 +159,7 @@ int Main(int argc, char** argv) {
         opt.shape.txns_per_worker = txns;
         opt.seed = start_seed + s;
         opt.plan_kind = kind;
+        opt.no_oracle = no_oracle;
         const TortureResult r = RunTorture(opt);
         ++runs;
         committed += r.committed;

@@ -1,18 +1,32 @@
-// Failover demo: 3-way replication, a machine failure, and recovery — the
-// §5 machinery end to end. Data written before the failure survives it, the
-// dead machine's partition is revived on a survivor, and new transactions
-// keep running against the re-hosted records.
+// Failover demo: 3-way replication, machine failures, and recovery — the §5
+// machinery end to end, in two acts.
+//
+// Act 1 (scripted): machine 1 is killed and the demo itself removes it from
+// the configuration and calls recovery by hand. Data written before the
+// failure survives, the dead machine's partition is revived on a survivor,
+// and new transactions keep running against the re-hosted records.
+//
+// Act 2 (automatic, DESIGN.md §10): a MembershipService is started and the
+// machine now hosting those records is killed — and nobody is told. Lease
+// heartbeats suspect it off virtual time, the driver fences the old epoch
+// (stamped into each machine's registered memory), re-hosts from the backup
+// copies recovery re-seeded in act 1, and the demo commits against the
+// twice-migrated partition.
 //
 //   $ ./examples/failover_demo
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <thread>
 
 #include "src/cluster/coordinator.h"
+#include "src/cluster/membership.h"
 #include "src/cluster/partition_map.h"
 #include "src/rep/primary_backup.h"
 #include "src/rep/recovery.h"
 #include "src/txn/transaction.h"
 #include "src/txn/txn_engine.h"
+#include "src/util/time_gate.h"
 
 using namespace drtmr;
 
@@ -125,9 +139,75 @@ int main() {
     }
   }
   std::printf("post-failure update committed on the re-hosted partition\n");
+
+  // ---- Act 2: kill the host of the re-hosted records; tell no one. ----
+  std::printf("\n-- act 2: automatic failover (no scripted Remove/recovery) --\n");
+  cluster::MembershipConfig mcfg;  // 25us leases, 5us heartbeats (virtual)
+  cluster::MembershipService membership(&cluster, &coordinator, &pmap, mcfg);
+  membership.set_recovery_fn([&](uint32_t dead, uint32_t host) {
+    const rep::RecoveryReport r = rm.RecoverAfterFailure(
+        cluster.node(host)->tool_context(), dead, host, /*pmap=*/nullptr);
+    std::printf("  auto-recovery: %llu records re-hosted on machine %u\n",
+                (unsigned long long)r.records_rehosted, host);
+  });
+  TimeGate gate(/*window_ns=*/8'000);
+  membership.set_time_gate(&gate);
+  engine.set_membership(&membership);
+  membership.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // leases active
+
+  cluster.Kill(2);  // the machine the profiles migrated to in act 1
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (std::chrono::steady_clock::now() < deadline &&
+         (membership.recoveries() < 1 || coordinator.view().Contains(2))) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  membership.Stop();
+  const bool detected = membership.suspicions() >= 1 && membership.recoveries() >= 1 &&
+                        !coordinator.view().Contains(2);
+  std::printf("machine 2 failed; heartbeats suspected it on their own "
+              "(%llu suspicion(s), epoch now %llu)\n",
+              (unsigned long long)membership.suspicions(),
+              (unsigned long long)coordinator.epoch());
+  for (uint32_t n = 0; n < kNodes; ++n) {
+    std::printf("  machine %u registered epoch word: %llu%s\n", n,
+                (unsigned long long)cluster.fabric()->epoch_word(n),
+                cluster.fabric()->epoch_word(n) < coordinator.epoch() ? "  (fenced out)" : "");
+  }
+
+  // The records moved a second time — the re-seeded backup ring from act 1's
+  // recovery is what makes the cascaded failover lossless.
+  const uint32_t home = pmap.node_of(1);
+  int survivors2 = 0;
+  for (uint64_t k = 1; k <= 5; ++k) {
+    ro.Begin(/*read_only=*/true);
+    Profile p{};
+    if (ro.Read(profiles, home, k, &p) == Status::kOk && ro.Commit() == Status::kOk &&
+        p.version >= 7) {
+      survivors2++;
+    }
+  }
+  std::printf("%d/5 profiles survived the second failure (now on machine %u)\n", survivors2,
+              home);
+  while (true) {
+    w.Begin();
+    Profile p{};
+    if (w.Read(profiles, home, 3, &p) != Status::kOk) {
+      w.UserAbort();
+      continue;
+    }
+    p.version = 9;
+    w.Write(profiles, home, 3, &p);
+    if (w.Commit() == Status::kOk) {
+      break;
+    }
+  }
+  std::printf("post-failure update committed against the twice-migrated partition\n");
+
   engine.StopServices();
-  std::printf(survivors == 5 ? "FAILOVER OK: no committed data lost\n"
-                             : "FAILOVER INCOMPLETE: %d/5 records\n",
-              survivors);
-  return survivors == 5 ? 0 : 1;
+  const bool ok = survivors == 5 && survivors2 == 5 && detected;
+  std::printf(ok ? "FAILOVER OK: no committed data lost, no oracle needed\n"
+                 : "FAILOVER INCOMPLETE: act1 %d/5, act2 %d/5, detected=%d\n",
+              survivors, survivors2, (int)detected);
+  return ok ? 0 : 1;
 }

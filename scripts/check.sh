@@ -48,6 +48,12 @@ ctest --test-dir build --output-on-failure -j "$JOBS" -L tier1
 echo "== full cycle: widened torture sweep (DRTMR_TORTURE_SEEDS=8) =="
 DRTMR_TORTURE_SEEDS=8 ctest --test-dir build --output-on-failure -j "$JOBS" -L stress
 
+echo "== full cycle: no-oracle failover acceptance sweep (32 seeds) =="
+# Nobody announces the faults: detection, fencing, re-hosting, and rejoin are
+# the membership layer's job (DESIGN.md §10). Exits non-zero on any violation.
+./build/bench/torture --seeds=32 --plans=freeze,partition,kill \
+  --shapes=3x2x3,4x2x3 --no-oracle --no-shrink
+
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: stress + concurrency tests under ThreadSanitizer =="
   cmake -B build-tsan -S . \

@@ -12,6 +12,7 @@
 
 #include "src/chk/history.h"
 #include "src/cluster/coordinator.h"
+#include "src/cluster/membership.h"
 #include "src/cluster/node.h"
 #include "src/cluster/partition_map.h"
 #include "src/rep/primary_backup.h"
@@ -22,7 +23,9 @@
 #include "src/store/table.h"
 #include "src/txn/transaction.h"
 #include "src/txn/txn_engine.h"
+#include "src/util/logging.h"
 #include "src/util/rand.h"
+#include "src/util/time_gate.h"
 
 namespace drtmr::chk {
 namespace {
@@ -133,6 +136,10 @@ std::string TortureResult::Summary() const {
   if (killed) {
     os << ", killed+recovered (" << recovered_records << " records rehosted)";
   }
+  if (epoch_changes > 0) {
+    os << "\n  failover: " << suspicions << " suspicions, " << epoch_changes
+       << " epoch changes, " << recoveries << " recoveries, " << rejoins << " rejoins";
+  }
   os << "\n  checker: " << check.Summary();
   for (const std::string& e : errors) {
     os << "\n  oracle: " << e;
@@ -159,8 +166,12 @@ TortureResult RunTorture(const TortureOptions& opt) {
   store::Table* table = catalog.CreateTable(kTableId, topt);
 
   cluster::Coordinator coordinator;
+  // No-oracle mode nodes hold real leases that the membership layer has to
+  // keep renewing; oracle mode keeps the effectively-infinite leases.
+  cluster::MembershipConfig mcfg;
+  mcfg.seed = opt.seed;
   for (uint32_t i = 0; i < nodes; ++i) {
-    coordinator.Join(i, 0, ~0ull >> 2);
+    coordinator.Join(i, 0, opt.no_oracle ? mcfg.lease_ns : (~0ull >> 2));
   }
   std::unique_ptr<rep::PrimaryBackupReplicator> replicator;
   if (replication) {
@@ -203,6 +214,39 @@ TortureResult RunTorture(const TortureOptions& opt) {
     if (plan.KillTimeOf(n) != ~0ull) {
       victim = n;
     }
+  }
+
+  // --- no-oracle failover layer ---
+  // The gate window must stay below MembershipConfig::commit_guard_ns (12us)
+  // so a straggler's commit-entry clock cannot sit far enough behind the
+  // driver's to outrun an expired lease (membership.h).
+  TimeGate gate(/*window_ns=*/8'000);
+  std::vector<uint32_t> worker_gate(nodes * shape.workers, 0);
+  std::vector<uint32_t> auditor_gate(nodes, 0);
+  std::unique_ptr<rep::RecoveryManager> auto_rm;
+  std::unique_ptr<cluster::MembershipService> membership;
+  std::atomic<uint64_t> auto_rehosted{0};
+  if (opt.no_oracle) {
+    DRTMR_CHECK(replication);  // recovery needs backups: replicas >= 2
+    for (uint32_t n = 0; n < nodes; ++n) {
+      for (uint32_t w = 0; w < shape.workers; ++w) {
+        worker_gate[n * shape.workers + w] =
+            gate.AddClock(&cluster.node(n)->context(w)->clock);
+      }
+      auditor_gate[n] = gate.AddClock(&cluster.node(n)->context(shape.workers)->clock);
+    }
+    auto_rm = std::make_unique<rep::RecoveryManager>(&engine, replicator.get(), &coordinator);
+    membership =
+        std::make_unique<cluster::MembershipService>(&cluster, &coordinator, &pmap, mcfg);
+    membership->set_recovery_fn([&](uint32_t dead, uint32_t host) {
+      const rep::RecoveryReport rep = auto_rm->RecoverAfterFailure(
+          cluster.node(host)->tool_context(), dead, host, /*pmap=*/nullptr);
+      auto_rehosted.fetch_add(rep.records_rehosted);
+    });
+    membership->set_time_gate(&gate);
+    engine.set_membership(membership.get());
+    cluster.set_time_gate(&gate);
+    membership->Start();
   }
 
   TortureResult result;
@@ -277,6 +321,9 @@ TortureResult RunTorture(const TortureOptions& opt) {
         }
         committed.fetch_add(done);
         running.fetch_sub(1);
+        if (membership != nullptr) {
+          gate.Done(worker_gate[n * shape.workers + w]);
+        }
       });
     }
   }
@@ -306,7 +353,7 @@ TortureResult RunTorture(const TortureOptions& opt) {
       txn::Transaction ro(&engine, ctx);
       while (running.load(std::memory_order_relaxed) > 0) {
         if (kill_ns != ~0ull && ctx->clock.now_ns() + kKillMarginNs >= kill_ns) {
-          return;
+          break;
         }
         ro.Begin(true);
         int64_t sum = 0;
@@ -316,6 +363,12 @@ TortureResult RunTorture(const TortureOptions& opt) {
             Cell c{};
             readable = ro.Read(table, pmap.node_of(p), KeyOf(p, i), &c) == Status::kOk;
             sum += c.value;
+            // A full snapshot spans tens of microseconds of virtual time;
+            // under the no-oracle gate, sync mid-snapshot so the auditor's
+            // clock cannot outrun its own lease renewals (no-op without a
+            // gate; blocking mid-transaction is safe — versions are
+            // re-validated at commit).
+            cluster.SyncGate(&ctx->clock);
           }
         }
         if (!readable) {
@@ -331,6 +384,9 @@ TortureResult RunTorture(const TortureOptions& opt) {
           }
         }
       }
+      if (membership != nullptr) {
+        gate.Done(auditor_gate[n]);
+      }
     });
   }
   for (auto& t : workers) {
@@ -344,11 +400,118 @@ TortureResult RunTorture(const TortureOptions& opt) {
     monitor.join();
   }
 
-  // Fail-stop + recovery: commit a configuration without the victim, re-host
-  // its partition on a survivor, then prove the re-hosted partition serves
-  // transactions (all still recorded and checked).
   uint64_t post_committed = 0;
-  if (result.killed) {
+  if (opt.no_oracle) {
+    // Nothing here tells the membership layer what the plan did: detection,
+    // fencing, re-hosting and rejoin all already happened (or are happening)
+    // on its own threads. Formalize the kill (the victim's workers parked
+    // before the instant; the plan already made it unreachable), then wait in
+    // real time — virtual time keeps advancing through the membership
+    // threads — until the view settles: every live node a member, the victim
+    // out, and every suspicion matched by a completed recovery.
+    if (result.killed) {
+      cluster.Kill(victim);
+    }
+    const auto wait_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    bool settled = false;
+    if (debug) std::fprintf(stderr, "[torture] settle-wait begin\n");
+    while (std::chrono::steady_clock::now() < wait_deadline) {
+      const cluster::ClusterView v = coordinator.view();
+      bool live_ok = true;
+      for (uint32_t i = 0; i < nodes; ++i) {
+        if (i != victim && !v.Contains(i)) {
+          live_ok = false;
+          break;
+        }
+      }
+      if (live_ok && !(result.killed && v.Contains(victim)) &&
+          membership->suspicions() == membership->recoveries()) {
+        settled = true;
+        break;
+      }
+      std::this_thread::yield();
+    }
+    result.suspicions = membership->suspicions();
+    result.epoch_changes = membership->epoch_changes();
+    result.rejoins = membership->rejoins();
+    result.recoveries = membership->recoveries();
+    result.recovered_records = auto_rehosted.load();
+    if (debug) {
+      std::fprintf(stderr, "[torture] settled=%d susp=%llu rec=%llu epoch=%llu\n",
+                   settled ? 1 : 0, (unsigned long long)result.suspicions,
+                   (unsigned long long)result.recoveries,
+                   (unsigned long long)coordinator.epoch());
+    }
+    if (!settled) {
+      flag("membership failed to settle: epoch " + std::to_string(coordinator.epoch()) +
+           ", " + std::to_string(result.suspicions) + " suspicions, " +
+           std::to_string(result.recoveries) + " recoveries, " +
+           std::to_string(result.rejoins) + " rejoins");
+    }
+    if (result.killed) {
+      if (result.suspicions == 0) {
+        flag("kill plan ran but the failure detector never fired");
+      }
+      if (result.recoveries == 0) {
+        flag("kill plan ran but no automatic recovery happened");
+      }
+      if (pmap.node_of(victim) == victim) {
+        flag("victim partition was never re-hosted");
+      } else {
+        // Prove the pipeline end to end: with the membership layer still
+        // running (leases must stay fresh for commit admission), brand-new
+        // transactions against the auto-re-hosted partition must commit.
+        const uint32_t host = pmap.node_of(victim);
+        sim::ThreadContext* ctx = cluster.node(host)->context(0);
+        txn::Transaction txn(&engine, ctx);
+        FastRand rng(opt.seed ^ 0xdead5eedull);
+        uint64_t attempts = 0;
+        for (uint64_t i = 0; i < 20 && attempts < 400; ++i) {
+          const uint64_t from = KeyOf(victim, rng.Uniform(shape.keys_per_node));
+          uint32_t tp = static_cast<uint32_t>(rng.Uniform(nodes));
+          uint64_t to = KeyOf(tp, rng.Uniform(shape.keys_per_node));
+          if (to == from) {
+            continue;
+          }
+          while (attempts < 400) {
+            ++attempts;
+            txn.Begin();
+            Cell a{}, b{};
+            if (txn.Read(table, pmap.node_of(victim), from, &a) != Status::kOk ||
+                txn.Read(table, pmap.node_of(tp), to, &b) != Status::kOk) {
+              txn.UserAbort();
+              continue;
+            }
+            a.value -= 3;
+            b.value += 3;
+            if (txn.Write(table, pmap.node_of(victim), from, &a) != Status::kOk ||
+                txn.Write(table, pmap.node_of(tp), to, &b) != Status::kOk) {
+              txn.UserAbort();
+              continue;
+            }
+            if (txn.Commit() == Status::kOk) {
+              ++post_committed;
+              break;
+            }
+          }
+        }
+        if (post_committed == 0) {
+          flag("no transaction committed against the auto-re-hosted partition");
+        }
+      }
+    }
+    if (debug) std::fprintf(stderr, "[torture] burst done post=%llu, stopping membership\n",
+                            (unsigned long long)post_committed);
+    membership->Stop();
+    cluster.set_time_gate(nullptr);
+    if (debug) std::fprintf(stderr, "[torture] membership stopped\n");
+  }
+
+  // Oracle-scripted fail-stop + recovery (legacy mode): commit a
+  // configuration without the victim, re-host its partition on a survivor,
+  // then prove the re-hosted partition serves transactions (all still
+  // recorded and checked).
+  if (result.killed && !opt.no_oracle) {
     const uint32_t host = (victim + 1) % nodes;
     cluster.Kill(victim);
     coordinator.Remove(victim);
@@ -452,7 +615,18 @@ TortureResult RunTorture(const TortureOptions& opt) {
       store::RecordLayout::GatherValue(rec.data(), &c, sizeof(c));
       final_total += c.value;
       const uint64_t lock = store::RecordLayout::GetLock(rec.data());
-      if (lock != 0 && !(result.killed && store::LockWord::OwnerNode(lock) == victim)) {
+      // A lock owned by a dead machine may linger until touched (passive
+      // release); likewise a fenced zombie's unlock CAS was rejected by the
+      // fabric, so locks held by any ever-suspected node are expected debris,
+      // not a hygiene bug.
+      bool zombie_lock = false;
+      if (lock != 0) {
+        const uint32_t lock_owner = store::LockWord::OwnerNode(lock);
+        zombie_lock = (result.killed && lock_owner == victim) ||
+                      (membership != nullptr && lock_owner < nodes &&
+                       membership->was_suspected(lock_owner));
+      }
+      if (lock != 0 && !zombie_lock) {
         flag("leaked lock on partition " + std::to_string(p) + " key " + std::to_string(i));
       }
       if (replication && store::RecordLayout::GetSeq(rec.data()) % 2 != 0) {

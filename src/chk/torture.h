@@ -59,6 +59,15 @@ struct TortureOptions {
   // Teeth: disable commit-time read validation in the engine. The run is
   // expected to FAIL the checker — this proves the oracle has teeth.
   bool unsafe_skip_read_validation = false;
+  // No-oracle failover: instead of the harness scripting Remove + recovery
+  // after the run (oracle knowledge of the fault plan), a MembershipService
+  // (src/cluster/membership.h) runs *during* the run — lease heartbeats
+  // suspect the victim off virtual time, the driver fences the old epoch,
+  // flips the partition map, and runs recovery automatically; transient
+  // victims (freeze/partition) rejoin in a later epoch. The quiescence
+  // oracles then check the result with no scripted help. Requires
+  // replicas >= 2 (recovery needs backups).
+  bool no_oracle = false;
 };
 
 struct TortureResult {
@@ -68,6 +77,11 @@ struct TortureResult {
   uint64_t audits = 0;       // read-only conservation snapshots that committed
   bool killed = false;       // plan killed a node (recovery ran)
   uint64_t recovered_records = 0;
+  // No-oracle mode: what the membership layer did on its own.
+  uint64_t suspicions = 0;
+  uint64_t epoch_changes = 0;
+  uint64_t rejoins = 0;
+  uint64_t recoveries = 0;
   std::vector<std::string> errors;  // oracle/invariant failures (non-checker)
   std::string Summary() const;
 };

@@ -1,42 +1,98 @@
 #include "src/cluster/coordinator.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace drtmr::cluster {
 
-void Coordinator::Join(uint32_t node, uint64_t now_ms, uint64_t lease_ms) {
-  std::lock_guard<std::mutex> g(mu_);
-  for (auto& m : members_) {
-    if (m.node == node) {
-      m.lease_deadline_ms = now_ms + lease_ms;
+void Coordinator::RemoveLocked(uint32_t node, uint64_t tombstone_deadline) {
+  for (auto it = members_.begin(); it != members_.end(); ++it) {
+    if (it->node == node) {
+      members_.erase(it);
+      epoch_++;
+      break;
+    }
+  }
+  for (auto& t : tombstones_) {
+    if (t.node == node) {
+      t.deadline = tombstone_deadline;
       return;
     }
   }
-  members_.push_back({node, now_ms + lease_ms});
+  tombstones_.push_back({node, tombstone_deadline});
+}
+
+void Coordinator::Join(uint32_t node, uint64_t now, uint64_t lease) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& m : members_) {
+    if (m.node == node) {
+      if (m.lease_deadline >= now) {
+        // Live member re-joining: refresh the lease, no new configuration.
+        m.lease_deadline = now + lease;
+        return;
+      }
+      // Expired but not yet reconfigured away: the old incarnation is fenced
+      // out (epoch bump) and the node re-admitted with a fresh lease — never
+      // resurrect the stale deadline.
+      RemoveLocked(node, m.lease_deadline);
+      break;
+    }
+  }
+  members_.push_back({node, now + lease});
   std::sort(members_.begin(), members_.end(),
             [](const Member& a, const Member& b) { return a.node < b.node; });
   epoch_++;
-}
-
-void Coordinator::Renew(uint32_t node, uint64_t now_ms, uint64_t lease_ms) {
-  std::lock_guard<std::mutex> g(mu_);
-  for (auto& m : members_) {
-    if (m.node == node) {
-      m.lease_deadline_ms = now_ms + lease_ms;
-      return;
+  // Re-admission supersedes any prior tombstone: the new incarnation holds a
+  // valid lease, so its locks are no longer dangling.
+  for (auto it = tombstones_.begin(); it != tombstones_.end(); ++it) {
+    if (it->node == node) {
+      tombstones_.erase(it);
+      break;
     }
   }
 }
 
-bool Coordinator::Reconfigure(uint64_t now_ms, std::vector<uint32_t>* suspected) {
+RenewResult Coordinator::Renew(uint32_t node, uint64_t now, uint64_t lease) {
   std::lock_guard<std::mutex> g(mu_);
+  for (auto& m : members_) {
+    if (m.node == node) {
+      if (now > m.lease_deadline) {
+        // Too late: survivors may already act on a view without this node.
+        RemoveLocked(node, m.lease_deadline);
+        return RenewResult::kExpired;
+      }
+      m.lease_deadline = now + lease;
+      return RenewResult::kRenewed;
+    }
+  }
+  return RenewResult::kExpired;
+}
+
+bool Coordinator::Reconfigure(uint64_t now, std::vector<uint32_t>* suspected) {
+  std::lock_guard<std::mutex> g(mu_);
+  assert(now >= last_reconfigure_now_ && "reconfiguration time moved backwards");
+  last_reconfigure_now_ = now;
+  const uint64_t epoch_before = epoch_;
   bool changed = false;
   for (auto it = members_.begin(); it != members_.end();) {
-    if (it->lease_deadline_ms < now_ms) {
+    if (it->lease_deadline < now) {
       if (suspected != nullptr) {
         suspected->push_back(it->node);
       }
+      const uint32_t node = it->node;
+      const uint64_t deadline = it->lease_deadline;
       it = members_.erase(it);
+      bool had = false;
+      for (auto& t : tombstones_) {
+        if (t.node == node) {
+          t.deadline = deadline;
+          had = true;
+          break;
+        }
+      }
+      if (!had) {
+        tombstones_.push_back({node, deadline});
+      }
       changed = true;
     } else {
       ++it;
@@ -45,6 +101,8 @@ bool Coordinator::Reconfigure(uint64_t now_ms, std::vector<uint32_t>* suspected)
   if (changed) {
     epoch_++;
   }
+  assert(epoch_ >= epoch_before && "configuration epoch moved backwards");
+  (void)epoch_before;
   return changed;
 }
 
@@ -54,9 +112,18 @@ void Coordinator::Remove(uint32_t node) {
     if (it->node == node) {
       members_.erase(it);
       epoch_++;
+      break;
+    }
+  }
+  // Explicit removal means "declared dead now": tombstone 0 makes the node's
+  // locks immediately stealable regardless of grace.
+  for (auto& t : tombstones_) {
+    if (t.node == node) {
+      t.deadline = 0;
       return;
     }
   }
+  tombstones_.push_back({node, 0});
 }
 
 ClusterView Coordinator::view() const {
@@ -73,6 +140,31 @@ ClusterView Coordinator::view() const {
 uint64_t Coordinator::epoch() const {
   std::lock_guard<std::mutex> g(mu_);
   return epoch_;
+}
+
+bool Coordinator::SafeToStealLocksOf(uint32_t node, uint64_t now) const {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& m : members_) {
+    if (m.node == node) {
+      return false;  // live member — its locks are owned, not dangling
+    }
+  }
+  for (const auto& t : tombstones_) {
+    if (t.node == node) {
+      return t.deadline == 0 || now > t.deadline + steal_grace_;
+    }
+  }
+  return true;  // never configured — cannot hold a lease, locks are dangling
+}
+
+uint64_t Coordinator::LeaseDeadline(uint32_t node) const {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& m : members_) {
+    if (m.node == node) {
+      return m.lease_deadline;
+    }
+  }
+  return 0;
 }
 
 }  // namespace drtmr::cluster

@@ -5,9 +5,10 @@
 // observe. Only agreement on "the current configuration" is required by the
 // paper, so a linearizable in-process service suffices (DESIGN.md §1).
 //
-// Time base: leases use a millisecond virtual timestamp supplied by the
-// caller (the recovery benchmark drives it from a wall-clock thread), keeping
-// the module deterministic under test.
+// Time base: leases use a virtual timestamp supplied by the caller in
+// whatever unit the caller drives consistently (the recovery benchmark uses
+// milliseconds from a wall-clock thread; the membership layer passes raw
+// virtual nanoseconds), keeping the module deterministic under test.
 #ifndef DRTMR_SRC_CLUSTER_COORDINATOR_H_
 #define DRTMR_SRC_CLUSTER_COORDINATOR_H_
 
@@ -31,34 +32,70 @@ struct ClusterView {
   }
 };
 
+// Outcome of a lease renewal. A renewal that arrives after the lease deadline
+// is refused: by then survivors may already act on a view without the node,
+// so extending the lease would re-admit a zombie. The node must rejoin
+// through Join (which commits a new epoch) instead.
+enum class RenewResult : uint8_t { kRenewed, kExpired };
+
 class Coordinator {
  public:
-  // Adds a machine to the configuration (bumps the epoch).
-  void Join(uint32_t node, uint64_t now_ms, uint64_t lease_ms);
+  // Adds a machine to the configuration (bumps the epoch). Joining while
+  // already a live member just refreshes the lease; joining after removal or
+  // expiry commits a new epoch with a fresh lease — the old deadline is never
+  // resurrected.
+  void Join(uint32_t node, uint64_t now, uint64_t lease);
 
-  // Lease renewal; a machine that stops renewing will be suspected.
-  void Renew(uint32_t node, uint64_t now_ms, uint64_t lease_ms);
+  // Lease renewal; a machine that stops renewing will be suspected. Renewal
+  // past the deadline is refused and removes the node (epoch bump) — the
+  // caller learns it has been fenced out and must Join to return.
+  RenewResult Renew(uint32_t node, uint64_t now, uint64_t lease);
 
   // Scans leases; if any member expired, commits a new configuration without
   // it and returns true. `suspected` receives the removed nodes.
-  bool Reconfigure(uint64_t now_ms, std::vector<uint32_t>* suspected);
+  bool Reconfigure(uint64_t now, std::vector<uint32_t>* suspected);
 
   // Explicitly removes a node (e.g. the failure injector announcing a kill in
-  // tests that do not drive lease time).
+  // tests that do not drive lease time). The removal tombstone is 0: the
+  // node is declared dead outright, its locks may be stolen immediately.
   void Remove(uint32_t node);
 
   ClusterView view() const;
   uint64_t epoch() const;
 
+  // Lease-expiry removals record the lease deadline as a tombstone; a
+  // survivor may steal the removed owner's locks only after
+  // deadline + steal grace has passed on the survivor's clock, bounding the
+  // window where a suspected-but-live node is still mid-commit. Explicit
+  // Remove records tombstone 0 (immediately stealable). A current member is
+  // never stealable; a node with no tombstone (never configured) is — it
+  // cannot hold a lease, so its locks are dangling by definition.
+  void set_steal_grace(uint64_t grace) { steal_grace_ = grace; }
+  bool SafeToStealLocksOf(uint32_t node, uint64_t now) const;
+
+  // Deadline of a live member's lease; 0 if not a member. Test/diagnostic
+  // accessor.
+  uint64_t LeaseDeadline(uint32_t node) const;
+
  private:
   struct Member {
     uint32_t node;
-    uint64_t lease_deadline_ms;
+    uint64_t lease_deadline;
   };
+  struct Tombstone {
+    uint32_t node;
+    uint64_t deadline;  // lease deadline at removal; 0 = explicit Remove
+  };
+
+  // Callers hold mu_.
+  void RemoveLocked(uint32_t node, uint64_t tombstone_deadline);
 
   mutable std::mutex mu_;
   uint64_t epoch_ = 0;
+  uint64_t last_reconfigure_now_ = 0;
+  uint64_t steal_grace_ = 0;
   std::vector<Member> members_;
+  std::vector<Tombstone> tombstones_;
 };
 
 }  // namespace drtmr::cluster

@@ -48,6 +48,13 @@ class Node {
   void Kill() { killed_.store(true, std::memory_order_release); }
   void Revive() { killed_.store(false, std::memory_order_release); }
 
+  // In-flight commit tracking: Transaction::Commit brackets its commit phase
+  // with Enter/Exit so the reconfiguration driver can drain commits that
+  // entered before an epoch stamp (DESIGN.md §10) before re-hosting data.
+  void EnterCommit() { inflight_commits_.fetch_add(1, std::memory_order_acq_rel); }
+  void ExitCommit() { inflight_commits_.fetch_sub(1, std::memory_order_acq_rel); }
+  uint32_t inflight_commits() const { return inflight_commits_.load(std::memory_order_acquire); }
+
   // Contexts. Worker i uses slot i; auxiliary thread j uses slot workers+j.
   sim::ThreadContext* context(uint32_t slot) { return contexts_[slot].get(); }
   uint32_t num_slots() const { return static_cast<uint32_t>(contexts_.size()); }
@@ -78,6 +85,7 @@ class Node {
   uint64_t log_begin_;
   uint64_t log_size_;
   std::atomic<bool> killed_{false};
+  std::atomic<uint32_t> inflight_commits_{0};
   std::vector<std::unique_ptr<sim::ThreadContext>> contexts_;
 
   std::atomic<bool> service_running_{false};

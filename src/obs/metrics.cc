@@ -30,6 +30,11 @@ const char* CounterName(Counter c) {
     case Counter::kRepLogBytes: return "rep_log_bytes";
     case Counter::kKeyedOverflow: return "keyed_overflow";
     case Counter::kTraceDropped: return "trace_dropped";
+    case Counter::kMembershipEpochChange: return "membership_epoch_change";
+    case Counter::kMembershipSuspicion: return "membership_suspicion";
+    case Counter::kMembershipRejoin: return "membership_rejoin";
+    case Counter::kFenceRejectedVerb: return "fence_rejected_verb";
+    case Counter::kFenceSelfAbort: return "fence_self_abort";
     case Counter::kCount: break;
   }
   return "?";

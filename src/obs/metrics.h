@@ -66,6 +66,11 @@ enum class Counter : uint32_t {
   kRepLogBytes,         // replication log bytes pushed
   kKeyedOverflow,       // keyed-table slots exhausted (taxonomy truncated)
   kTraceDropped,        // trace ring overwrites
+  kMembershipEpochChange,  // committed configuration epoch advanced
+  kMembershipSuspicion,    // failure detector suspected a node
+  kMembershipRejoin,       // fenced node rejoined in a later epoch
+  kFenceRejectedVerb,      // mutating verb refused: issuer's epoch is stale
+  kFenceSelfAbort,         // commit self-fenced (stale epoch / expired lease)
   kCount
 };
 inline constexpr size_t kNumCounters = static_cast<size_t>(Counter::kCount);

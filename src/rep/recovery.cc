@@ -65,6 +65,18 @@ RecoveryReport RecoveryManager::RecoverAfterFailure(sim::ThreadContext* ctx, uin
         if (s == Status::kOk) {
           report.records_rehosted++;
         }
+        // Restore the replication invariant under the record's new name: the
+        // host is now the primary, so its backup ring must hold the image as
+        // {table, host, key}. Without this, a record never rewritten after the
+        // re-host has backups only under the old primary, and a later failure
+        // of the host would strand it (cascaded failover loses data). Apply is
+        // freshest-wins, so duplicate copies and races with live writers that
+        // replicate a newer image under the host's name are both harmless.
+        const uint32_t replicas = replicator_->config().replicas;
+        for (uint32_t r = 1; r < replicas; ++r) {
+          replicator_->SeedBackup(cluster->BackupOf(host, r), k.table, host, k.key,
+                                  image.data(), image.size());
+        }
         continue;
       }
       if (cluster->node(k.primary)->killed()) {

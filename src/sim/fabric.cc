@@ -84,6 +84,55 @@ Status RdmaNic::ApplyFaults(ThreadContext* ctx, uint32_t dst, uint64_t* completi
   return Status::kOk;
 }
 
+Status RdmaNic::ApplyFaultsBounded(ThreadContext* ctx, uint32_t dst, uint64_t timeout_ns) {
+  if (!fabric_->alive(node_id_) || !fabric_->alive(dst)) {
+    return Status::kUnavailable;
+  }
+  const FaultPlan* plan = fabric_->fault_plan();
+  if (plan == nullptr) {
+    return Status::kOk;
+  }
+  uint64_t extra_ns = 0;
+  uint64_t stall_until_ns = 0;
+  switch (plan->OnVerb(ctx, node_id_, dst, &extra_ns, &stall_until_ns)) {
+    case FaultPlan::VerbFate::kUnreachable:
+    case FaultPlan::VerbFate::kDrop:
+      return Status::kUnavailable;
+    case FaultPlan::VerbFate::kDeliver:
+      break;
+  }
+  const uint64_t now = ctx->clock.now_ns();
+  if (stall_until_ns > now + timeout_ns) {
+    // The stall outlasts the transport's retry budget: complete with an error
+    // after the timeout instead of waiting the window out.
+    ctx->Charge(timeout_ns);
+    return Status::kUnavailable;
+  }
+  if (stall_until_ns > now) {
+    ctx->clock.AdvanceTo(stall_until_ns);
+  }
+  if (extra_ns > 0) {
+    ctx->Charge(extra_ns);
+  }
+  return Status::kOk;
+}
+
+Status RdmaNic::FenceCheck(uint32_t dst) {
+  if (!fabric_->epoch_fencing()) {
+    return Status::kOk;
+  }
+  // Reading the epoch words non-transactionally is HTM-safe: a plain bus read
+  // only dooms regions that *write* the line, and nothing but the membership
+  // stamp ever writes line 0.
+  const uint64_t src_epoch = fabric_->bus(node_id_)->ReadU64(nullptr, Fabric::kEpochWordOff);
+  const uint64_t dst_epoch = fabric_->bus(dst)->ReadU64(nullptr, Fabric::kEpochWordOff);
+  if (src_epoch < dst_epoch) {
+    obs::Count(obs::Counter::kFenceRejectedVerb);
+    return Status::kStaleEpoch;
+  }
+  return Status::kOk;
+}
+
 Status RdmaNic::ReadPosted(ThreadContext* ctx, uint32_t dst, uint64_t offset, void* buf,
                            size_t len, uint64_t* completion_ns) {
   RdmaNic* dst_nic = fabric_->nic(dst);
@@ -108,6 +157,9 @@ Status RdmaNic::WritePosted(ThreadContext* ctx, uint32_t dst, uint64_t offset, c
   if (Status s = ApplyFaults(ctx, dst, completion_ns); s != Status::kOk) {
     return s;
   }
+  if (Status s = FenceCheck(dst); s != Status::kOk) {
+    return s;
+  }
   fabric_->bus(dst)->Write(/*ctx=*/nullptr, offset, src, len);
   return Status::kOk;
 }
@@ -122,6 +174,9 @@ Status RdmaNic::CompareSwapPosted(ThreadContext* ctx, uint32_t dst, uint64_t off
   }
   obs::CountVerb(obs::Verb::kCas, node_id_, dst, sizeof(uint64_t));
   if (Status s = ApplyFaults(ctx, dst, completion_ns); s != Status::kOk) {
+    return s;
+  }
+  if (Status s = FenceCheck(dst); s != Status::kOk) {
     return s;
   }
   const bool swapped = fabric_->bus(dst)->CasU64(/*ctx=*/nullptr, offset, expected, desired,
@@ -142,6 +197,20 @@ Status RdmaNic::Read(ThreadContext* ctx, uint32_t dst, uint64_t offset, void* bu
   return Status::kOk;
 }
 
+Status RdmaNic::ReadTimeout(ThreadContext* ctx, uint32_t dst, uint64_t offset, void* buf,
+                            size_t len, uint64_t timeout_ns) {
+  RdmaNic* dst_nic = fabric_->nic(dst);
+  if (!ChargeVerb(ctx, dst_nic, cost_->rdma_read_ns, len)) {
+    return Status::kAborted;
+  }
+  obs::CountVerb(obs::Verb::kRead, node_id_, dst, len);
+  if (Status s = ApplyFaultsBounded(ctx, dst, timeout_ns); s != Status::kOk) {
+    return s;
+  }
+  fabric_->bus(dst)->Read(/*ctx=*/nullptr, offset, buf, len);
+  return Status::kOk;
+}
+
 Status RdmaNic::Write(ThreadContext* ctx, uint32_t dst, uint64_t offset, const void* src,
                       size_t len) {
   RdmaNic* dst_nic = fabric_->nic(dst);
@@ -150,6 +219,9 @@ Status RdmaNic::Write(ThreadContext* ctx, uint32_t dst, uint64_t offset, const v
   }
   obs::CountVerb(obs::Verb::kWrite, node_id_, dst, len);
   if (Status s = ApplyFaults(ctx, dst); s != Status::kOk) {
+    return s;
+  }
+  if (Status s = FenceCheck(dst); s != Status::kOk) {
     return s;
   }
   fabric_->bus(dst)->Write(/*ctx=*/nullptr, offset, src, len);
@@ -164,6 +236,9 @@ Status RdmaNic::CompareSwap(ThreadContext* ctx, uint32_t dst, uint64_t offset, u
   }
   obs::CountVerb(obs::Verb::kCas, node_id_, dst, sizeof(uint64_t));
   if (Status s = ApplyFaults(ctx, dst); s != Status::kOk) {
+    return s;
+  }
+  if (Status s = FenceCheck(dst); s != Status::kOk) {
     return s;
   }
   // Under IBV_ATOMIC_HCA, atomics are serialized by the target HCA rather
@@ -189,6 +264,9 @@ Status RdmaNic::FetchAdd(ThreadContext* ctx, uint32_t dst, uint64_t offset, uint
   if (Status s = ApplyFaults(ctx, dst); s != Status::kOk) {
     return s;
   }
+  if (Status s = FenceCheck(dst); s != Status::kOk) {
+    return s;
+  }
   const uint64_t old = fabric_->bus(dst)->FetchAddU64(/*ctx=*/nullptr, offset, delta);
   if (old_value != nullptr) {
     *old_value = old;
@@ -205,6 +283,9 @@ Status RdmaNic::Send(ThreadContext* ctx, uint32_t dst, std::vector<std::byte> pa
   }
   obs::CountVerb(obs::Verb::kSend, node_id_, dst, payload.size());
   if (Status s = ApplyFaults(ctx, dst); s != Status::kOk) {
+    return s;
+  }
+  if (Status s = FenceCheck(dst); s != Status::kOk) {
     return s;
   }
   Message m;

@@ -77,6 +77,14 @@ class RdmaNic {
                      uint64_t desired, uint64_t* observed);
   Status FetchAdd(ThreadContext* ctx, uint32_t dst, uint64_t offset, uint64_t delta,
                   uint64_t* old_value);
+  // Read with a bounded transport-retry budget: if a partition/freeze window
+  // would stall the verb more than `timeout_ns` past issue, the NIC gives up
+  // after charging the timeout and completes with kUnavailable instead of
+  // waiting the window out — RC retry_cnt exhaustion on real hardware. The
+  // failure detector's probes use this so that probing a frozen peer costs a
+  // bounded amount of the prober's own lease.
+  Status ReadTimeout(ThreadContext* ctx, uint32_t dst, uint64_t offset, void* buf, size_t len,
+                     uint64_t timeout_ns);
 
   // Posted (pipelined) variants: multiple verbs are pushed back-to-back and
   // their round-trip latencies overlap, as with real doorbell batching. Each
@@ -135,6 +143,16 @@ class RdmaNic {
   // posted verbs) before returning.
   Status ApplyFaults(ThreadContext* ctx, uint32_t dst, uint64_t* completion_ns = nullptr);
 
+  // ApplyFaults variant with a bounded stall budget (see ReadTimeout): a
+  // partition stall that would exceed now + timeout_ns charges timeout_ns and
+  // returns kUnavailable instead of advancing the clock to the window close.
+  Status ApplyFaultsBounded(ThreadContext* ctx, uint32_t dst, uint64_t timeout_ns);
+
+  // Epoch-fence admission check for a mutating verb (Fabric::kEpochWordOff):
+  // kStaleEpoch if the issuer's stamped epoch lags the target's. Runs at
+  // delivery, after ApplyFaults.
+  Status FenceCheck(uint32_t dst);
+
   Fabric* fabric_;
   uint32_t node_id_;
   const CostModel* cost_;
@@ -173,6 +191,22 @@ class Fabric {
   }
   const FaultPlan* fault_plan() const { return fault_plan_.load(std::memory_order_acquire); }
 
+  // ---- epoch fencing (§5.2; DESIGN.md §10) ----
+  //
+  // Each machine's registered memory reserves the word at kEpochWordOff (the
+  // allocator never hands out line 0) for the committed configuration epoch,
+  // stamped there by the membership layer. With fencing enabled, every
+  // *mutating* verb (WRITE / CAS / FAA / SEND) compares the issuer's epoch
+  // word against the target's before touching the target's memory: an issuer
+  // whose epoch lags has been fenced out of the configuration and the verb is
+  // refused with kStaleEpoch. READs stay exempt so a fenced node can still
+  // fetch the current epoch and rejoin. Disabled (the default), the verb path
+  // is bit-identical to the unfenced simulator.
+  static constexpr uint64_t kEpochWordOff = 0;
+  void set_epoch_fencing(bool on) { epoch_fencing_.store(on, std::memory_order_release); }
+  bool epoch_fencing() const { return epoch_fencing_.load(std::memory_order_acquire); }
+  uint64_t epoch_word(uint32_t node) { return bus(node)->ReadU64(nullptr, kEpochWordOff); }
+
  private:
   friend class RdmaNic;
 
@@ -186,6 +220,7 @@ class Fabric {
   AtomicityLevel atomicity_;
   std::vector<std::unique_ptr<NodePort>> nodes_;
   std::atomic<const FaultPlan*> fault_plan_{nullptr};
+  std::atomic<bool> epoch_fencing_{false};
 };
 
 }  // namespace drtmr::sim

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/chk/history.h"
+#include "src/cluster/membership.h"
 #include "src/obs/phase_timer.h"
 #include "src/store/record.h"
 #include "src/util/logging.h"
@@ -25,6 +26,11 @@ void Transaction::Begin(bool read_only) {
   DRTMR_CHECK(!active_) << "Begin inside an active transaction";
   engine_->cluster()->SyncGate(&ctx_->clock);
   begin_ns_ = ctx_->clock.now_ns();
+  if (engine_->fencing()) {
+    // Snapshot the configuration epoch stamped in our registered memory; the
+    // commit path aborts if it has moved by then (DESIGN.md §10).
+    begin_epoch_ = engine_->membership()->NodeEpoch(ctx_->node_id);
+  }
   active_ = true;
   read_only_ = read_only;
   txn_id_ = engine_->NextTxnId();
@@ -194,8 +200,14 @@ void Transaction::BuildImage(const WriteEntry& w, uint64_t seq, std::vector<std:
 Status Transaction::AcquireLock(const LockTarget& t) {
   // Lock both local and remote records uniformly with RDMA CAS (§6.2): our
   // ConnectX-3-level atomicity means RDMA atomics only pair with RDMA
-  // atomics, so the lock word is only ever CASed through the NIC.
+  // atomics, so the lock word is only ever CASed through the NIC. A live
+  // conflict aborts immediately (no-wait); only the dangling-owner path
+  // retries, bounded and with jittered exponential backoff so that survivors
+  // racing to steal the same dead owner's locks spread out instead of
+  // spinning forever (DESIGN.md §10).
   sim::RdmaNic* nic = self_->nic();
+  const TxnConfig& cfg = engine_->config();
+  uint32_t dangling_retries = 0;
   while (true) {
     uint64_t observed = 0;
     const Status s = nic->CompareSwap(ctx_, t.node, t.offset + RecordLayout::kLockOff,
@@ -206,14 +218,20 @@ Status Transaction::AcquireLock(const LockTarget& t) {
     if (s == Status::kOk) {
       return Status::kOk;
     }
-    if (s == Status::kUnavailable) {
+    if (s == Status::kUnavailable || s == Status::kStaleEpoch) {
       return s;
     }
-    if (engine_->OwnerAbsent(observed)) {
+    if (engine_->OwnerAbsent(ctx_, observed)) {
       // §5.2: the lock owner crashed; release the dangling lock and retry.
+      if (++dangling_retries > cfg.lock_retry_threshold) {
+        return Status::kTimeout;
+      }
       nic->CompareSwap(ctx_, t.node, t.offset + RecordLayout::kLockOff, observed,
                        LockWord::kUnlocked, nullptr);
       engine_->stats().dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
+      const uint64_t cap =
+          std::min(cfg.lock_backoff_base_ns << dangling_retries, cfg.lock_backoff_cap_ns);
+      ctx_->Charge(ctx_->rng.Range(cfg.lock_backoff_base_ns, cap));
       continue;
     }
     return Status::kConflict;
@@ -318,6 +336,23 @@ Status Transaction::HtmValidateAndApply() {
     uint64_t dangling_word = 0;
     uint64_t dangling_off = 0;
 
+    // Fencing (DESIGN.md §10): pull the stamped epoch word into the HTM read
+    // set. A membership stamp is a plain bus CAS on that line, so it dooms
+    // this region if it lands mid-commit, and a region starting after the
+    // stamp sees the mismatch here — either way no fenced-epoch write can
+    // reach committed state through HTM.
+    if (engine_->fencing()) {
+      uint64_t epoch_word = 0;
+      if (htm->Read(sim::Fabric::kEpochWordOff, &epoch_word, sizeof(epoch_word)) !=
+          Status::kOk) {
+        continue;  // doomed (likely by a concurrent stamp): retry and re-check
+      }
+      if (epoch_word != begin_epoch_) {
+        htm->Abort();
+        return Status::kStaleEpoch;
+      }
+    }
+
     // C.3: validate the local read set.
     for (const AccessEntry& e : read_set_) {
       if (!IsLocal(e.node)) {
@@ -350,7 +385,7 @@ Status Transaction::HtmValidateAndApply() {
           // A remote transaction locked this record before our HTM region
           // began (§4.4 C.4's "additional check"). If the owner is gone,
           // release the lock outside the region and retry.
-          if (engine_->OwnerAbsent(meta[0])) {
+          if (engine_->OwnerAbsent(ctx_, meta[0])) {
             dangling = true;
             dangling_word = meta[0];
             dangling_off = w.access.offset;
@@ -477,6 +512,23 @@ Status Transaction::WriteBackRemote() {
 Status Transaction::CommitReadOnly() {
   // §4.5: validate sequence numbers only; no HTM, no locks.
   obs::PhaseTimer timer(ctx_, obs::Phase::kValidation);
+  // Fencing: a read-only transaction spanning a configuration change may have
+  // read copies that recovery has since re-hosted; validating against the
+  // abandoned copies would wrongly succeed. On a survivor the epoch word
+  // catches that. On a fenced node the word never moves, so the lease check
+  // is what refuses the snapshot (FaRM's rule: an expired node must not
+  // vouch for its local copies — a thawed zombie's clock sits past its stale
+  // deadline deterministically). Reads themselves stay allowed in degraded
+  // mode; only the serializable-snapshot claim is refused.
+  if (engine_->fencing()) {
+    const auto& mcfg = engine_->membership()->config();
+    if (engine_->membership()->NodeEpoch(ctx_->node_id) != begin_epoch_ ||
+        ctx_->clock.now_ns() + mcfg.commit_guard_ns >
+            engine_->membership()->lease_deadline_ns(ctx_->node_id)) {
+      engine_->stats().IncAbortStaleEpoch();
+      return Status::kStaleEpoch;
+    }
+  }
   for (const AccessEntry& e : read_set_) {
     uint64_t inc, seq;
     if (IsLocal(e.node)) {
@@ -519,6 +571,14 @@ Status Transaction::FallbackCommit(const std::vector<LockTarget>& remote_targets
   all.erase(std::unique(all.begin(), all.end()), all.end());
 
   const Status lock_status = LockRemoteSets(all);
+  if (lock_status == Status::kStaleEpoch) {
+    engine_->stats().IncAbortStaleEpoch();
+    return Status::kStaleEpoch;
+  }
+  if (lock_status == Status::kTimeout) {
+    engine_->stats().IncAbortTimeout();
+    return Status::kTimeout;
+  }
   if (lock_status != Status::kOk) {
     engine_->stats().IncAbortLock();
     return Status::kAborted;
@@ -565,6 +625,17 @@ Status Transaction::FallbackCommit(const std::vector<LockTarget>& remote_targets
     return Status::kAborted;
   }
 
+  // Fencing re-check before applying: the fallback runs without HTM, so the
+  // stamp cannot doom it — check the epoch explicitly while holding every
+  // lock (DESIGN.md §10).
+  if (engine_->fencing() &&
+      !engine_->membership()->CommitAllowed(ctx_->node_id, ctx_->clock.now_ns(), begin_epoch_)) {
+    ReleaseLocks(held_locks_, held_locks_.size());
+    held_locks_.clear();
+    engine_->stats().IncAbortStaleEpoch();
+    return Status::kStaleEpoch;
+  }
+
   // Apply local updates without HTM — safe because every record is locked and
   // local readers honor the lock (Fig. 5). Under replication, go through the
   // same odd -> replicate -> even sequence as the fast path.
@@ -582,6 +653,14 @@ Status Transaction::FallbackCommit(const std::vector<LockTarget>& remote_targets
   if (engine_->config().replication) {
     const Status s = ReplicateAll();
     if (s != Status::kOk) {
+      if (engine_->fencing()) {
+        // Same rule as the fast path: a fenced primary must not report
+        // commit on partial replication (DESIGN.md §10).
+        ReleaseLocks(held_locks_, held_locks_.size());
+        held_locks_.clear();
+        engine_->stats().IncAbortStaleEpoch();
+        return Status::kStaleEpoch;
+      }
       // Logs partially written; recovery reconciles via seq comparison.
       DRTMR_LOG(Warning) << "replication failed in fallback: " << StatusString(s);
     }
@@ -601,6 +680,14 @@ Status Transaction::FallbackCommit(const std::vector<LockTarget>& remote_targets
 }
 
 Status Transaction::CommitReadWrite() {
+  // Fencing admission (DESIGN.md §10): a degraded node, an expiring lease, or
+  // a moved epoch all mean this node may no longer act as a primary — abort
+  // before taking any lock.
+  if (engine_->fencing() &&
+      !engine_->membership()->CommitAllowed(ctx_->node_id, ctx_->clock.now_ns(), begin_epoch_)) {
+    engine_->stats().IncAbortStaleEpoch();
+    return Status::kStaleEpoch;
+  }
   commit_seq_.assign(write_set_.size(), 0);
 
   // C.1: lock remote read and write sets (sorted, deduplicated).
@@ -626,6 +713,14 @@ Status Transaction::CommitReadWrite() {
     obs::PhaseTimer timer(ctx_, obs::Phase::kLock);
     s = LockRemoteSets(remote_targets);
   }
+  if (s == Status::kStaleEpoch) {
+    engine_->stats().IncAbortStaleEpoch();
+    return Status::kStaleEpoch;
+  }
+  if (s == Status::kTimeout) {
+    engine_->stats().IncAbortTimeout();
+    return Status::kTimeout;
+  }
   if (s != Status::kOk) {
     engine_->stats().IncAbortLock();
     return Status::kAborted;
@@ -644,10 +739,26 @@ Status Transaction::CommitReadWrite() {
     return Status::kAborted;
   }
 
+  // Fencing re-check before entering HTM: C.1/C.2 verbs may have stalled
+  // across a fault window, during which the epoch can have moved.
+  if (engine_->fencing() &&
+      !engine_->membership()->CommitAllowed(ctx_->node_id, ctx_->clock.now_ns(), begin_epoch_)) {
+    ReleaseLocks(held_locks_, held_locks_.size());
+    held_locks_.clear();
+    engine_->stats().IncAbortStaleEpoch();
+    return Status::kStaleEpoch;
+  }
+
   // C.3 + C.4 inside one HTM region.
   {
     obs::PhaseTimer timer(ctx_, obs::Phase::kHtmCommit);
     s = HtmValidateAndApply();
+  }
+  if (s == Status::kStaleEpoch) {
+    ReleaseLocks(held_locks_, held_locks_.size());
+    held_locks_.clear();
+    engine_->stats().IncAbortStaleEpoch();
+    return Status::kStaleEpoch;
   }
   if (s == Status::kConflict) {
     ReleaseLocks(held_locks_, held_locks_.size());
@@ -667,6 +778,16 @@ Status Transaction::CommitReadWrite() {
     obs::PhaseTimer timer(ctx_, obs::Phase::kReplication);
     const Status rs = ReplicateAll();
     if (rs != Status::kOk) {
+      if (engine_->fencing()) {
+        // Fenced mid-replication: this primary may be cut off and about to be
+        // re-hosted from its backups — reporting commit here would lose the
+        // update. Abort instead; the local records stay odd (uncommittable)
+        // until recovery reconciles them (DESIGN.md §10).
+        ReleaseLocks(held_locks_, held_locks_.size());
+        held_locks_.clear();
+        engine_->stats().IncAbortStaleEpoch();
+        return Status::kStaleEpoch;
+      }
       DRTMR_LOG(Warning) << "replication failed: " << StatusString(rs);
     }
     MakeupLocal();
@@ -699,6 +820,10 @@ Status Transaction::Commit() {
   // and application logic between them.
   obs::PhaseSample(obs::Phase::kExecution, ctx_->clock.now_ns() - begin_ns_);
   const bool read_only = read_only_ || (write_set_.empty() && mutations_.empty());
+  // Bracket the commit phase so the reconfiguration driver can drain commits
+  // that entered before an epoch stamp before it re-hosts data (DESIGN.md
+  // §10; post-stamp entrants self-fence, so the drain terminates).
+  self_->EnterCommit();
   Status s;
   if (read_only) {
     s = CommitReadOnly();
@@ -707,6 +832,7 @@ Status Transaction::Commit() {
   } else {
     s = CommitReadWrite();
   }
+  self_->ExitCommit();
   if (obs::TraceEnabled()) {
     const uint64_t end_ns = ctx_->clock.now_ns();
     obs::Registry::Global().AddTrace(
@@ -752,6 +878,11 @@ Status Transaction::CommitReadWriteFused() {
   // execution — exactly the Table 4 read condition). Write-set records are
   // unlocked implicitly by the C.5 write-back of the new seqnum; read-only
   // records are unlocked by restoring the expected value.
+  if (engine_->fencing() &&
+      !engine_->membership()->CommitAllowed(ctx_->node_id, ctx_->clock.now_ns(), begin_epoch_)) {
+    engine_->stats().IncAbortStaleEpoch();
+    return Status::kStaleEpoch;
+  }
   commit_seq_.assign(write_set_.size(), 0);
 
   struct FusedTarget {
@@ -839,6 +970,11 @@ Status Transaction::CommitReadWriteFused() {
     obs::PhaseTimer timer(ctx_, obs::Phase::kHtmCommit);
     s = HtmValidateAndApply();
   }
+  if (s == Status::kStaleEpoch) {
+    unlock_range(targets.size(), true);
+    engine_->stats().IncAbortStaleEpoch();
+    return Status::kStaleEpoch;
+  }
   if (s == Status::kConflict) {
     unlock_range(targets.size(), true);
     engine_->stats().IncAbortValidation();
@@ -854,6 +990,11 @@ Status Transaction::CommitReadWriteFused() {
     for (int attempt = 0; attempt < 16 && s == Status::kAborted; ++attempt) {
       std::this_thread::yield();
       s = HtmValidateAndApply();
+    }
+    if (s == Status::kStaleEpoch) {
+      unlock_range(targets.size(), true);
+      engine_->stats().IncAbortStaleEpoch();
+      return Status::kStaleEpoch;
     }
     if (s == Status::kConflict) {
       unlock_range(targets.size(), true);
@@ -954,6 +1095,12 @@ Status Transaction::CommitReadWriteFused() {
     obs::PhaseTimer timer(ctx_, obs::Phase::kReplication);
     const Status rs = ReplicateAll();
     if (rs != Status::kOk) {
+      if (engine_->fencing()) {
+        // A fenced primary must not report commit on partial replication.
+        unlock_range(targets.size(), /*written_too=*/true);
+        engine_->stats().IncAbortStaleEpoch();
+        return Status::kStaleEpoch;
+      }
       DRTMR_LOG(Warning) << "replication failed: " << StatusString(rs);
     }
     MakeupLocal();

@@ -66,8 +66,11 @@ class Transaction : public TxnApi {
   Status ScanLocal(store::Table* table, uint64_t lo, uint64_t hi,
                    const std::function<bool(uint64_t key, const void* value)>& fn) override;
 
-  // Runs the commit protocol. kOk on commit; kAborted (all effects discarded)
-  // on validation/lock failure — the caller is expected to retry.
+  // Runs the commit protocol. kOk on commit; on failure all effects are
+  // discarded and the caller is expected to retry: kAborted on a
+  // validation/lock conflict, kStaleEpoch when the configuration epoch moved
+  // past the transaction's begin epoch (fencing, DESIGN.md §10), kTimeout
+  // when a bounded retry budget ran out.
   Status Commit() override;
 
   // User abort: discards all buffered effects.
@@ -99,7 +102,8 @@ class Transaction : public TxnApi {
   // C.2 (+ committable check of remote write-set records under replication).
   Status ValidateRemote(uint64_t* remote_ws_seq);
   // HTM step C.3/C.4. Returns kOk, kConflict (validation failed — abort the
-  // transaction), or kAborted (HTM kept aborting — take the fallback).
+  // transaction), kStaleEpoch (the configuration epoch moved — fenced), or
+  // kAborted (HTM kept aborting — take the fallback).
   Status HtmValidateAndApply();
   // §6.1 fallback: lock everything (local via loopback CAS), validate, apply.
   Status FallbackCommit(const std::vector<LockTarget>& remote_targets);
@@ -128,7 +132,8 @@ class Transaction : public TxnApi {
   cluster::Node* self_;
   SeqRules rules_;
   uint64_t txn_id_ = 0;
-  uint64_t begin_ns_ = 0;  // virtual time at Begin(), for phase/trace spans
+  uint64_t begin_ns_ = 0;     // virtual time at Begin(), for phase/trace spans
+  uint64_t begin_epoch_ = 0;  // epoch stamped in our registered memory at Begin()
   uint64_t lock_word_;
   bool read_only_ = false;
   bool active_ = false;

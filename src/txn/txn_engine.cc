@@ -3,6 +3,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/cluster/membership.h"
 #include "src/store/record.h"
 #include "src/util/logging.h"
 
@@ -47,11 +48,17 @@ TxnEngine::TxnEngine(cluster::Cluster* cluster, store::Catalog* catalog, const T
 
 TxnEngine::~TxnEngine() { StopServices(); }
 
-bool TxnEngine::OwnerAbsent(uint64_t lock_word) const {
+bool TxnEngine::OwnerAbsent(const sim::ThreadContext* ctx, uint64_t lock_word) const {
   if (coordinator_ == nullptr || !LockWord::IsLocked(lock_word)) {
     return false;
   }
-  return !coordinator_->view().Contains(LockWord::OwnerNode(lock_word));
+  const uint32_t owner = LockWord::OwnerNode(lock_word);
+  if (coordinator_->view().Contains(owner)) {
+    return false;
+  }
+  // Tombstone grace (§5.2): a lease-expired owner may still have an unlock
+  // verb in flight; survivors wait out the grace window before stealing.
+  return coordinator_->SafeToStealLocksOf(owner, ctx->clock.now_ns());
 }
 
 // ---------------- execution-phase reads ----------------
@@ -87,7 +94,7 @@ Status TxnEngine::ReadLocalRecord(sim::ThreadContext* ctx, store::Table* table, 
         store::SeqWord::Locked(RecordLayout::GetSeq(buf.data()))) {
       const uint64_t lock_word = RecordLayout::GetLock(buf.data());
       htm->Abort();
-      if (OwnerAbsent(lock_word)) {
+      if (OwnerAbsent(ctx, lock_word)) {
         // Passive dangling-lock release (§5.2): the owner machine crashed.
         uint64_t obs;
         node->bus()->CasU64(ctx, off + RecordLayout::kLockOff, lock_word, 0, &obs);
@@ -130,7 +137,7 @@ Status TxnEngine::ReadLocalRecord(sim::ThreadContext* ctx, store::Table* table, 
     if (LockWord::IsLocked(RecordLayout::GetLock(buf.data())) ||
         store::SeqWord::Locked(RecordLayout::GetSeq(buf.data()))) {
       const uint64_t lock_word = RecordLayout::GetLock(buf.data());
-      if (OwnerAbsent(lock_word)) {
+      if (OwnerAbsent(ctx, lock_word)) {
         uint64_t obs;
         node->bus()->CasU64(ctx, off + RecordLayout::kLockOff, lock_word, 0, &obs);
         stats_.dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
@@ -211,7 +218,7 @@ Status TxnEngine::ReadRemoteRecord(sim::ThreadContext* ctx, store::Table* table,
     if (check_lock && (LockWord::IsLocked(RecordLayout::GetLock(buf.data())) ||
                        store::SeqWord::Locked(RecordLayout::GetSeq(buf.data())))) {
       const uint64_t lock_word = RecordLayout::GetLock(buf.data());
-      if (OwnerAbsent(lock_word)) {
+      if (OwnerAbsent(ctx, lock_word)) {
         uint64_t obs;
         self->nic()->CompareSwap(ctx, node, off + RecordLayout::kLockOff, lock_word, 0, &obs);
         stats_.dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
@@ -326,7 +333,10 @@ Status TxnEngine::Mutate(sim::ThreadContext* ctx, const MutationEntry& m) {
   if (s != Status::kOk) {
     return s;
   }
-  // Poll for the matching reply; bail out if the target machine dies.
+  // Poll for the matching reply; bail out if the target machine dies or the
+  // virtual-time budget runs out (a partitioned host never replies, and only
+  // a configuration change will say so — don't hang the worker until then).
+  const uint64_t deadline_ns = ctx->clock.now_ns() + config_.mutate_reply_budget_ns;
   sim::Message reply;
   while (true) {
     if (nic->TryRecv(ctx, &reply, 1 + ctx->worker_id)) {
@@ -341,6 +351,11 @@ Status TxnEngine::Mutate(sim::ThreadContext* ctx, const MutationEntry& m) {
     if (!cluster_->fabric()->alive(m.node)) {
       return Status::kUnavailable;
     }
+    if (ctx->clock.now_ns() >= deadline_ns) {
+      stats_.IncAbortTimeout();
+      return Status::kTimeout;
+    }
+    ctx->Charge(cost()->line_access_ns);
     std::this_thread::yield();
   }
 }

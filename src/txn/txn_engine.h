@@ -17,6 +17,10 @@
 #include "src/txn/replicator.h"
 #include "src/txn/types.h"
 
+namespace drtmr::cluster {
+class MembershipService;
+}  // namespace drtmr::cluster
+
 namespace drtmr::txn {
 
 class TxnEngine {
@@ -44,9 +48,19 @@ class TxnEngine {
     return caches_[node * workers_per_node_ + worker].get();
   }
 
+  // Optional availability layer (DESIGN.md §10). When set, transactions
+  // snapshot their begin epoch, check commit admission against it, and treat
+  // replication failures as fatal (a cut-off primary must not report commit).
+  void set_membership(cluster::MembershipService* m) { membership_ = m; }
+  cluster::MembershipService* membership() const { return membership_; }
+  bool fencing() const { return membership_ != nullptr; }
+
   // True when the lock word's owner machine is absent from the current
-  // configuration — the survivor may release the dangling lock (§5.2).
-  bool OwnerAbsent(uint64_t lock_word) const;
+  // configuration — the survivor may release the dangling lock (§5.2). With a
+  // coordinator that tracks lease tombstones, release is additionally gated on
+  // the steal grace having elapsed past the absent owner's last lease deadline
+  // (`ctx` supplies the caller's virtual time).
+  bool OwnerAbsent(const sim::ThreadContext* ctx, uint64_t lock_word) const;
 
   // ---- execution-phase record reads (Figs. 5, 6, 8) ----
 
@@ -90,6 +104,7 @@ class TxnEngine {
   store::Catalog* catalog_;
   TxnConfig config_;
   cluster::Coordinator* coordinator_;
+  cluster::MembershipService* membership_ = nullptr;
   Replicator* replicator_;
   TxnStats stats_;
   std::atomic<uint64_t> next_txn_id_{1};

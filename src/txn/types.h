@@ -91,6 +91,20 @@ struct TxnConfig {
   // only to prove the chk::SerializabilityChecker detects the resulting
   // anomalies; never enable outside that test.
   bool unsafe_skip_read_validation = false;
+
+  // Bounded retry for the C.1 remote-lock CAS (DESIGN.md §10): a CAS that
+  // keeps observing a dangling lock (owner absent from the configuration)
+  // releases it and retries at most this many times, with jittered
+  // exponential backoff between attempts, before surfacing kTimeout. Live
+  // conflicts still abort immediately (the paper's no-wait rule).
+  uint32_t lock_retry_threshold = 6;
+  uint64_t lock_backoff_base_ns = 200;
+  uint64_t lock_backoff_cap_ns = 12'800;
+
+  // Virtual-time budget a mutation RPC waits for its reply before surfacing
+  // kTimeout (the host may be partitioned rather than dead, in which case the
+  // fabric's alive() check alone would spin forever).
+  uint64_t mutate_reply_budget_ns = 200'000;
 };
 
 struct TxnStats {
@@ -98,15 +112,19 @@ struct TxnStats {
   std::atomic<uint64_t> aborts_lock{0};        // C.1 lock acquisition failed
   std::atomic<uint64_t> aborts_validation{0};  // C.2/C.3 seq or incarnation mismatch
   std::atomic<uint64_t> aborts_user{0};
+  std::atomic<uint64_t> aborts_stale_epoch{0};  // fenced: configuration epoch moved
+  std::atomic<uint64_t> aborts_timeout{0};      // bounded retry/poll budget exhausted
   std::atomic<uint64_t> fallbacks{0};          // commit took the fallback handler
   std::atomic<uint64_t> htm_commit_retries{0};
   std::atomic<uint64_t> dangling_locks_released{0};
   std::atomic<uint64_t> remote_reads{0};
   std::atomic<uint64_t> local_reads{0};
 
-  // Aborts caused by the commit protocol itself (lock conflicts and
-  // validation failures). Excludes user-requested aborts.
-  uint64_t ProtocolAborts() const { return aborts_lock + aborts_validation; }
+  // Aborts caused by the commit protocol itself (lock conflicts, validation
+  // failures, epoch fencing, retry timeouts). Excludes user-requested aborts.
+  uint64_t ProtocolAborts() const {
+    return aborts_lock + aborts_validation + aborts_stale_epoch + aborts_timeout;
+  }
   // Every aborted transaction attempt, including explicit user aborts.
   uint64_t TotalAborts() const { return ProtocolAborts() + aborts_user; }
 
@@ -129,6 +147,11 @@ struct TxnStats {
     aborts_user.fetch_add(1, std::memory_order_relaxed);
     obs::Count(obs::Counter::kTxnAbortUser);
   }
+  void IncAbortStaleEpoch() {
+    aborts_stale_epoch.fetch_add(1, std::memory_order_relaxed);
+    obs::Count(obs::Counter::kFenceSelfAbort);
+  }
+  void IncAbortTimeout() { aborts_timeout.fetch_add(1, std::memory_order_relaxed); }
   void IncFallback() {
     fallbacks.fetch_add(1, std::memory_order_relaxed);
     obs::Count(obs::Counter::kTxnFallback);
@@ -143,6 +166,8 @@ struct TxnStats {
     aborts_lock = 0;
     aborts_validation = 0;
     aborts_user = 0;
+    aborts_stale_epoch = 0;
+    aborts_timeout = 0;
     fallbacks = 0;
     htm_commit_retries = 0;
     dangling_locks_released = 0;

@@ -18,6 +18,8 @@ enum class Status : uint8_t {
   kUnavailable,    // target machine dead or unreachable
   kInvalid,        // caller error (bad arguments, wrong state)
   kStale,          // incarnation mismatch (record freed/reused)
+  kStaleEpoch,     // issuer fenced out of the current configuration epoch
+  kTimeout,        // bounded retry/poll budget exhausted
 };
 
 constexpr bool IsOk(Status s) { return s == Status::kOk; }
@@ -42,6 +44,10 @@ constexpr const char* StatusString(Status s) {
       return "invalid";
     case Status::kStale:
       return "stale";
+    case Status::kStaleEpoch:
+      return "stale-epoch";
+    case Status::kTimeout:
+      return "timeout";
   }
   return "unknown";
 }

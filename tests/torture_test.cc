@@ -63,6 +63,58 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<2>(info.param));
     });
 
+// ---- no-oracle failover: the membership layer handles faults itself ----
+
+// Same sweeps, but the harness never tells anyone about the fault: lease
+// heartbeats must suspect the victim off virtual time, the driver must fence
+// the old epoch, re-host, and (for transient faults) readmit the victim —
+// before the quiescence oracles run.
+class NoOracleSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(NoOracleSweep, AutomaticFailover) {
+  const auto [nodes, workers, replicas, kind] = GetParam();
+  const uint64_t base = util::TestSeed();
+  const uint64_t num_seeds = util::EnvCount("DRTMR_TORTURE_SEEDS", 2);
+  for (uint64_t s = 0; s < num_seeds; ++s) {
+    TortureOptions opt;
+    opt.shape.nodes = nodes;
+    opt.shape.workers = workers;
+    opt.shape.replicas = replicas;
+    opt.seed = base + s * 7919 + nodes * 131 + workers * 17;
+    opt.plan_kind = kind;
+    opt.no_oracle = true;
+    const TortureResult r = RunTorture(opt);
+    EXPECT_TRUE(r.ok) << "repro: seed=" << opt.seed << " plan=" << TorturePlanKindName(kind)
+                      << " shape=" << nodes << "x" << workers << "x" << replicas
+                      << " (no-oracle)\n"
+                      << MakeTorturePlan(kind, opt.seed, nodes).Describe() << "\n"
+                      << r.Summary();
+    EXPECT_GT(r.committed, 0u);
+    if (kind == TorturePlanKind::kKill) {
+      // A kill must have been genuinely detected and recovered from.
+      EXPECT_GE(r.suspicions, 1u) << "seed=" << opt.seed;
+      EXPECT_GE(r.recoveries, 1u) << "seed=" << opt.seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoOracle, NoOracleSweep,
+    ::testing::Values(SweepParam{3, 2, 3, TorturePlanKind::kFreeze},
+                      SweepParam{3, 2, 3, TorturePlanKind::kPartition},
+                      SweepParam{3, 2, 3, TorturePlanKind::kKill},
+                      SweepParam{4, 2, 3, TorturePlanKind::kFreeze},
+                      SweepParam{4, 2, 3, TorturePlanKind::kKill}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string name = TorturePlanKindName(std::get<3>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_" + std::to_string(std::get<0>(info.param)) + "x" +
+             std::to_string(std::get<1>(info.param)) + "x" +
+             std::to_string(std::get<2>(info.param));
+    });
+
 // ---- teeth: a deliberately broken engine must FAIL the checker ----
 
 // Skipping commit-time read validation admits stale reads; the dependency
