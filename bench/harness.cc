@@ -7,6 +7,7 @@
 
 #include "src/baseline/calvin.h"
 #include "src/baseline/drtm.h"
+#include "src/chk/protocol_analyzer.h"
 #include "src/baseline/silo.h"
 #include "src/cluster/coordinator.h"
 #include "src/obs/metrics.h"
@@ -262,6 +263,11 @@ ObsOptions ParseObsArgs(int argc, char** argv) {
       opt.trace_events_per_thread = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (std::strcmp(a, "--print-stats") == 0) {
       opt.print_stats = true;
+    } else if (std::strcmp(a, "--analyze") == 0) {
+      opt.analyze = true;
+    } else if (const char* v = value_of("--violations-json=")) {
+      opt.violations_json = v;
+      opt.analyze = true;
     }
   }
   if (opt.enabled()) {
@@ -269,6 +275,10 @@ ObsOptions ParseObsArgs(int argc, char** argv) {
     if (!opt.trace_json.empty()) {
       obs::Registry::Global().EnableTrace(opt.trace_events_per_thread);
     }
+  }
+  if (opt.analyze) {
+    chk::ProtocolAnalyzer::Global().Reset();
+    chk::ProtocolAnalyzer::Global().Enable(true);
   }
   return opt;
 }
@@ -346,6 +356,26 @@ void EmitObs(const ObsOptions& opt) {
       std::printf("trace json: %s (load at chrome://tracing)\n", opt.trace_json.c_str());
     } else {
       std::fprintf(stderr, "failed to write trace json: %s\n", opt.trace_json.c_str());
+    }
+  }
+  if (opt.analyze) {
+    chk::ProtocolAnalyzer& analyzer = chk::ProtocolAnalyzer::Global();
+    analyzer.Enable(false);
+    std::printf("protocol analyzer: %llu violation(s)",
+                (unsigned long long)analyzer.total_violations());
+    for (size_t i = 0; i < chk::kNumViolationClasses; ++i) {
+      const auto c = static_cast<chk::ViolationClass>(i);
+      std::printf(" %s=%llu", chk::ViolationClassName(c),
+                  (unsigned long long)analyzer.violations(c));
+    }
+    std::printf("\n");
+    if (!opt.violations_json.empty()) {
+      if (analyzer.WriteViolationsJson(opt.violations_json)) {
+        std::printf("violations json: %s\n", opt.violations_json.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write violations json: %s\n",
+                     opt.violations_json.c_str());
+      }
     }
   }
 }

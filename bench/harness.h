@@ -59,6 +59,11 @@ struct SmallBankBenchConfig {
 //                           trace_event array (load at chrome://tracing)
 //   --trace-events=<n>      per-thread trace ring capacity (default 16384)
 //   --print-stats           print the structured metrics summary to stdout
+//   --analyze               run under the protocol conformance analyzer
+//                           (src/chk/protocol_analyzer.h); violations are
+//                           counted per class and printed after the run
+//   --violations-json=<path> write the analyzer's violation list as JSON
+//                           (implies --analyze)
 // and enables the metrics registry iff any of them is present, so a plain run
 // pays nothing. Unrecognized arguments are left alone for the bench's own
 // parsing. EmitObs, called once after the runs, writes the requested files
@@ -68,9 +73,11 @@ struct ObsOptions {
   std::string trace_json;
   uint32_t trace_events_per_thread = 1u << 14;
   bool print_stats = false;
+  bool analyze = false;
+  std::string violations_json;
 
   bool enabled() const {
-    return print_stats || !metrics_json.empty() || !trace_json.empty();
+    return print_stats || !metrics_json.empty() || !trace_json.empty() || analyze;
   }
 };
 

@@ -36,8 +36,8 @@ void BM_HtmBeginCommit(benchmark::State& state) {
   for (auto _ : state) {
     sim::HtmTxn* txn = node->htm()->Begin(ctx);
     uint64_t v;
-    txn->ReadU64(4096, &v);
-    txn->WriteU64(4096, v + 1);
+    benchmark::DoNotOptimize(txn->ReadU64(4096, &v));
+    benchmark::DoNotOptimize(txn->WriteU64(4096, v + 1));
     benchmark::DoNotOptimize(txn->Commit());
   }
 }
@@ -80,7 +80,7 @@ void BM_HashInsertLookup(benchmark::State& state) {
   uint64_t key = 1;
   char value[40] = "v";
   for (auto _ : state) {
-    hs.Insert(ctx, key, value, nullptr);
+    benchmark::DoNotOptimize(hs.Insert(ctx, key, value, nullptr));
     benchmark::DoNotOptimize(hs.Lookup(ctx, key));
     key++;
   }
@@ -91,7 +91,7 @@ void BM_BTreeInsertLookup(benchmark::State& state) {
   static store::BTreeStore bt;
   uint64_t key = 1;
   for (auto _ : state) {
-    bt.Insert(nullptr, key, key);
+    benchmark::DoNotOptimize(bt.Insert(nullptr, key, key));
     benchmark::DoNotOptimize(bt.Lookup(nullptr, key));
     key++;
   }

@@ -4,7 +4,7 @@
 //
 //   torture [--seeds=N] [--start-seed=S] [--plans=delay,kill,...]
 //           [--shapes=3x2x3,4x2x3] [--txns=N] [--keys=N] [--no-shrink]
-//           [--no-oracle]
+//           [--no-oracle] [--analyze] [--violations-json=PATH]
 //
 // Shapes are nodes x workers-per-node x replicas. Every failure line carries
 // the (seed, plan, shape) triple that reproduces it:
@@ -14,6 +14,11 @@
 // (src/cluster/membership.h): the harness injects the faults but never tells
 // anyone — detection, epoch fencing, re-hosting, and rejoin must all happen
 // automatically before the quiescence oracles run. Requires replicas >= 2.
+//
+// --analyze runs every seed under the protocol conformance analyzer
+// (src/chk/protocol_analyzer.h); any typed protocol violation fails the run.
+// --violations-json=PATH (implies --analyze) writes the first failing run's
+// violation list as JSON (an empty list if the sweep is clean).
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -22,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "src/chk/protocol_analyzer.h"
 #include "src/chk/torture.h"
 
 namespace drtmr::chk {
@@ -92,6 +98,8 @@ int Main(int argc, char** argv) {
   uint32_t keys = 8;
   bool shrink = true;
   bool no_oracle = false;
+  bool analyze = false;
+  std::string violations_json;
   std::vector<TorturePlanKind> plans = {TorturePlanKind::kClean,    TorturePlanKind::kDelay,
                                         TorturePlanKind::kHtmAbort, TorturePlanKind::kFreeze,
                                         TorturePlanKind::kPartition, TorturePlanKind::kKill};
@@ -111,6 +119,11 @@ int Main(int argc, char** argv) {
       shrink = false;
     } else if (std::strcmp(a, "--no-oracle") == 0) {
       no_oracle = true;
+    } else if (std::strcmp(a, "--analyze") == 0) {
+      analyze = true;
+    } else if (std::strncmp(a, "--violations-json=", 18) == 0) {
+      violations_json = a + 18;
+      analyze = true;
     } else if (std::strncmp(a, "--plans=", 8) == 0) {
       plans.clear();
       for (const std::string& name : SplitCommas(a + 8)) {
@@ -134,13 +147,16 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: torture [--seeds=N] [--start-seed=S] [--plans=a,b] "
-                   "[--shapes=3x2x3] [--txns=N] [--keys=N] [--no-shrink] [--no-oracle]\n");
+                   "[--shapes=3x2x3] [--txns=N] [--keys=N] [--no-shrink] [--no-oracle] "
+                   "[--analyze] [--violations-json=PATH]\n");
       return 2;
     }
   }
 
   uint64_t runs = 0;
   uint64_t failures = 0;
+  uint64_t violations = 0;
+  bool violations_written = false;
   for (const Shape& shape : shapes) {
     for (const TorturePlanKind kind : plans) {
       if ((kind == TorturePlanKind::kKill || no_oracle) && shape.replicas < 2) {
@@ -160,9 +176,15 @@ int Main(int argc, char** argv) {
         opt.seed = start_seed + s;
         opt.plan_kind = kind;
         opt.no_oracle = no_oracle;
+        opt.analyze = analyze;
         const TortureResult r = RunTorture(opt);
         ++runs;
         committed += r.committed;
+        violations += r.violations;
+        if (r.violations != 0 && !violations_json.empty() && !violations_written) {
+          // Capture the first failing run before the next run's Reset wipes it.
+          violations_written = ProtocolAnalyzer::Global().WriteViolationsJson(violations_json);
+        }
         if (r.ok) {
           ++pass;
           continue;
@@ -184,6 +206,16 @@ int Main(int argc, char** argv) {
                   shape.nodes, shape.workers, shape.replicas, TorturePlanKindName(kind), pass,
                   seeds, committed);
       std::fflush(stdout);
+    }
+  }
+  if (analyze) {
+    std::printf("torture: analyzer flagged %" PRIu64 " protocol violation(s)\n", violations);
+    if (!violations_json.empty() && !violations_written) {
+      // Clean sweep: still leave an (empty) report so callers can rely on it.
+      violations_written = ProtocolAnalyzer::Global().WriteViolationsJson(violations_json);
+    }
+    if (violations_written) {
+      std::printf("violations json: %s\n", violations_json.c_str());
     }
   }
   std::printf("torture: %" PRIu64 " runs, %" PRIu64 " failure(s)\n", runs, failures);

@@ -42,7 +42,11 @@ int main() {
   for (uint32_t n = 0; n < 3; ++n) {
     for (uint64_t i = 0; i < kAccountsPerNode; ++i) {
       Account a{kInitialBalance, {}};
-      accounts->hash(n)->Insert(cluster.node(n)->context(0), key_of(n, i), &a, nullptr);
+      if (accounts->hash(n)->Insert(cluster.node(n)->context(0), key_of(n, i), &a, nullptr) !=
+          Status::kOk) {
+        std::fprintf(stderr, "account load failed\n");
+        return 1;
+      }
     }
   }
   const int64_t total = 3 * static_cast<int64_t>(kAccountsPerNode) * kInitialBalance;

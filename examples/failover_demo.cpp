@@ -69,7 +69,7 @@ int main() {
     Profile p{};
     std::snprintf(p.name, sizeof(p.name), "user-%llu", (unsigned long long)k);
     txn.Begin();
-    txn.Insert(profiles, /*node=*/1, k, &p);
+    (void)txn.Insert(profiles, /*node=*/1, k, &p);  // buffered; Commit reports the outcome
     if (txn.Commit() != Status::kOk) {
       return 1;
     }
@@ -90,7 +90,7 @@ int main() {
         continue;
       }
       cur.version = 7;
-      txn.Write(profiles, 1, k, &cur);
+      (void)txn.Write(profiles, 1, k, &cur);  // key was just read: buffers, cannot fail
       if (txn.Commit() == Status::kOk) {
         break;
       }
@@ -133,7 +133,7 @@ int main() {
       continue;
     }
     p.version = 8;
-    w.Write(profiles, 2, 3, &p);
+    (void)w.Write(profiles, 2, 3, &p);  // key was just read: buffers, cannot fail
     if (w.Commit() == Status::kOk) {
       break;
     }
@@ -197,7 +197,7 @@ int main() {
       continue;
     }
     p.version = 9;
-    w.Write(profiles, home, 3, &p);
+    (void)w.Write(profiles, home, 3, &p);  // key was just read: buffers, cannot fail
     if (w.Commit() == Status::kOk) {
       break;
     }

@@ -44,7 +44,7 @@ int main() {
   txn.Begin();
   Greeting g{};
   std::snprintf(g.text, sizeof(g.text), "hello from machine 0");
-  txn.Insert(table, /*node=*/1, /*key=*/42, &g);
+  (void)txn.Insert(table, /*node=*/1, /*key=*/42, &g);  // buffered; Commit reports the outcome
   if (txn.Commit() != Status::kOk) {
     std::printf("insert aborted?!\n");
     return 1;
@@ -61,19 +61,22 @@ int main() {
   }
   std::printf("read remotely: \"%s\"\n", out.text);
   std::snprintf(out.text, sizeof(out.text), "updated by a distributed txn");
-  txn.Write(table, 1, 42, &out);
+  (void)txn.Write(table, 1, 42, &out);  // key was just read: buffers, cannot fail
   while (txn.Commit() != Status::kOk) {
     txn.Begin();
-    txn.Read(table, 1, 42, &out);
+    if (txn.Read(table, 1, 42, &out) != Status::kOk) {
+      txn.UserAbort();
+      continue;
+    }
     std::snprintf(out.text, sizeof(out.text), "updated by a distributed txn");
-    txn.Write(table, 1, 42, &out);
+    (void)txn.Write(table, 1, 42, &out);
   }
 
   // 5) A read-only transaction from machine 1 — no locks, no HTM (§4.5).
   txn::Transaction ro(&engine, cluster.node(1)->context(0));
   ro.Begin(/*read_only=*/true);
-  ro.Read(table, 1, 42, &out);
-  if (ro.Commit() == Status::kOk) {
+  const bool ro_read_ok = ro.Read(table, 1, 42, &out) == Status::kOk;
+  if (ro.Commit() == Status::kOk && ro_read_ok) {
     std::printf("read-only snapshot: \"%s\"\n", out.text);
   }
 

@@ -4,13 +4,14 @@
 #   slow   — multi-second property/recovery suites
 #   stress — seed-scalable torture sweeps (DRTMR_TORTURE_SEEDS widens them)
 #
-# Usage: scripts/check.sh [fast|full] [--no-tsan] [--no-asan]
+# Usage: scripts/check.sh [fast|full] [--no-tsan] [--no-asan] [--no-ubsan]
 #
 #   fast (default) — build + `ctest -L tier1 -LE slow`: the inner-loop cycle,
 #                    a couple of minutes.
 #   full           — build + the whole tier-1 gate (slow suites included) +
-#                    a widened torture sweep + ThreadSanitizer and
-#                    AddressSanitizer passes over the stress-labeled targets
+#                    the lint wall (scripts/lint.sh) + a widened torture sweep
+#                    (protocol analyzer on) + ThreadSanitizer, AddressSanitizer
+#                    and UBSanitizer passes over the stress-labeled targets
 #                    with a small seed budget.
 #
 # A failing randomized test prints its DRTMR_TEST_SEED; reproduce with
@@ -22,12 +23,14 @@ JOBS=$(nproc 2>/dev/null || echo 4)
 CYCLE=fast
 RUN_TSAN=1
 RUN_ASAN=1
+RUN_UBSAN=1
 for arg in "$@"; do
   case "$arg" in
     fast|full) CYCLE="$arg" ;;
     --no-tsan) RUN_TSAN=0 ;;
     --no-asan) RUN_ASAN=0 ;;
-    *) echo "usage: scripts/check.sh [fast|full] [--no-tsan] [--no-asan]" >&2; exit 2 ;;
+    --no-ubsan) RUN_UBSAN=0 ;;
+    *) echo "usage: scripts/check.sh [fast|full] [--no-tsan] [--no-asan] [--no-ubsan]" >&2; exit 2 ;;
   esac
 done
 
@@ -45,14 +48,19 @@ fi
 echo "== full cycle: complete tier-1 gate =="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L tier1
 
+echo "== full cycle: lint wall (scripts/lint.sh) =="
+./scripts/lint.sh
+
 echo "== full cycle: widened torture sweep (DRTMR_TORTURE_SEEDS=8) =="
 DRTMR_TORTURE_SEEDS=8 ctest --test-dir build --output-on-failure -j "$JOBS" -L stress
 
-echo "== full cycle: no-oracle failover acceptance sweep (32 seeds) =="
+echo "== full cycle: no-oracle failover acceptance sweep (32 seeds, analyzer on) =="
 # Nobody announces the faults: detection, fencing, re-hosting, and rejoin are
-# the membership layer's job (DESIGN.md §10). Exits non-zero on any violation.
+# the membership layer's job (DESIGN.md §10). --analyze layers the protocol
+# conformance analyzer (DESIGN.md §11) on top; any typed violation fails the
+# sweep. Exits non-zero on any violation.
 ./build/bench/torture --seeds=32 --plans=freeze,partition,kill \
-  --shapes=3x2x3,4x2x3 --no-oracle --no-shrink
+  --shapes=3x2x3,4x2x3 --no-oracle --no-shrink --analyze
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: stress + concurrency tests under ThreadSanitizer =="
@@ -79,6 +87,20 @@ if [[ "$RUN_ASAN" == 1 ]]; then
     -L stress
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
     -R 'RecoveryFault|FaultPlan'
+fi
+
+if [[ "$RUN_UBSAN" == 1 ]]; then
+  echo "== ubsan: stress + protocol tests under UndefinedBehaviorSanitizer =="
+  cmake -B build-ubsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=undefined"
+  cmake --build build-ubsan -j "$JOBS" --target \
+    torture_test protocol_analyzer_test txn_protocol_test record_test
+  DRTMR_TORTURE_SEEDS=1 ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" \
+    -L stress
+  ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" \
+    -R 'ProtocolAnalyzer|TxnProtocol|Record'
 fi
 
 echo "== all checks passed =="

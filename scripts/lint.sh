@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Static half of the conformance wall (DESIGN.md §11):
+#   1. a -Werror build (DRTMR_WERROR=ON) — [[nodiscard]] Status makes every
+#      silently dropped error a hard build failure;
+#   2. clang-tidy over src/ with the repo .clang-tidy, when the tool exists.
+#      The gcc-only container skips this phase (CI's ubuntu image runs it);
+#      the -Werror wall always runs, so phase 1 never silently disappears.
+#
+# Usage: scripts/lint.sh [--tidy-only|--werror-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+RUN_WERROR=1
+RUN_TIDY=1
+for arg in "$@"; do
+  case "$arg" in
+    --tidy-only) RUN_WERROR=0 ;;
+    --werror-only) RUN_TIDY=0 ;;
+    *) echo "usage: scripts/lint.sh [--tidy-only|--werror-only]" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "$RUN_WERROR" == 1 ]]; then
+  echo "== lint: -Werror wall =="
+  cmake -B build-lint -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDRTMR_WERROR=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  cmake --build build-lint -j "$JOBS"
+fi
+
+if [[ "$RUN_TIDY" == 1 ]]; then
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "== lint: clang-tidy not installed; skipping tidy phase =="
+  else
+    echo "== lint: clang-tidy (src/) =="
+    if [[ ! -f build-lint/compile_commands.json ]]; then
+      cmake -B build-lint -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    fi
+    # run-clang-tidy parallelizes when available; fall back to a plain loop.
+    mapfile -t SOURCES < <(git ls-files 'src/**/*.cc')
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -p build-lint -j "$JOBS" -quiet "${SOURCES[@]}"
+    else
+      for f in "${SOURCES[@]}"; do
+        clang-tidy -p build-lint --quiet "$f"
+      done
+    fi
+  fi
+fi
+
+echo "== lint passed =="

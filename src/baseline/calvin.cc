@@ -182,7 +182,9 @@ Status CalvinTxn::Commit() {
                image.data() + RecordLayout::kSeqOff, image.size() - RecordLayout::kSeqOff);
   }
   for (auto& m : mutations_) {
-    engine_->base()->Mutate(ctx_, m);
+    // Past the commit point: kExists/kNotFound mean the mutation was already
+    // applied (idempotent re-execution), so the status carries no new info.
+    (void)engine_->base()->Mutate(ctx_, m);
   }
   ReleaseAll();
   engine_->stats().IncCommit();

@@ -46,7 +46,7 @@ Status RecordingTxn::Read(store::Table* table, uint32_t node, uint64_t key, void
     if (off == 0) {
       return Status::kNotFound;
     }
-    remote_.push_back(RemoteAccess{table, node, key, off, false, {}});
+    remote_.push_back(RemoteAccess{table, node, key, off, false, {}, {}});
     a = &remote_.back();
   }
   if (value_out != nullptr) {
@@ -68,7 +68,7 @@ Status RecordingTxn::Write(store::Table* table, uint32_t node, uint64_t key, con
     if (off == 0) {
       return Status::kNotFound;
     }
-    remote_.push_back(RemoteAccess{table, node, key, off, true, {}});
+    remote_.push_back(RemoteAccess{table, node, key, off, true, {}, {}});
   } else {
     a->written = true;
   }
@@ -294,7 +294,9 @@ bool DrTmEngine::Execute(sim::ThreadContext* ctx, const std::function<bool(txn::
     }
     auto unlock_all = [&] {
       for (const Target& t : held) {
-        nic->CompareSwap(ctx, t.node, t.offset + RecordLayout::kLockOff, lock_word, 0, nullptr);
+        // Fire-and-forget unlock: nobody waits on the CAS outcome.
+        (void)nic->CompareSwap(ctx, t.node, t.offset + RecordLayout::kLockOff, lock_word, 0,
+                               nullptr);
       }
       held.clear();
     };
@@ -378,7 +380,7 @@ bool DrTmEngine::Execute(sim::ThreadContext* ctx, const std::function<bool(txn::
         const bool ok = body(&exec);
         if (ok && !exec.diverged()) {
           for (auto& m : exec.mutations()) {
-            base_->Mutate(ctx, m);
+            (void)base_->Mutate(ctx, m);  // past the commit point: idempotent
           }
           committed = true;
         } else {
@@ -411,7 +413,7 @@ bool DrTmEngine::Execute(sim::ThreadContext* ctx, const std::function<bool(txn::
       }
       if (htm->Commit() == Status::kOk) {
         for (auto& m : exec.mutations()) {
-          base_->Mutate(ctx, m);
+          (void)base_->Mutate(ctx, m);  // past the commit point: idempotent
         }
         committed = true;
         break;
@@ -430,9 +432,10 @@ bool DrTmEngine::Execute(sim::ThreadContext* ctx, const std::function<bool(txn::
         const uint64_t new_seq = RecordLayout::GetSeq(a.image.data()) + 2;
         RecordLayout::SetSeq(a.image.data(), new_seq);
         RecordLayout::SetVersions(a.image.data(), a.table->value_size(), new_seq);
-        nic->WritePosted(ctx, a.node, a.offset + RecordLayout::kSeqOff,
-                         a.image.data() + RecordLayout::kSeqOff,
-                         a.image.size() - RecordLayout::kSeqOff, &completion);
+        // Posted write-back: failures surface through the completion fence.
+        (void)nic->WritePosted(ctx, a.node, a.offset + RecordLayout::kSeqOff,
+                               a.image.data() + RecordLayout::kSeqOff,
+                               a.image.size() - RecordLayout::kSeqOff, &completion);
         any = true;
       }
       if (any) {

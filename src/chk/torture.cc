@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/chk/history.h"
+#include "src/chk/protocol_analyzer.h"
 #include "src/cluster/coordinator.h"
 #include "src/cluster/membership.h"
 #include "src/cluster/node.h"
@@ -141,6 +142,9 @@ std::string TortureResult::Summary() const {
        << " epoch changes, " << recoveries << " recoveries, " << rejoins << " rejoins";
   }
   os << "\n  checker: " << check.Summary();
+  if (violations > 0) {
+    os << "\n  analyzer: " << violations << " protocol violation(s)";
+  }
   for (const std::string& e : errors) {
     os << "\n  oracle: " << e;
   }
@@ -158,6 +162,16 @@ TortureResult RunTorture(const TortureOptions& opt) {
   cfg.workers_per_node = shape.workers + 1;  // extra slot runs the read-only auditor
   cfg.memory_bytes = 16 << 20;
   cfg.log_bytes = 4 << 20;
+  // Enable the analyzer before the table load so every record registers its
+  // shadow. seq parity only carries makeup-window meaning under replication
+  // (without it, commits step the seq by 1 and parity alternates).
+  ProtocolAnalyzer& analyzer = ProtocolAnalyzer::Global();
+  if (opt.analyze) {
+    analyzer.Reset();
+    analyzer.set_seq_parity(replication);
+    analyzer.Enable(true);
+  }
+
   cluster::Cluster cluster(cfg);
   store::Catalog catalog(&cluster);
   store::TableOptions topt;
@@ -189,7 +203,9 @@ TortureResult RunTorture(const TortureOptions& opt) {
   for (uint32_t n = 0; n < nodes; ++n) {
     for (uint64_t i = 0; i < shape.keys_per_node; ++i) {
       Cell c{kInitialBalance, {}};
-      table->hash(n)->Insert(cluster.node(n)->context(0), KeyOf(n, i), &c, nullptr);
+      const Status is = table->hash(n)->Insert(cluster.node(n)->context(0), KeyOf(n, i), &c,
+                                               nullptr);
+      DRTMR_CHECK(is == Status::kOk) << "torture table load failed";
       if (replicator != nullptr) {
         const uint64_t off = table->hash(n)->Lookup(nullptr, KeyOf(n, i));
         std::vector<std::byte> img(table->record_bytes());
@@ -599,6 +615,15 @@ TortureResult RunTorture(const TortureOptions& opt) {
 
   // Quiescent sweep: conservation, no leaked locks (a lock owned by the dead
   // machine may linger until touched — passive release), committable seqs.
+  // The leak rule itself is ProtocolAnalyzer::QuiescentLockLeaked, shared
+  // with the analyzer's shadow sweep below: a lock owned by a dead machine
+  // may linger until touched (passive release), and a fenced zombie's unlock
+  // CAS was rejected by the fabric, so locks held by any ever-suspected node
+  // are expected debris, not a hygiene bug.
+  const ProtocolAnalyzer::LockExempt lock_exempt = [&](uint32_t owner) {
+    return (result.killed && owner == victim) ||
+           (membership != nullptr && owner < nodes && membership->was_suspected(owner));
+  };
   int64_t final_total = 0;
   for (uint32_t p = 0; p < nodes; ++p) {
     const uint32_t n = pmap.node_of(p);
@@ -615,18 +640,7 @@ TortureResult RunTorture(const TortureOptions& opt) {
       store::RecordLayout::GatherValue(rec.data(), &c, sizeof(c));
       final_total += c.value;
       const uint64_t lock = store::RecordLayout::GetLock(rec.data());
-      // A lock owned by a dead machine may linger until touched (passive
-      // release); likewise a fenced zombie's unlock CAS was rejected by the
-      // fabric, so locks held by any ever-suspected node are expected debris,
-      // not a hygiene bug.
-      bool zombie_lock = false;
-      if (lock != 0) {
-        const uint32_t lock_owner = store::LockWord::OwnerNode(lock);
-        zombie_lock = (result.killed && lock_owner == victim) ||
-                      (membership != nullptr && lock_owner < nodes &&
-                       membership->was_suspected(lock_owner));
-      }
-      if (lock != 0 && !zombie_lock) {
+      if (ProtocolAnalyzer::QuiescentLockLeaked(lock, lock_exempt)) {
         flag("leaked lock on partition " + std::to_string(p) + " key " + std::to_string(i));
       }
       if (replication && store::RecordLayout::GetSeq(rec.data()) % 2 != 0) {
@@ -652,6 +666,29 @@ TortureResult RunTorture(const TortureOptions& opt) {
   // history is complete even in kill runs.
   copts.expect_complete = true;
   result.check = CheckSerializability(history, copts);
+
+  if (opt.analyze) {
+    // Shadow-side sweep with the same leak rule as the real-memory sweep
+    // above, except the victim's whole bus is excluded (debris by design).
+    if (result.killed && victim != sim::FaultPlan::kAnyNode) {
+      analyzer.MarkBusDead(cluster.node(victim)->bus());
+    }
+    analyzer.SweepLocks(lock_exempt);
+    analyzer.Enable(false);
+    result.violations = analyzer.total_violations();
+    if (result.violations != 0) {
+      std::string classes;
+      for (size_t i = 0; i < kNumViolationClasses; ++i) {
+        const auto c = static_cast<ViolationClass>(i);
+        if (analyzer.violations(c) != 0) {
+          classes += std::string(classes.empty() ? "" : " ") + ViolationClassName(c) + "=" +
+                     std::to_string(analyzer.violations(c));
+        }
+      }
+      flag("protocol analyzer flagged " + std::to_string(result.violations) +
+           " violation(s): " + classes);
+    }
+  }
 
   result.ok = result.check.ok && result.errors.empty();
   cluster.SetFaultPlan(nullptr);

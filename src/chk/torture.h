@@ -59,6 +59,11 @@ struct TortureOptions {
   // Teeth: disable commit-time read validation in the engine. The run is
   // expected to FAIL the checker — this proves the oracle has teeth.
   bool unsafe_skip_read_validation = false;
+  // Run under the protocol conformance analyzer (protocol_analyzer.h): shadow
+  // lockset/seqlock/atomicity/epoch checking on every bus access, plus the
+  // analyzer's quiescent lock sweep (the same leak rule as the harness's own
+  // real-memory sweep). Any violation fails the run.
+  bool analyze = false;
   // No-oracle failover: instead of the harness scripting Remove + recovery
   // after the run (oracle knowledge of the fault plan), a MembershipService
   // (src/cluster/membership.h) runs *during* the run — lease heartbeats
@@ -82,6 +87,7 @@ struct TortureResult {
   uint64_t epoch_changes = 0;
   uint64_t rejoins = 0;
   uint64_t recoveries = 0;
+  uint64_t violations = 0;   // protocol-analyzer violations (analyze mode)
   std::vector<std::string> errors;  // oracle/invariant failures (non-checker)
   std::string Summary() const;
 };

@@ -35,6 +35,11 @@ const char* CounterName(Counter c) {
     case Counter::kMembershipRejoin: return "membership_rejoin";
     case Counter::kFenceRejectedVerb: return "fence_rejected_verb";
     case Counter::kFenceSelfAbort: return "fence_self_abort";
+    case Counter::kAnalyzerUnlockedWrite: return "analyzer_unlocked_write";
+    case Counter::kAnalyzerSeqlockViolation: return "analyzer_seqlock_violation";
+    case Counter::kAnalyzerAtomicityViolation: return "analyzer_atomicity_violation";
+    case Counter::kAnalyzerLockHygiene: return "analyzer_lock_hygiene";
+    case Counter::kAnalyzerEpochViolation: return "analyzer_epoch_violation";
     case Counter::kCount: break;
   }
   return "?";

@@ -71,6 +71,12 @@ enum class Counter : uint32_t {
   kMembershipRejoin,       // fenced node rejoined in a later epoch
   kFenceRejectedVerb,      // mutating verb refused: issuer's epoch is stale
   kFenceSelfAbort,         // commit self-fenced (stale epoch / expired lease)
+  // Protocol analyzer violations (src/chk/protocol_analyzer.h), one per class.
+  kAnalyzerUnlockedWrite,      // data store with no lock/HTM/seqlock protection
+  kAnalyzerSeqlockViolation,   // stale versions at window close / torn read accepted
+  kAnalyzerAtomicityViolation, // conflicting access or in-region verb missed abort
+  kAnalyzerLockHygiene,        // cross-thread release, double release, leaked lock
+  kAnalyzerEpochViolation,     // mutating verb admitted with a stale epoch
   kCount
 };
 inline constexpr size_t kNumCounters = static_cast<size_t>(Counter::kCount);

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "src/chk/protocol_analyzer.h"
 #include "src/store/record.h"
 #include "src/util/logging.h"
 
@@ -95,16 +96,22 @@ RecoveryReport RecoveryManager::RecoverAfterFailure(sim::ThreadContext* ctx, uin
         continue;
       }
       // Take the record's lock (or steal it from the dead owner) so live
-      // transactions keep away while we splice the image in.
+      // transactions keep away while we splice the image in. The lock word
+      // names (host, 63) rather than the driver context, so pin the actor.
       const uint64_t rec_lock = LockWord::Make(host, 63);
+      chk::ScopedActor actor(host, 63);
       while (true) {
         uint64_t obs = 0;
         if (bus->CasU64(ctx, off + RecordLayout::kLockOff, LockWord::kUnlocked, rec_lock, &obs)) {
           break;
         }
-        if (LockWord::OwnerNode(obs) == dead &&
-            bus->CasU64(ctx, off + RecordLayout::kLockOff, obs, rec_lock, &obs)) {
-          break;
+        if (LockWord::OwnerNode(obs) == dead) {
+          if (chk::AnalyzerEnabled()) {
+            chk::ProtocolAnalyzer::Global().NoteDanglingSteal(bus, off, obs);
+          }
+          if (bus->CasU64(ctx, off + RecordLayout::kLockOff, obs, rec_lock, &obs)) {
+            break;
+          }
         }
         std::this_thread::yield();
       }

@@ -1,10 +1,24 @@
 #include "src/sim/fabric.h"
 
+#include "src/chk/protocol_analyzer.h"
 #include "src/obs/metrics.h"
 #include "src/sim/htm.h"
 #include "src/util/logging.h"
 
 namespace drtmr::sim {
+namespace {
+
+// Conformance check for epoch fencing (analyzer class 5), deliberately placed
+// in each mutating verb *independently* of FenceCheck: a verb path that lost
+// its fence call still trips the analyzer.
+inline void AnalyzerVerbAdmitted(Fabric* fabric, uint32_t src, uint32_t dst) {
+  if (chk::AnalyzerEnabled()) {
+    chk::ProtocolAnalyzer::Global().OnVerbAdmitted(fabric->bus(src), fabric->bus(dst), src, dst,
+                                                   fabric->epoch_fencing());
+  }
+}
+
+}  // namespace
 
 uint32_t Fabric::AddNode(MemoryBus* bus) {
   const uint32_t id = static_cast<uint32_t>(nodes_.size());
@@ -23,6 +37,9 @@ bool RdmaNic::ChargeVerb(ThreadContext* ctx, RdmaNic* dst_nic, uint64_t latency_
   // keeps all RDMA steps outside the HTM-protected steps C.3/C.4).
   if (ctx->current_htm != nullptr) {
     ctx->current_htm->Abort(HtmTxn::AbortCode::kIo);
+    if (chk::AnalyzerEnabled()) {
+      chk::ProtocolAnalyzer::Global().OnVerbInRegion(ctx, /*aborted=*/true);
+    }
     return false;
   }
   verbs_issued_.fetch_add(1, std::memory_order_relaxed);
@@ -160,6 +177,10 @@ Status RdmaNic::WritePosted(ThreadContext* ctx, uint32_t dst, uint64_t offset, c
   if (Status s = FenceCheck(dst); s != Status::kOk) {
     return s;
   }
+  AnalyzerVerbAdmitted(fabric_, node_id_, dst);
+  // The verb bypasses the remote CPU (ctx == nullptr below); pin the issuing
+  // worker's identity so the analyzer can attribute the store.
+  chk::ScopedActor actor(node_id_, ctx->worker_id);
   fabric_->bus(dst)->Write(/*ctx=*/nullptr, offset, src, len);
   return Status::kOk;
 }
@@ -179,6 +200,8 @@ Status RdmaNic::CompareSwapPosted(ThreadContext* ctx, uint32_t dst, uint64_t off
   if (Status s = FenceCheck(dst); s != Status::kOk) {
     return s;
   }
+  AnalyzerVerbAdmitted(fabric_, node_id_, dst);
+  chk::ScopedActor actor(node_id_, ctx->worker_id);
   const bool swapped = fabric_->bus(dst)->CasU64(/*ctx=*/nullptr, offset, expected, desired,
                                                  observed);
   return swapped ? Status::kOk : Status::kConflict;
@@ -224,6 +247,8 @@ Status RdmaNic::Write(ThreadContext* ctx, uint32_t dst, uint64_t offset, const v
   if (Status s = FenceCheck(dst); s != Status::kOk) {
     return s;
   }
+  AnalyzerVerbAdmitted(fabric_, node_id_, dst);
+  chk::ScopedActor actor(node_id_, ctx->worker_id);
   fabric_->bus(dst)->Write(/*ctx=*/nullptr, offset, src, len);
   return Status::kOk;
 }
@@ -249,6 +274,8 @@ Status RdmaNic::CompareSwap(ThreadContext* ctx, uint32_t dst, uint64_t offset, u
     const uint64_t start = dst_nic->atomic_unit_.Reserve(ctx->clock.now_ns(), 1);
     ctx->clock.AdvanceTo(start + 1);
   }
+  AnalyzerVerbAdmitted(fabric_, node_id_, dst);
+  chk::ScopedActor actor(node_id_, ctx->worker_id);
   const bool swapped = fabric_->bus(dst)->CasU64(/*ctx=*/nullptr, offset, expected, desired,
                                                  observed);
   return swapped ? Status::kOk : Status::kConflict;
@@ -267,6 +294,8 @@ Status RdmaNic::FetchAdd(ThreadContext* ctx, uint32_t dst, uint64_t offset, uint
   if (Status s = FenceCheck(dst); s != Status::kOk) {
     return s;
   }
+  AnalyzerVerbAdmitted(fabric_, node_id_, dst);
+  chk::ScopedActor actor(node_id_, ctx->worker_id);
   const uint64_t old = fabric_->bus(dst)->FetchAddU64(/*ctx=*/nullptr, offset, delta);
   if (old_value != nullptr) {
     *old_value = old;
@@ -288,6 +317,7 @@ Status RdmaNic::Send(ThreadContext* ctx, uint32_t dst, std::vector<std::byte> pa
   if (Status s = FenceCheck(dst); s != Status::kOk) {
     return s;
   }
+  AnalyzerVerbAdmitted(fabric_, node_id_, dst);
   Message m;
   m.src_node = node_id_;
   m.payload = std::move(payload);

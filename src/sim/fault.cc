@@ -30,6 +30,7 @@ const char* SiteName(obs::HtmSite site) {
     case obs::HtmSite::kBaseline:
       return "baseline";
     case obs::HtmSite::kOther:
+    case obs::HtmSite::kCount:
       break;
   }
   return "other";

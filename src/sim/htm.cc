@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/chk/protocol_analyzer.h"
 #include "src/sim/fault.h"
 #include "src/util/logging.h"
 
@@ -193,6 +194,11 @@ Status HtmTxn::Commit() {
     }
   }
   const bool committed = bus_->TxCommitApply(ctx_, desc_, redo_);
+  if (committed && chk::AnalyzerEnabled()) {
+    // Fold the just-applied redo into the analyzer's record shadows; HTM
+    // commits are protected by definition, so no unlocked-write check runs.
+    chk::ProtocolAnalyzer::Global().OnTxCommitApply(bus_, ctx_, redo_);
+  }
   End(committed);
   return committed ? Status::kOk : Status::kAborted;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/chk/protocol_analyzer.h"
 #include "src/util/logging.h"
 
 namespace drtmr::sim {
@@ -55,6 +56,8 @@ MemoryBus::MemoryBus(size_t size, const CostModel* cost, uint32_t slots, uint32_
   }
 }
 
+MemoryBus::~MemoryBus() { chk::ProtocolAnalyzer::Global().ForgetBus(this); }
+
 void MemoryBus::ChargeLines(ThreadContext* ctx, uint64_t nlines) {
   if (ctx != nullptr) {
     ctx->Charge(nlines * cost_->line_access_ns * cost_scale_pct_.load(std::memory_order_relaxed) /
@@ -86,6 +89,10 @@ void MemoryBus::Read(ThreadContext* ctx, uint64_t offset, void* dst, size_t len)
     s.lock();
     std::memcpy(out + (lo - offset), mem_.get() + lo, hi - lo);
     DoomConflicting(nullptr, line, /*is_write=*/false);
+    if (chk::AnalyzerEnabled()) {
+      chk::ProtocolAnalyzer::Global().CheckStrongAtomicity(this, line, /*is_write=*/false,
+                                                           nullptr);
+    }
     s.unlock();
   }
   ChargeLines(ctx, end - first);
@@ -93,6 +100,11 @@ void MemoryBus::Read(ThreadContext* ctx, uint64_t offset, void* dst, size_t len)
 
 void MemoryBus::Write(ThreadContext* ctx, uint64_t offset, const void* src, size_t len) {
   DRTMR_CHECK(offset + len <= size_) << offset << "+" << len;
+  if (chk::AnalyzerEnabled()) {
+    // Pre-state evaluation: the conformance rules judge the store against the
+    // record's protection *before* its bytes land (see DESIGN.md §11).
+    chk::ProtocolAnalyzer::Global().OnPlainWrite(this, ctx, offset, src, len);
+  }
   const uint64_t first = LineOf(offset);
   const uint64_t end = LineEnd(offset, len);
   const auto* in = static_cast<const std::byte*>(src);
@@ -103,6 +115,10 @@ void MemoryBus::Write(ThreadContext* ctx, uint64_t offset, const void* src, size
     s.lock();
     std::memcpy(mem_.get() + lo, in + (lo - offset), hi - lo);
     DoomConflicting(nullptr, line, /*is_write=*/true);
+    if (chk::AnalyzerEnabled()) {
+      chk::ProtocolAnalyzer::Global().CheckStrongAtomicity(this, line, /*is_write=*/true,
+                                                           nullptr);
+    }
     s.unlock();
   }
   ChargeLines(ctx, end - first);
@@ -132,9 +148,15 @@ bool MemoryBus::CasU64(ThreadContext* ctx, uint64_t offset, uint64_t expected, u
   }
   // A successful CAS is a write for conflict purposes; a failed one is a read.
   DoomConflicting(nullptr, line, /*is_write=*/swapped);
+  if (chk::AnalyzerEnabled()) {
+    chk::ProtocolAnalyzer::Global().CheckStrongAtomicity(this, line, swapped, nullptr);
+  }
   s.unlock();
   if (observed != nullptr) {
     *observed = cur;
+  }
+  if (chk::AnalyzerEnabled()) {
+    chk::ProtocolAnalyzer::Global().OnCas(this, ctx, offset, expected, desired, cur, swapped);
   }
   ChargeLines(ctx, 1);
   return swapped;
@@ -150,6 +172,9 @@ uint64_t MemoryBus::FetchAddU64(ThreadContext* ctx, uint64_t offset, uint64_t de
   const uint64_t next = cur + delta;
   std::memcpy(mem_.get() + offset, &next, sizeof(next));
   DoomConflicting(nullptr, line, /*is_write=*/true);
+  if (chk::AnalyzerEnabled()) {
+    chk::ProtocolAnalyzer::Global().CheckStrongAtomicity(this, line, /*is_write=*/true, nullptr);
+  }
   s.unlock();
   ChargeLines(ctx, 1);
   return cur;

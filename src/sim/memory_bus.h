@@ -93,6 +93,8 @@ class MemoryBus {
   // thread that may run HTM transactions on this machine).
   MemoryBus(size_t size, const CostModel* cost, uint32_t slots, uint32_t htm_read_cap,
             uint32_t htm_write_cap);
+  // Drops this bus's analyzer shadow (a later bus may reuse the address).
+  ~MemoryBus();
 
   size_t size() const { return size_; }
   std::byte* raw() { return mem_.get(); }

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <vector>
 
+#include "src/chk/protocol_analyzer.h"
 #include "src/util/logging.h"
 
 namespace drtmr::store {
@@ -125,6 +126,10 @@ Status HashStore::Insert(sim::ThreadContext* ctx, uint64_t key, const void* valu
       if (htm->WriteU64(free_bucket + OffSlotOff(i), rec_off) == Status::kOk &&
           htm->WriteU64(free_bucket + KeySlotOff(i), key) == Status::kOk &&
           htm->Commit() == Status::kOk) {
+        if (chk::AnalyzerEnabled()) {
+          chk::ProtocolAnalyzer::Global().RegisterRecord(node_->bus(), rec_off, value_size_,
+                                                         image.data());
+        }
         if (offset_out != nullptr) {
           *offset_out = rec_off;
         }
@@ -137,6 +142,10 @@ Status HashStore::Insert(sim::ThreadContext* ctx, uint64_t key, const void* valu
     if (htm->WriteU64(ovf + KeySlotOff(0), key) == Status::kOk &&
         htm->WriteU64(ovf + OffSlotOff(0), rec_off) == Status::kOk &&
         htm->WriteU64(last_bucket + 0, ovf) == Status::kOk && htm->Commit() == Status::kOk) {
+      if (chk::AnalyzerEnabled()) {
+        chk::ProtocolAnalyzer::Global().RegisterRecord(node_->bus(), rec_off, value_size_,
+                                                       image.data());
+      }
       if (offset_out != nullptr) {
         *offset_out = rec_off;
       }
@@ -180,6 +189,10 @@ Status HashStore::Remove(sim::ThreadContext* ctx, uint64_t key) {
           retry = true;
           break;
         }
+        // Drop the analyzer's shadow before the offset can be recycled.
+        if (chk::AnalyzerEnabled()) {
+          chk::ProtocolAnalyzer::Global().UnregisterRecord(node_->bus(), rec_off);
+        }
         node_->allocator()->Free(rec_off, record_bytes());
         return Status::kOk;
       }
@@ -205,6 +218,9 @@ Status HashStore::InsertImage(sim::ThreadContext* ctx, uint64_t key, const std::
     uint64_t cur_seq = 0;
     node_->bus()->Read(ctx, existing + RecordLayout::kSeqOff, &cur_seq, sizeof(cur_seq));
     if (RecordLayout::GetSeq(image) > cur_seq) {
+      // Recovery/bootstrap overwrite of a quiescent record: a sanctioned
+      // whole-image writer, not an unlocked-write violation.
+      chk::ScopedPrivilegedWriter priv;
       node_->bus()->Write(ctx, existing, image, len);
     }
     return Status::kOk;
@@ -257,6 +273,9 @@ Status HashStore::InsertImage(sim::ThreadContext* ctx, uint64_t key, const std::
       done = true;
     }
     if (!retry) {
+      if (chk::AnalyzerEnabled()) {
+        chk::ProtocolAnalyzer::Global().RegisterRecord(node_->bus(), rec_off, value_size_, image);
+      }
       return Status::kOk;
     }
   }

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/chk/history.h"
+#include "src/chk/protocol_analyzer.h"
 #include "src/cluster/membership.h"
 #include "src/obs/phase_timer.h"
 #include "src/store/record.h"
@@ -226,8 +227,13 @@ Status Transaction::AcquireLock(const LockTarget& t) {
       if (++dangling_retries > cfg.lock_retry_threshold) {
         return Status::kTimeout;
       }
-      nic->CompareSwap(ctx_, t.node, t.offset + RecordLayout::kLockOff, observed,
-                       LockWord::kUnlocked, nullptr);
+      if (chk::AnalyzerEnabled()) {
+        chk::ProtocolAnalyzer::Global().NoteDanglingSteal(
+            engine_->cluster()->node(t.node)->bus(), t.offset, observed);
+      }
+      // Best-effort steal: losing the race means another survivor freed it.
+      (void)nic->CompareSwap(ctx_, t.node, t.offset + RecordLayout::kLockOff, observed,
+                             LockWord::kUnlocked, nullptr);
       engine_->stats().dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
       const uint64_t cap =
           std::min(cfg.lock_backoff_base_ns << dangling_retries, cfg.lock_backoff_cap_ns);
@@ -244,8 +250,9 @@ void Transaction::ReleaseLocks(const std::vector<LockTarget>& targets, size_t co
   sim::RdmaNic* nic = self_->nic();
   uint64_t completion = 0;
   for (size_t i = 0; i < count; ++i) {
-    nic->CompareSwapPosted(ctx_, targets[i].node, targets[i].offset + RecordLayout::kLockOff,
-                           lock_word_, LockWord::kUnlocked, nullptr, &completion);
+    (void)nic->CompareSwapPosted(ctx_, targets[i].node,
+                                 targets[i].offset + RecordLayout::kLockOff, lock_word_,
+                                 LockWord::kUnlocked, nullptr, &completion);
   }
 }
 
@@ -429,8 +436,14 @@ Status Transaction::HtmValidateAndApply() {
     }
     if (dangling) {
       htm->Abort();
-      self_->nic()->CompareSwap(ctx_, ctx_->node_id, dangling_off + RecordLayout::kLockOff,
-                                dangling_word, LockWord::kUnlocked, nullptr);
+      if (chk::AnalyzerEnabled()) {
+        chk::ProtocolAnalyzer::Global().NoteDanglingSteal(self_->bus(), dangling_off,
+                                                          dangling_word);
+      }
+      // Best-effort steal: losing the race means another survivor freed it.
+      (void)self_->nic()->CompareSwap(ctx_, ctx_->node_id,
+                                      dangling_off + RecordLayout::kLockOff, dangling_word,
+                                      LockWord::kUnlocked, nullptr);
       engine_->stats().dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -495,9 +508,12 @@ Status Transaction::WriteBackRemote() {
     }
     const uint64_t final_seq = rules_.RemoteCommitSeq(commit_seq_[i]);
     BuildImage(w, final_seq, &image);
-    self_->nic()->WritePosted(ctx_, w.access.node, w.access.offset + RecordLayout::kSeqOff,
-                              image.data() + RecordLayout::kSeqOff,
-                              image.size() - RecordLayout::kSeqOff, &completion);
+    // Posted write-back: failures surface through the completion fence, and a
+    // dead target's record is re-hosted from the replication logs anyway.
+    (void)self_->nic()->WritePosted(ctx_, w.access.node,
+                                    w.access.offset + RecordLayout::kSeqOff,
+                                    image.data() + RecordLayout::kSeqOff,
+                                    image.size() - RecordLayout::kSeqOff, &completion);
     any = true;
   }
   if (any) {
@@ -666,9 +682,9 @@ Status Transaction::FallbackCommit(const std::vector<LockTarget>& remote_targets
     }
     MakeupLocal();
   }
-  WriteBackRemote();
+  (void)WriteBackRemote();  // past the commit point: recovery patches misses
   for (MutationEntry& m : mutations_) {
-    engine_->Mutate(ctx_, m);
+    (void)engine_->Mutate(ctx_, m);  // past the commit point: idempotent
   }
   if (engine_->config().replication) {
     engine_->replicator()->EndTransaction(ctx_, txn_id_);
@@ -793,12 +809,12 @@ Status Transaction::CommitReadWrite() {
     MakeupLocal();
   }
   obs::PhaseTimer wb_timer(ctx_, obs::Phase::kWriteBack);
-  WriteBackRemote();
+  (void)WriteBackRemote();  // past the commit point: recovery patches misses
 
   // Apply queued inserts/removes (validated transaction; see DESIGN.md on
   // phantom handling).
   for (MutationEntry& m : mutations_) {
-    engine_->Mutate(ctx_, m);
+    (void)engine_->Mutate(ctx_, m);  // past the commit point: idempotent
   }
 
   // Transaction reports committed before unlocking (Fig. 7).
@@ -945,9 +961,9 @@ Status Transaction::CommitReadWriteFused() {
       if (t.written && !written_too) {
         continue;  // implicitly unlocked by the write-back
       }
-      nic->CompareSwapPosted(ctx_, t.node, t.offset + RecordLayout::kSeqOff,
-                             store::SeqWord::WithLock(t.expected), t.expected, nullptr,
-                             &completion);
+      (void)nic->CompareSwapPosted(ctx_, t.node, t.offset + RecordLayout::kSeqOff,
+                                   store::SeqWord::WithLock(t.expected), t.expected, nullptr,
+                                   &completion);
     }
   };
   if (failed) {
@@ -1061,9 +1077,9 @@ Status Transaction::CommitReadWriteFused() {
           if (t.ws_index != ~0ull && !written_too) {
             continue;  // written records get their final seq below
           }
-          nic->CompareSwapPosted(ctx_, ctx_->node_id, t.offset + RecordLayout::kSeqOff,
-                                 store::SeqWord::WithLock(t.expected), t.expected, nullptr,
-                                 &completion);
+          (void)nic->CompareSwapPosted(ctx_, ctx_->node_id, t.offset + RecordLayout::kSeqOff,
+                                       store::SeqWord::WithLock(t.expected), t.expected,
+                                       nullptr, &completion);
         }
       };
       if (lfail) {
@@ -1106,9 +1122,10 @@ Status Transaction::CommitReadWriteFused() {
     MakeupLocal();
   }
   obs::PhaseTimer wb_timer(ctx_, obs::Phase::kWriteBack);
-  WriteBackRemote();  // clears the lock bit of written records (new seq)
+  // Clears the lock bit of written records (new seq); past the commit point.
+  (void)WriteBackRemote();
   for (MutationEntry& m : mutations_) {
-    engine_->Mutate(ctx_, m);
+    (void)engine_->Mutate(ctx_, m);  // past the commit point: idempotent
   }
   if (engine_->config().replication) {
     engine_->replicator()->EndTransaction(ctx_, txn_id_);

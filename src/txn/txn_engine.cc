@@ -3,6 +3,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/chk/protocol_analyzer.h"
 #include "src/cluster/membership.h"
 #include "src/store/record.h"
 #include "src/util/logging.h"
@@ -96,6 +97,9 @@ Status TxnEngine::ReadLocalRecord(sim::ThreadContext* ctx, store::Table* table, 
       htm->Abort();
       if (OwnerAbsent(ctx, lock_word)) {
         // Passive dangling-lock release (§5.2): the owner machine crashed.
+        if (chk::AnalyzerEnabled()) {
+          chk::ProtocolAnalyzer::Global().NoteDanglingSteal(node->bus(), off, lock_word);
+        }
         uint64_t obs;
         node->bus()->CasU64(ctx, off + RecordLayout::kLockOff, lock_word, 0, &obs);
         stats_.dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
@@ -138,6 +142,9 @@ Status TxnEngine::ReadLocalRecord(sim::ThreadContext* ctx, store::Table* table, 
         store::SeqWord::Locked(RecordLayout::GetSeq(buf.data()))) {
       const uint64_t lock_word = RecordLayout::GetLock(buf.data());
       if (OwnerAbsent(ctx, lock_word)) {
+        if (chk::AnalyzerEnabled()) {
+          chk::ProtocolAnalyzer::Global().NoteDanglingSteal(node->bus(), off, lock_word);
+        }
         uint64_t obs;
         node->bus()->CasU64(ctx, off + RecordLayout::kLockOff, lock_word, 0, &obs);
         stats_.dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
@@ -156,6 +163,12 @@ Status TxnEngine::ReadLocalRecord(sim::ThreadContext* ctx, store::Table* table, 
   }
   if (!stable) {
     return Status::kConflict;  // leaked lock or livelock: abort, do not hang
+  }
+  if (chk::AnalyzerEnabled()) {
+    chk::ProtocolAnalyzer::Global().OnSnapshotAccepted(
+        node->bus(), off, RecordLayout::GetSeq(buf.data()), RecordLayout::GetLock(buf.data()),
+        RecordLayout::VersionsConsistent(buf.data(), table->value_size()),
+        /*lock_checked=*/true);
   }
   entry->table = table;
   entry->node = ctx->node_id;
@@ -219,12 +232,26 @@ Status TxnEngine::ReadRemoteRecord(sim::ThreadContext* ctx, store::Table* table,
                        store::SeqWord::Locked(RecordLayout::GetSeq(buf.data())))) {
       const uint64_t lock_word = RecordLayout::GetLock(buf.data());
       if (OwnerAbsent(ctx, lock_word)) {
+        if (chk::AnalyzerEnabled()) {
+          chk::ProtocolAnalyzer::Global().NoteDanglingSteal(cluster_->node(node)->bus(), off,
+                                                            lock_word);
+        }
         uint64_t obs;
-        self->nic()->CompareSwap(ctx, node, off + RecordLayout::kLockOff, lock_word, 0, &obs);
+        // Best-effort steal: losing the race means another survivor freed it.
+        (void)self->nic()->CompareSwap(ctx, node, off + RecordLayout::kLockOff, lock_word, 0,
+                                       &obs);
         stats_.dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
       }
       std::this_thread::yield();
       continue;
+    }
+    if (chk::AnalyzerEnabled()) {
+      // Re-derives the torn/locked verdicts from the accepted bytes rather
+      // than trusting the checks above, so a regression there is caught here.
+      chk::ProtocolAnalyzer::Global().OnSnapshotAccepted(
+          cluster_->node(node)->bus(), off, RecordLayout::GetSeq(buf.data()),
+          RecordLayout::GetLock(buf.data()),
+          RecordLayout::VersionsConsistent(buf.data(), table->value_size()), check_lock);
     }
     entry->table = table;
     entry->node = node;
@@ -291,6 +318,9 @@ Status TxnEngine::ApplyMutation(sim::ThreadContext* ctx, MutationEntry::Op op, u
     const Status s = table->btree(ctx->node_id)->Insert(ctx, key, off);
     if (s != Status::kOk) {
       node->allocator()->Free(off, rec_bytes);
+    } else if (chk::AnalyzerEnabled()) {
+      chk::ProtocolAnalyzer::Global().RegisterRecord(node->bus(), off, table->value_size(),
+                                                     image.data());
     }
     return s;
   }
@@ -302,6 +332,9 @@ Status TxnEngine::ApplyMutation(sim::ThreadContext* ctx, MutationEntry::Op op, u
   node->bus()->FetchAddU64(ctx, off + RecordLayout::kIncOff, 1);
   const Status s = table->btree(ctx->node_id)->Remove(ctx, key);
   if (s == Status::kOk) {
+    if (chk::AnalyzerEnabled()) {
+      chk::ProtocolAnalyzer::Global().UnregisterRecord(node->bus(), off);
+    }
     node->allocator()->Free(off, table->record_bytes());
   }
   return s;
@@ -374,7 +407,9 @@ void TxnEngine::HandleRpc(sim::ThreadContext* ctx, const sim::Message& msg) {
   reply.value_len = 0;
   std::vector<std::byte> payload(sizeof(reply));
   std::memcpy(payload.data(), &reply, sizeof(reply));
-  cluster_->node(ctx->node_id)->nic()->Send(ctx, msg.src_node, std::move(payload), m.reply_qp);
+  // A failed reply SEND means the requester died; it can never consume it.
+  (void)cluster_->node(ctx->node_id)->nic()->Send(ctx, msg.src_node, std::move(payload),
+                                                  m.reply_qp);
 }
 
 void TxnEngine::StartServices() {

@@ -1,6 +1,9 @@
 // Lightweight status codes used across the transaction and simulation layers.
 // The protocol paths are hot and exception-free; every fallible operation
-// returns a Status (or a value + Status pair) that callers must check.
+// returns a Status (or a value + Status pair) that callers must check — the
+// [[nodiscard]] below makes the compiler enforce that. Deliberate
+// fire-and-forget calls (posted unlocks, best-effort dangling-lock steals)
+// cast to void with a comment explaining why the result does not matter.
 #ifndef DRTMR_SRC_UTIL_STATUS_H_
 #define DRTMR_SRC_UTIL_STATUS_H_
 
@@ -8,7 +11,7 @@
 
 namespace drtmr {
 
-enum class Status : uint8_t {
+enum class [[nodiscard]] Status : uint8_t {
   kOk = 0,
   kNotFound,       // key absent from a store
   kExists,         // insert hit an existing key

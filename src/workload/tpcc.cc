@@ -251,9 +251,9 @@ bool TpccWorkload::TxNewOrder(sim::ThreadContext* ctx, txn::TxnApi* txn, FastRan
   orow.c_id = c;
   orow.entry_d = ctx->clock.now_ns();
   orow.ol_cnt = ol_cnt;
-  txn->Insert(order_, home, OKey(w, d, o_id), &orow);
+  (void)txn->Insert(order_, home, OKey(w, d, o_id), &orow);  // buffered until Commit
   NewOrderRow norow{1};
-  txn->Insert(new_order_, home, OKey(w, d, o_id), &norow);
+  (void)txn->Insert(new_order_, home, OKey(w, d, o_id), &norow);
   CustLastOrderRow lo{o_id};
   if (txn->Write(cust_last_order_, home, CKey(w, d, c), &lo) != Status::kOk) {
     txn->UserAbort();
@@ -293,7 +293,7 @@ bool TpccWorkload::TxNewOrder(sim::ThreadContext* ctx, txn::TxnApi* txn, FastRan
     olrow.supply_w = lines[i].supply_w;
     olrow.qty = lines[i].qty;
     olrow.amount = lines[i].qty * irow.price;
-    txn->Insert(order_line_, home, OLKey(w, d, o_id, i + 1), &olrow);
+    (void)txn->Insert(order_line_, home, OLKey(w, d, o_id, i + 1), &olrow);
   }
   return txn->Commit() == Status::kOk;
 }
@@ -366,7 +366,7 @@ bool TpccWorkload::TxPayment(sim::ThreadContext* ctx, txn::TxnApi* txn, FastRand
   const uint64_t hkey = (static_cast<uint64_t>(ctx->node_id) << 52) |
                         (static_cast<uint64_t>(ctx->worker_id) << 44) |
                         history_seq_.fetch_add(1, std::memory_order_relaxed);
-  txn->Insert(history_, home, hkey, &hrow);
+  (void)txn->Insert(history_, home, hkey, &hrow);  // buffered until Commit
   return txn->Commit() == Status::kOk;
 }
 
@@ -390,8 +390,9 @@ bool TpccWorkload::TxOrderStatus(sim::ThreadContext* ctx, txn::TxnApi* txn, Fast
   if (lo.o_id != 0) {
     OrderRow orow;
     if (txn->Read(order_, home, OKey(w, d, lo.o_id), &orow) == Status::kOk) {
-      txn->ScanLocal(order_line_, OLKey(w, d, lo.o_id, 0), OLKey(w, d, lo.o_id, 15),
-                     [](uint64_t, const void*) { return true; });
+      // Footprint-only scan; an abort surfaces at Commit via the read set.
+      (void)txn->ScanLocal(order_line_, OLKey(w, d, lo.o_id, 0), OLKey(w, d, lo.o_id, 15),
+                           [](uint64_t, const void*) { return true; });
     }
   }
   return txn->Commit() == Status::kOk;
@@ -418,7 +419,7 @@ bool TpccWorkload::TxDelivery(sim::ThreadContext* ctx, txn::TxnApi* txn, FastRan
       txn->UserAbort();
       return false;
     }
-    txn->Remove(new_order_, home, no_key);
+    (void)txn->Remove(new_order_, home, no_key);  // buffered until Commit
 
     OrderRow orow;
     if (txn->Read(order_, home, OKey(w, d, o_id), &orow) != Status::kOk) {
@@ -473,13 +474,13 @@ bool TpccWorkload::TxStockLevel(sim::ThreadContext* ctx, txn::TxnApi* txn, FastR
   const uint64_t hi_o = drow.next_o_id;
   const uint64_t lo_o = hi_o > 20 ? hi_o - 20 : 1;
   std::unordered_set<uint64_t> items;
-  txn->ScanLocal(order_line_, OLKey(w, d, lo_o, 0), OLKey(w, d, hi_o, 15),
-                 [&](uint64_t, const void* value) {
-                   OrderLineRow ol;
-                   std::memcpy(&ol, value, sizeof(ol));
-                   items.insert(ol.i_id);
-                   return items.size() < 200;
-                 });
+  (void)txn->ScanLocal(order_line_, OLKey(w, d, lo_o, 0), OLKey(w, d, hi_o, 15),
+                       [&](uint64_t, const void* value) {
+                         OrderLineRow ol;
+                         std::memcpy(&ol, value, sizeof(ol));
+                         items.insert(ol.i_id);
+                         return items.size() < 200;
+                       });
   uint32_t low = 0;
   for (uint64_t i : items) {
     StockRow srow;

@@ -194,8 +194,8 @@ TEST_P(FallbackTest, FallbackAndFastPathInterleave) {
         txn.UserAbort();
         continue;
       }
-      txn.Write(table_, HomeOf(k), k, &c);
-      txn.Commit();
+      (void)txn.Write(table_, HomeOf(k), k, &c);
+      (void)txn.Commit();  // contended mix: aborts are expected
     }
   });
   sim::ThreadContext* ctx = cluster_->node(0)->context(1);
@@ -209,8 +209,8 @@ TEST_P(FallbackTest, FallbackAndFastPathInterleave) {
       txn.UserAbort();
       continue;
     }
-    txn.Write(table_, HomeOf(k), k, &c);
-    txn.Commit();
+    (void)txn.Write(table_, HomeOf(k), k, &c);
+    (void)txn.Commit();  // contended mix: aborts are expected
   }
   stop.store(true);
   fallback_thread.join();

@@ -100,7 +100,7 @@ class MatrixTest : public ::testing::Test {
         violations->fetch_add(1);
       }
       if (read_only) {
-        txn.Commit();
+        (void)txn.Commit();  // invariant already checked from the snapshot
       } else {
         txn.UserAbort();
       }

@@ -275,7 +275,7 @@ TEST(BTree, ConcurrentReadersDuringWrites) {
   std::atomic<bool> stop{false};
   std::thread writer([&] {
     for (uint64_t k = 1001; k <= 3000; ++k) {
-      bt.Insert(nullptr, k * 2, k);
+      ASSERT_EQ(bt.Insert(nullptr, k * 2, k), Status::kOk);
     }
     stop.store(true);
   });
