@@ -12,36 +12,36 @@
 
 int main(int argc, char** argv) {
   using namespace drtmr::bench;
-  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
-  PrintHeader("Ablations (TPC-C, 6 machines x 8 threads)", "variant     cross%     throughput");
+  return RunMain(argc, argv, {"ablate_protocol", "tpcc"}, [](int, char**) {
+    PrintHeader("Ablations (TPC-C, 6 machines x 8 threads)", "variant     cross%     throughput");
 
-  for (uint32_t cross : {1u, 10u, 50u}) {
-    TpccBenchConfig cfg;
-    cfg.cross_no_pct = cross;
-    cfg.txns_per_thread = 250;
-    PrintTpccRow("baseline", cross, RunTpccDrtmR(cfg));
+    for (uint32_t cross : {1u, 10u, 50u}) {
+      TpccBenchConfig cfg;
+      cfg.cross_no_pct = cross;
+      cfg.txns_per_thread = 250;
+      PrintTpccRow("baseline", cross, RunTpccDrtmR(cfg));
 
-    cfg.lock_remote_read_set = false;
-    PrintTpccRow("no-rs-lock", cross, RunTpccDrtmR(cfg));
-    cfg.lock_remote_read_set = true;
+      cfg.lock_remote_read_set = false;
+      PrintTpccRow("no-rs-lock", cross, RunTpccDrtmR(cfg));
+      cfg.lock_remote_read_set = true;
 
-    cfg.message_passing_commit = true;
-    PrintTpccRow("msg-commit", cross, RunTpccDrtmR(cfg));
-    cfg.message_passing_commit = false;
+      cfg.message_passing_commit = true;
+      PrintTpccRow("msg-commit", cross, RunTpccDrtmR(cfg));
+      cfg.message_passing_commit = false;
 
-    // §4.4: with IBV_ATOMIC_GLOB the lock is fused into the seqnum CAS.
-    cfg.fused_seq_lock = true;
-    PrintTpccRow("glob-fused", cross, RunTpccDrtmR(cfg));
-    cfg.fused_seq_lock = false;
-  }
+      // §4.4: with IBV_ATOMIC_GLOB the lock is fused into the seqnum CAS.
+      cfg.fused_seq_lock = true;
+      PrintTpccRow("glob-fused", cross, RunTpccDrtmR(cfg));
+      cfg.fused_seq_lock = false;
+    }
 
-  {
-    TpccBenchConfig cfg;
-    cfg.txns_per_thread = 250;
-    PrintTpccRow("no-ptrswap", 1, RunTpccDrtmR(cfg));
-    cfg.ptr_swap_local_tables = true;
-    PrintTpccRow("ptrswap", 1, RunTpccDrtmR(cfg));
-  }
-  EmitObs(obs_opt);
-  return 0;
+    {
+      TpccBenchConfig cfg;
+      cfg.txns_per_thread = 250;
+      PrintTpccRow("no-ptrswap", 1, RunTpccDrtmR(cfg));
+      cfg.ptr_swap_local_tables = true;
+      PrintTpccRow("ptrswap", 1, RunTpccDrtmR(cfg));
+    }
+    return 0;
+  });
 }

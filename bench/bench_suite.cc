@@ -1,0 +1,63 @@
+// Runs the standard bench suite (bench/suite.h) and writes one
+// BENCH_<name>[.smoke].json per entry. scripts/bench_suite.sh wraps this and
+// scripts/bench_gate.py diffs the output against the committed baselines.
+//
+// Usage: bench_suite [--smoke] [--out-dir=DIR] [--only=a,b,...]
+//                    [--slow-txns=K] [--list]
+#include <cstdio>
+#include <cstring>
+
+#include "bench/suite.h"
+
+int main(int argc, char** argv) {
+  using namespace drtmr::bench;
+  SuiteOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strncmp(a, "--out-dir=", 10) == 0) {
+      opt.out_dir = a + 10;
+    } else if (std::strncmp(a, "--only=", 7) == 0) {
+      std::string list = a + 7;
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        const size_t comma = list.find(',', pos);
+        const std::string item = list.substr(pos, comma == std::string::npos
+                                                      ? std::string::npos
+                                                      : comma - pos);
+        if (!item.empty()) {
+          opt.only.push_back(item);
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        pos = comma + 1;
+      }
+    } else if (std::strncmp(a, "--slow-txns=", 12) == 0) {
+      opt.slow_txns = static_cast<uint32_t>(std::strtoul(a + 12, nullptr, 10));
+    } else if (std::strcmp(a, "--list") == 0) {
+      for (const std::string& name : SuiteEntryNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_suite [--smoke] [--out-dir=DIR] [--only=a,b] "
+                   "[--slow-txns=K] [--list]\n");
+      return 2;
+    }
+  }
+  int failures = 0;
+  for (const SuiteEntryResult& er : RunSuite(opt)) {
+    if (!er.ok) {
+      failures++;
+    }
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_suite: %d entr%s failed\n", failures,
+                 failures == 1 ? "y" : "ies");
+    return 1;
+  }
+  return 0;
+}

@@ -4,25 +4,38 @@
 //
 // Usage: calibrate [machines] [threads] [cross_no_pct] [cross_pay_pct] [rep:0|1]
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "bench/harness.h"
 
 int main(int argc, char** argv) {
   using namespace drtmr::bench;
-  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
-  TpccBenchConfig cfg;
-  cfg.machines = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 6;
-  cfg.threads = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 8;
-  cfg.cross_no_pct = argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 1;
-  cfg.cross_pay_pct = argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 15;
-  cfg.replication = argc > 5 && std::atoi(argv[5]) != 0;
-  cfg.txns_per_thread = 300;
-  cfg.print_stats = true;
-  const drtmr::workload::DriverResult r = RunTpccDrtmR(cfg);
-  PrintHeader("calibrate", "system      machines   throughput");
-  PrintTpccRow("DrTM+R", cfg.machines, r);
-  std::printf("per-machine total: %s tps\n",
-              drtmr::workload::FormatTps(r.ThroughputTps() / cfg.machines).c_str());
-  EmitObs(obs_opt);
-  return 0;
+  return RunMain(argc, argv, {"calibrate", "tpcc"}, [](int argc, char** argv) {
+    // Positional knobs; --flags are consumed by the harness.
+    std::vector<const char*> pos;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        pos.push_back(argv[i]);
+      }
+    }
+    TpccBenchConfig cfg;
+    cfg.machines = pos.size() > 0 ? static_cast<uint32_t>(std::atoi(pos[0])) : 6;
+    cfg.threads = pos.size() > 1 ? static_cast<uint32_t>(std::atoi(pos[1])) : 8;
+    cfg.cross_no_pct = pos.size() > 2 ? static_cast<uint32_t>(std::atoi(pos[2])) : 1;
+    cfg.cross_pay_pct = pos.size() > 3 ? static_cast<uint32_t>(std::atoi(pos[3])) : 15;
+    cfg.replication = pos.size() > 4 && std::atoi(pos[4]) != 0;
+    cfg.txns_per_thread = 300;
+    cfg.print_stats = true;
+    RunInfo& info = MutableRunInfo();
+    info.machines = cfg.machines;
+    info.threads = cfg.threads;
+    info.replication = cfg.replication;
+    const drtmr::workload::DriverResult r = RunTpccDrtmR(cfg);
+    PrintHeader("calibrate", "system      machines   throughput");
+    PrintTpccRow("DrTM+R", cfg.machines, r);
+    std::printf("per-machine total: %s tps\n",
+                drtmr::workload::FormatTps(r.ThroughputTps() / cfg.machines).c_str());
+    return 0;
+  });
 }

@@ -9,38 +9,38 @@
 
 int main(int argc, char** argv) {
   using namespace drtmr::bench;
-  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
-  PrintHeader("Fig.10  TPC-C throughput vs machines (8 threads each)",
-              "system      machines   throughput");
-  for (uint32_t m = 1; m <= 6; ++m) {
-    TpccBenchConfig cfg;
-    cfg.machines = m;
-    cfg.threads = 8;
-    cfg.txns_per_thread = 250;
-    PrintTpccRow("DrTM+R", m, RunTpccDrtmR(cfg));
-  }
-  for (uint32_t m = 1; m <= 6; ++m) {
-    TpccBenchConfig cfg;
-    cfg.machines = m;
-    cfg.threads = 8;
-    cfg.txns_per_thread = 250;
-    cfg.replication = true;
-    PrintTpccRow("DrTM+R=3", m, RunTpccDrtmR(cfg));
-  }
-  for (uint32_t m = 1; m <= 6; ++m) {
-    TpccBenchConfig cfg;
-    cfg.machines = m;
-    cfg.threads = 8;
-    cfg.txns_per_thread = 250;
-    PrintTpccRow("DrTM", m, RunTpccDrTm(cfg));
-  }
-  for (uint32_t m = 1; m <= 6; ++m) {
-    TpccBenchConfig cfg;
-    cfg.machines = m;
-    cfg.threads = 8;
-    cfg.txns_per_thread = 60;  // Calvin is slow; fewer txns keep wall time sane
-    PrintTpccRow("Calvin", m, RunTpccCalvin(cfg));
-  }
-  EmitObs(obs_opt);
-  return 0;
+  return RunMain(argc, argv, {"fig10_tpcc_machines", "tpcc"}, [](int, char**) {
+    PrintHeader("Fig.10  TPC-C throughput vs machines (8 threads each)",
+                "system      machines   throughput");
+    for (uint32_t m = 1; m <= 6; ++m) {
+      TpccBenchConfig cfg;
+      cfg.machines = m;
+      cfg.threads = 8;
+      cfg.txns_per_thread = 250;
+      PrintTpccRow("DrTM+R", m, RunTpccDrtmR(cfg));
+    }
+    for (uint32_t m = 1; m <= 6; ++m) {
+      TpccBenchConfig cfg;
+      cfg.machines = m;
+      cfg.threads = 8;
+      cfg.txns_per_thread = 250;
+      cfg.replication = true;
+      PrintTpccRow("DrTM+R=3", m, RunTpccDrtmR(cfg));
+    }
+    for (uint32_t m = 1; m <= 6; ++m) {
+      TpccBenchConfig cfg;
+      cfg.machines = m;
+      cfg.threads = 8;
+      cfg.txns_per_thread = 250;
+      PrintTpccRow("DrTM", m, RunTpccDrTm(cfg));
+    }
+    for (uint32_t m = 1; m <= 6; ++m) {
+      TpccBenchConfig cfg;
+      cfg.machines = m;
+      cfg.threads = 8;
+      cfg.txns_per_thread = 60;  // Calvin is slow; fewer txns keep wall time sane
+      PrintTpccRow("Calvin", m, RunTpccCalvin(cfg));
+    }
+    return 0;
+  });
 }

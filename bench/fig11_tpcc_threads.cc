@@ -9,40 +9,40 @@
 
 int main(int argc, char** argv) {
   using namespace drtmr::bench;
-  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
-  const uint32_t kThreads[] = {1, 2, 4, 8, 10, 12, 16};
-  PrintHeader("Fig.11  TPC-C throughput vs threads (6 machines)",
-              "system      threads    throughput");
-  auto scaled = [](uint32_t t) {
-    TpccBenchConfig cfg;
-    cfg.threads = t;
-    cfg.warehouses_per_node = t;  // one warehouse per worker (low contention)
-    cfg.customers_per_district = 100;
-    cfg.items = 5000;
-    cfg.memory_mb = 192;
-    cfg.log_mb = 16;
-    cfg.txns_per_thread = 200;
-    return cfg;
-  };
-  for (uint32_t t : kThreads) {
-    PrintTpccRow("DrTM+R", t, RunTpccDrtmR(scaled(t)));
-  }
-  for (uint32_t t : kThreads) {
-    TpccBenchConfig cfg = scaled(t);
-    cfg.replication = true;
-    PrintTpccRow("DrTM+R=3", t, RunTpccDrtmR(cfg));
-  }
-  for (uint32_t t : kThreads) {
-    PrintTpccRow("DrTM", t, RunTpccDrTm(scaled(t)));
-  }
-  // Per-machine comparison against single-machine Silo (logging disabled).
-  for (uint32_t t : {8u, 16u}) {
-    TpccBenchConfig cfg = scaled(t);
-    cfg.txns_per_thread = 400;
-    PrintTpccRow("Silo(1m)", t, RunTpccSilo(cfg));
-    cfg.machines = 1;
-    PrintTpccRow("DrTM+R(1m)", t, RunTpccDrtmR(cfg));
-  }
-  EmitObs(obs_opt);
-  return 0;
+  return RunMain(argc, argv, {"fig11_tpcc_threads", "tpcc"}, [](int, char**) {
+    const uint32_t kThreads[] = {1, 2, 4, 8, 10, 12, 16};
+    PrintHeader("Fig.11  TPC-C throughput vs threads (6 machines)",
+                "system      threads    throughput");
+    auto scaled = [](uint32_t t) {
+      TpccBenchConfig cfg;
+      cfg.threads = t;
+      cfg.warehouses_per_node = t;  // one warehouse per worker (low contention)
+      cfg.customers_per_district = 100;
+      cfg.items = 5000;
+      cfg.memory_mb = 192;
+      cfg.log_mb = 16;
+      cfg.txns_per_thread = 200;
+      return cfg;
+    };
+    for (uint32_t t : kThreads) {
+      PrintTpccRow("DrTM+R", t, RunTpccDrtmR(scaled(t)));
+    }
+    for (uint32_t t : kThreads) {
+      TpccBenchConfig cfg = scaled(t);
+      cfg.replication = true;
+      PrintTpccRow("DrTM+R=3", t, RunTpccDrtmR(cfg));
+    }
+    for (uint32_t t : kThreads) {
+      PrintTpccRow("DrTM", t, RunTpccDrTm(scaled(t)));
+    }
+    // Per-machine comparison against single-machine Silo (logging disabled).
+    for (uint32_t t : {8u, 16u}) {
+      TpccBenchConfig cfg = scaled(t);
+      cfg.txns_per_thread = 400;
+      PrintTpccRow("Silo(1m)", t, RunTpccSilo(cfg));
+      cfg.machines = 1;
+      PrintTpccRow("DrTM+R(1m)", t, RunTpccDrtmR(cfg));
+    }
+    return 0;
+  });
 }

@@ -7,19 +7,19 @@
 
 int main(int argc, char** argv) {
   using namespace drtmr::bench;
-  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
-  PrintHeader("Fig.12  TPC-C throughput vs logical nodes (6 physical machines, 4 threads each)",
-              "system      lnodes     throughput");
-  for (uint32_t lpm = 1; lpm <= 4; ++lpm) {
-    TpccBenchConfig cfg;
-    cfg.machines = 6;
-    cfg.logical_per_machine = lpm;
-    cfg.threads = 4;
-    cfg.txns_per_thread = 250;
-    cfg.memory_mb = 32;
-    cfg.log_mb = 4;
-    PrintTpccRow("DrTM+R", 6 * lpm, RunTpccDrtmR(cfg));
-  }
-  EmitObs(obs_opt);
-  return 0;
+  return RunMain(argc, argv, {"fig12_tpcc_logical_nodes", "tpcc"}, [](int, char**) {
+    PrintHeader("Fig.12  TPC-C throughput vs logical nodes (6 physical machines, 4 threads each)",
+                "system      lnodes     throughput");
+    for (uint32_t lpm = 1; lpm <= 4; ++lpm) {
+      TpccBenchConfig cfg;
+      cfg.machines = 6;
+      cfg.logical_per_machine = lpm;
+      cfg.threads = 4;
+      cfg.txns_per_thread = 250;
+      cfg.memory_mb = 32;
+      cfg.log_mb = 4;
+      PrintTpccRow("DrTM+R", 6 * lpm, RunTpccDrtmR(cfg));
+    }
+    return 0;
+  });
 }

@@ -6,25 +6,22 @@
 
 int main(int argc, char** argv) {
   using namespace drtmr::bench;
-  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
-  PrintHeader("Fig.15  SmallBank (3-way replication) vs machines (8 threads)",
-              "cross%      machines   throughput");
-  for (uint32_t cross : {1u, 5u, 10u}) {
-    for (uint32_t m = 3; m <= 6; ++m) {  // 3-way replication needs >= 3 machines
-      SmallBankBenchConfig cfg;
-      cfg.machines = m;
-      cfg.threads = 8;
-      cfg.cross_pct = cross;
-      cfg.replication = true;
-      cfg.txns_per_thread = 400;
-      char label[16];
-      std::snprintf(label, sizeof(label), "%u%%", cross);
-      const auto r = RunSmallBankDrtmR(cfg);
-      std::printf("%-12s %4u  total %10s tps  p50 %7.1fus  p99 %7.1fus\n", label, m,
-                  drtmr::workload::FormatTps(r.ThroughputTps()).c_str(),
-                  r.latency.Percentile(50) / 1000.0, r.latency.Percentile(99) / 1000.0);
+  return RunMain(argc, argv, {"fig15_smallbank_rep_machines", "smallbank"}, [](int, char**) {
+    PrintHeader("Fig.15  SmallBank (3-way replication) vs machines (8 threads)",
+                "cross%      machines   throughput");
+    for (uint32_t cross : {1u, 5u, 10u}) {
+      for (uint32_t m = 3; m <= 6; ++m) {  // 3-way replication needs >= 3 machines
+        SmallBankBenchConfig cfg;
+        cfg.machines = m;
+        cfg.threads = 8;
+        cfg.cross_pct = cross;
+        cfg.replication = true;
+        cfg.txns_per_thread = 400;
+        char label[16];
+        std::snprintf(label, sizeof(label), "%u%%", cross);
+        PrintSmallBankRow(label, m, RunSmallBankDrtmR(cfg));
+      }
     }
-  }
-  EmitObs(obs_opt);
-  return 0;
+    return 0;
+  });
 }

@@ -6,24 +6,21 @@
 
 int main(int argc, char** argv) {
   using namespace drtmr::bench;
-  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
-  PrintHeader("Fig.16  SmallBank (3-way replication) vs threads (6 machines)",
-              "cross%      threads    throughput");
-  for (uint32_t cross : {1u, 5u, 10u}) {
-    for (uint32_t t : {1u, 2u, 4u, 8u, 12u, 16u}) {
-      SmallBankBenchConfig cfg;
-      cfg.threads = t;
-      cfg.cross_pct = cross;
-      cfg.replication = true;
-      cfg.txns_per_thread = 400;
-      char label[16];
-      std::snprintf(label, sizeof(label), "%u%%", cross);
-      const auto r = RunSmallBankDrtmR(cfg);
-      std::printf("%-12s %4u  total %10s tps  p50 %7.1fus  p99 %7.1fus\n", label, t,
-                  drtmr::workload::FormatTps(r.ThroughputTps()).c_str(),
-                  r.latency.Percentile(50) / 1000.0, r.latency.Percentile(99) / 1000.0);
+  return RunMain(argc, argv, {"fig16_smallbank_rep_threads", "smallbank"}, [](int, char**) {
+    PrintHeader("Fig.16  SmallBank (3-way replication) vs threads (6 machines)",
+                "cross%      threads    throughput");
+    for (uint32_t cross : {1u, 5u, 10u}) {
+      for (uint32_t t : {1u, 2u, 4u, 8u, 12u, 16u}) {
+        SmallBankBenchConfig cfg;
+        cfg.threads = t;
+        cfg.cross_pct = cross;
+        cfg.replication = true;
+        cfg.txns_per_thread = 400;
+        char label[16];
+        std::snprintf(label, sizeof(label), "%u%%", cross);
+        PrintSmallBankRow(label, t, RunSmallBankDrtmR(cfg));
+      }
     }
-  }
-  EmitObs(obs_opt);
-  return 0;
+    return 0;
+  });
 }

@@ -7,29 +7,29 @@
 
 int main(int argc, char** argv) {
   using namespace drtmr::bench;
-  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
-  const uint32_t kCross[] = {1, 5, 10, 25, 50, 75, 100};
-  PrintHeader("Fig.17  TPC-C throughput vs cross-warehouse access % (6 machines x 8 threads)",
-              "system      cross%     throughput");
-  for (uint32_t c : kCross) {
-    TpccBenchConfig cfg;
-    cfg.cross_no_pct = c;
-    cfg.txns_per_thread = 250;
-    PrintTpccRow("DrTM+R", c, RunTpccDrtmR(cfg));
-  }
-  for (uint32_t c : kCross) {
-    TpccBenchConfig cfg;
-    cfg.cross_no_pct = c;
-    cfg.txns_per_thread = 250;
-    cfg.replication = true;
-    PrintTpccRow("DrTM+R=3", c, RunTpccDrtmR(cfg));
-  }
-  for (uint32_t c : kCross) {
-    TpccBenchConfig cfg;
-    cfg.cross_no_pct = c;
-    cfg.txns_per_thread = 150;
-    PrintTpccRow("DrTM", c, RunTpccDrTm(cfg));
-  }
-  EmitObs(obs_opt);
-  return 0;
+  return RunMain(argc, argv, {"fig17_tpcc_distributed", "tpcc"}, [](int, char**) {
+    const uint32_t kCross[] = {1, 5, 10, 25, 50, 75, 100};
+    PrintHeader("Fig.17  TPC-C throughput vs cross-warehouse access % (6 machines x 8 threads)",
+                "system      cross%     throughput");
+    for (uint32_t c : kCross) {
+      TpccBenchConfig cfg;
+      cfg.cross_no_pct = c;
+      cfg.txns_per_thread = 250;
+      PrintTpccRow("DrTM+R", c, RunTpccDrtmR(cfg));
+    }
+    for (uint32_t c : kCross) {
+      TpccBenchConfig cfg;
+      cfg.cross_no_pct = c;
+      cfg.txns_per_thread = 250;
+      cfg.replication = true;
+      PrintTpccRow("DrTM+R=3", c, RunTpccDrtmR(cfg));
+    }
+    for (uint32_t c : kCross) {
+      TpccBenchConfig cfg;
+      cfg.cross_no_pct = c;
+      cfg.txns_per_thread = 150;
+      PrintTpccRow("DrTM", c, RunTpccDrTm(cfg));
+    }
+    return 0;
+  });
 }

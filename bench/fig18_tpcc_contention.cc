@@ -7,24 +7,24 @@
 
 int main(int argc, char** argv) {
   using namespace drtmr::bench;
-  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
-  const uint32_t kThreads[] = {1, 2, 4, 8, 10, 12, 16};
-  PrintHeader("Fig.18  TPC-C high contention: 1 warehouse/machine (6 machines)",
-              "system      threads    throughput");
-  for (uint32_t t : kThreads) {
-    TpccBenchConfig cfg;
-    cfg.threads = t;
-    cfg.warehouses_per_node = 1;  // contention grows with threads
-    cfg.txns_per_thread = 200;
-    PrintTpccRow("DrTM+R", t, RunTpccDrtmR(cfg));
-  }
-  for (uint32_t t : kThreads) {
-    TpccBenchConfig cfg;
-    cfg.threads = t;
-    cfg.warehouses_per_node = 1;
-    cfg.txns_per_thread = 200;
-    PrintTpccRow("DrTM", t, RunTpccDrTm(cfg));
-  }
-  EmitObs(obs_opt);
-  return 0;
+  return RunMain(argc, argv, {"fig18_tpcc_contention", "tpcc"}, [](int, char**) {
+    const uint32_t kThreads[] = {1, 2, 4, 8, 10, 12, 16};
+    PrintHeader("Fig.18  TPC-C high contention: 1 warehouse/machine (6 machines)",
+                "system      threads    throughput");
+    for (uint32_t t : kThreads) {
+      TpccBenchConfig cfg;
+      cfg.threads = t;
+      cfg.warehouses_per_node = 1;  // contention grows with threads
+      cfg.txns_per_thread = 200;
+      PrintTpccRow("DrTM+R", t, RunTpccDrtmR(cfg));
+    }
+    for (uint32_t t : kThreads) {
+      TpccBenchConfig cfg;
+      cfg.threads = t;
+      cfg.warehouses_per_node = 1;
+      cfg.txns_per_thread = 200;
+      PrintTpccRow("DrTM", t, RunTpccDrTm(cfg));
+    }
+    return 0;
+  });
 }

@@ -6,29 +6,29 @@
 
 int main(int argc, char** argv) {
   using namespace drtmr::bench;
-  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
-  PrintHeader("Fig.19  TPC-C throughput vs warehouses/machine (6 machines x 8 threads)",
-              "system      wh/node    throughput");
-  for (uint32_t wpn : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-    TpccBenchConfig cfg;
-    cfg.warehouses_per_node = wpn;
-    cfg.customers_per_district = 100;  // keep load time and memory in check
-    cfg.items = 2000;
-    cfg.memory_mb = wpn >= 32 ? 256 : 96;
-    cfg.txns_per_thread = 200;
-    PrintTpccRow("DrTM+R", wpn, RunTpccDrtmR(cfg));
-  }
-  for (uint32_t wpn : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-    TpccBenchConfig cfg;
-    cfg.warehouses_per_node = wpn;
-    cfg.customers_per_district = 100;
-    cfg.items = 2000;
-    cfg.memory_mb = wpn >= 32 ? 256 : 96;
-    cfg.log_mb = 8;
-    cfg.txns_per_thread = 200;
-    cfg.replication = true;
-    PrintTpccRow("DrTM+R=3", wpn, RunTpccDrtmR(cfg));
-  }
-  EmitObs(obs_opt);
-  return 0;
+  return RunMain(argc, argv, {"fig19_tpcc_datasize", "tpcc"}, [](int, char**) {
+    PrintHeader("Fig.19  TPC-C throughput vs warehouses/machine (6 machines x 8 threads)",
+                "system      wh/node    throughput");
+    for (uint32_t wpn : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      TpccBenchConfig cfg;
+      cfg.warehouses_per_node = wpn;
+      cfg.customers_per_district = 100;  // keep load time and memory in check
+      cfg.items = 2000;
+      cfg.memory_mb = wpn >= 32 ? 256 : 96;
+      cfg.txns_per_thread = 200;
+      PrintTpccRow("DrTM+R", wpn, RunTpccDrtmR(cfg));
+    }
+    for (uint32_t wpn : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      TpccBenchConfig cfg;
+      cfg.warehouses_per_node = wpn;
+      cfg.customers_per_district = 100;
+      cfg.items = 2000;
+      cfg.memory_mb = wpn >= 32 ? 256 : 96;
+      cfg.log_mb = 8;
+      cfg.txns_per_thread = 200;
+      cfg.replication = true;
+      PrintTpccRow("DrTM+R=3", wpn, RunTpccDrtmR(cfg));
+    }
+    return 0;
+  });
 }

@@ -23,7 +23,7 @@ using namespace drtmr;
 using Clock = std::chrono::steady_clock;
 
 int main(int argc, char** argv) {
-  const bench::ObsOptions obs_opt = bench::ParseObsArgs(argc, argv);
+  return bench::RunMain(argc, argv, {"fig20_recovery", "tpcc"}, [](int, char**) {
   constexpr uint32_t kNodes = 6;
   constexpr uint32_t kThreads = 4;
   constexpr uint32_t kDead = 2;
@@ -223,6 +223,6 @@ int main(int argc, char** argv) {
   std::printf("pre-failure avg %.0f commits/bucket; steady-state after recovery %.0f (%.0f%% of "
               "peak; paper: ~80%%)\n",
               pre, post, pre > 0 ? 100.0 * post / pre : 0.0);
-  bench::EmitObs(obs_opt);
   return 0;
+  });
 }

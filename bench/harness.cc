@@ -9,10 +9,8 @@
 #include "src/baseline/drtm.h"
 #include "src/chk/protocol_analyzer.h"
 #include "src/baseline/silo.h"
-#include "src/cluster/coordinator.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
-#include "src/rep/primary_backup.h"
-#include "src/txn/transaction.h"
 
 namespace drtmr::bench {
 
@@ -101,7 +99,67 @@ void PrintEngineStats(const txn::TxnStats& st, const sim::HtmEngine::Stats& htm)
       (unsigned long long)htm.aborts_io);
 }
 
+RunInfo g_run_info;
+
+// Escapes `s` minimally for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+// Writes the self-describing bench JSON (DESIGN.md §12): schema_version, the
+// run-config header, the merged metrics snapshot, and the slow-txn flight
+// recorder. The gate (scripts/bench_gate.py) consumes exactly this shape.
+bool WriteBenchJson(const std::string& path, const obs::Snapshot& snap,
+                    const std::vector<std::pair<std::string, double>>& results,
+                    const std::vector<std::pair<std::string, double>>& tolerances) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const RunInfo& run = g_run_info;
+  std::fprintf(f,
+               "{\n\"schema_version\": %u,\n\"run\": {\"bench\": \"%s\", \"workload\": "
+               "\"%s\", \"profile\": \"%s\", \"machines\": %u, \"threads\": %u, "
+               "\"logical_nodes\": %u, \"replication\": %s, \"seed\": %llu, \"git\": "
+               "\"%s\", \"notes\": \"%s\"},\n\"results\": {",
+               kBenchSchemaVersion, JsonEscape(run.bench).c_str(),
+               JsonEscape(run.workload).c_str(), JsonEscape(run.profile).c_str(),
+               run.machines, run.threads, run.logical_nodes,
+               run.replication ? "true" : "false", (unsigned long long)run.seed,
+               JsonEscape(GitDescribe()).c_str(), JsonEscape(run.notes).c_str());
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(f, "%s\"%s\": %.6f", i == 0 ? "" : ", ",
+                 JsonEscape(results[i].first).c_str(), results[i].second);
+  }
+  std::fprintf(f, "},\n");
+  if (!tolerances.empty()) {
+    std::fprintf(f, "\"tolerances\": {");
+    for (size_t i = 0; i < tolerances.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %.6f", i == 0 ? "" : ", ",
+                   JsonEscape(tolerances[i].first).c_str(), tolerances[i].second);
+    }
+    std::fprintf(f, "},\n");
+  }
+  std::fprintf(f, "\"metrics\": ");
+  snap.WriteJson(f);
+  std::fprintf(f, ",\n\"flight_recorder\": ");
+  obs::FlightRecorder::Global().WriteJson(f);
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  return true;
+}
 
 DriverResult RunTpccDrtmR(const TpccBenchConfig& cfg) {
   TpccStack stack(cfg, cfg.threads);
@@ -189,62 +247,96 @@ DriverResult RunTpccSilo(const TpccBenchConfig& config) {
                      });
 }
 
-DriverResult RunSmallBankDrtmR(const SmallBankBenchConfig& cfg) {
-  cluster::ClusterConfig ccfg;
+SmallBankStack::SmallBankStack(const SmallBankBenchConfig& cfg) {
   ccfg.num_nodes = cfg.machines;
   ccfg.workers_per_node = cfg.threads;
   ccfg.memory_bytes = cfg.memory_mb << 20;
   ccfg.log_bytes = cfg.log_mb << 20;
-  cluster::Cluster cluster(ccfg);
-  store::Catalog catalog(&cluster);
-  cluster::PartitionMap pmap(cfg.machines);
-  cluster::Coordinator coordinator;
+  cluster = std::make_unique<cluster::Cluster>(ccfg);
+  catalog = std::make_unique<store::Catalog>(cluster.get());
+  pmap = std::make_unique<cluster::PartitionMap>(cfg.machines);
+  coordinator = std::make_unique<cluster::Coordinator>();
   for (uint32_t i = 0; i < cfg.machines; ++i) {
-    coordinator.Join(i, 0, ~0ull >> 2);
+    coordinator->Join(i, 0, ~0ull >> 2);
   }
-  std::unique_ptr<rep::PrimaryBackupReplicator> replicator;
   if (cfg.replication) {
     rep::RepConfig rcfg;
     rcfg.replicas = std::min<uint32_t>(3, cfg.machines);
-    replicator = std::make_unique<rep::PrimaryBackupReplicator>(&cluster, rcfg);
+    replicator = std::make_unique<rep::PrimaryBackupReplicator>(cluster.get(), rcfg);
   }
   txn::TxnConfig tcfg;
   tcfg.replication = cfg.replication;
   tcfg.replicas = cfg.replication ? 3 : 1;
-  txn::TxnEngine engine(&cluster, &catalog, tcfg, &coordinator, replicator.get());
+  engine = std::make_unique<txn::TxnEngine>(cluster.get(), catalog.get(), tcfg,
+                                            coordinator.get(), replicator.get());
 
   workload::SmallBankConfig sc;
   sc.accounts_per_node = cfg.accounts_per_node;
   sc.hot_accounts = cfg.hot_accounts;
   sc.cross_machine_pct = cfg.cross_pct;
-  workload::SmallBankWorkload bank(&engine, &pmap, sc);
-  bank.CreateTables();
-  bank.Load(replicator.get());
-  engine.StartServices();
+  bank = std::make_unique<workload::SmallBankWorkload>(engine.get(), pmap.get(), sc);
+  bank->CreateTables();
+  bank->Load(replicator.get());
+  engine->StartServices();
 
-  std::vector<std::unique_ptr<txn::Transaction>> txns;
-  std::vector<txn::Transaction*> by_slot(cfg.machines * cfg.threads);
+  by_slot.resize(cfg.machines * cfg.threads);
   for (uint32_t n = 0; n < cfg.machines; ++n) {
     for (uint32_t w = 0; w < cfg.threads; ++w) {
-      txns.push_back(std::make_unique<txn::Transaction>(&engine, cluster.node(n)->context(w)));
+      txns.push_back(std::make_unique<txn::Transaction>(engine.get(),
+                                                        cluster->node(n)->context(w)));
       by_slot[n * cfg.threads + w] = txns.back().get();
     }
   }
+}
+
+SmallBankStack::~SmallBankStack() { engine->StopServices(); }
+
+DriverResult SmallBankStack::Run(const SmallBankBenchConfig& cfg) {
   DriverOptions opt;
   opt.threads_per_node = cfg.threads;
   opt.txns_per_thread = cfg.txns_per_thread;
   opt.warmup_per_thread = cfg.warmup_per_thread;
   opt.max_txn_types = workload::kSmallBankTxnTypes;
-  DriverResult r = RunWorkload(&cluster, opt,
-                               [&](sim::ThreadContext* ctx, uint32_t n, uint32_t w,
-                                   FastRand* rng) {
-                                 return bank.RunOne(ctx, by_slot[n * cfg.threads + w], rng);
-                               });
-  engine.StopServices();
+  return RunWorkload(cluster.get(), opt,
+                     [&](sim::ThreadContext* ctx, uint32_t n, uint32_t w, FastRand* rng) {
+                       return bank->RunOne(ctx, by_slot[n * cfg.threads + w], rng);
+                     });
+}
+
+DriverResult RunSmallBankDrtmR(const SmallBankBenchConfig& cfg) {
+  SmallBankStack stack(cfg);
+  DriverResult r = stack.Run(cfg);
   if (cfg.print_stats) {
-    PrintEngineStats(engine.stats(), cluster.node(0)->htm()->stats());
+    PrintEngineStats(stack.engine->stats(), stack.cluster->node(0)->htm()->stats());
   }
   return r;
+}
+
+void SetRunInfo(const RunInfo& info) { g_run_info = info; }
+
+RunInfo& MutableRunInfo() { return g_run_info; }
+
+std::string GitDescribe() {
+  if (const char* env = std::getenv("DRTMR_GIT_DESCRIBE")) {
+    return env;
+  }
+  std::string out = "unknown";
+#if !defined(_WIN32)
+  if (std::FILE* p = ::popen("git describe --always --dirty 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+      std::string s(buf);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) {
+        s.pop_back();
+      }
+      if (!s.empty()) {
+        out = s;
+      }
+    }
+    ::pclose(p);
+  }
+#endif
+  return out;
 }
 
 ObsOptions ParseObsArgs(int argc, char** argv) {
@@ -261,6 +353,8 @@ ObsOptions ParseObsArgs(int argc, char** argv) {
       opt.trace_json = v;
     } else if (const char* v = value_of("--trace-events=")) {
       opt.trace_events_per_thread = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--slow-txns=")) {
+      opt.slow_txns = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (std::strcmp(a, "--print-stats") == 0) {
       opt.print_stats = true;
     } else if (std::strcmp(a, "--analyze") == 0) {
@@ -275,6 +369,7 @@ ObsOptions ParseObsArgs(int argc, char** argv) {
     if (!opt.trace_json.empty()) {
       obs::Registry::Global().EnableTrace(opt.trace_events_per_thread);
     }
+    obs::FlightRecorder::Global().Enable(opt.slow_txns);
   }
   if (opt.analyze) {
     chk::ProtocolAnalyzer::Global().Reset();
@@ -345,7 +440,7 @@ void EmitObs(const ObsOptions& opt) {
     }
   }
   if (!opt.metrics_json.empty()) {
-    if (snap.WriteJson(opt.metrics_json)) {
+    if (WriteBenchJson(opt.metrics_json, snap)) {
       std::printf("metrics json: %s\n", opt.metrics_json.c_str());
     } else {
       std::fprintf(stderr, "failed to write metrics json: %s\n", opt.metrics_json.c_str());
@@ -380,6 +475,18 @@ void EmitObs(const ObsOptions& opt) {
   }
 }
 
+int RunMain(int argc, char** argv, const BenchInfo& info,
+            const std::function<int(int argc, char** argv)>& body) {
+  RunInfo run;
+  run.bench = info.name;
+  run.workload = info.workload;
+  SetRunInfo(run);
+  const ObsOptions opt = ParseObsArgs(argc, argv);
+  const int rc = body(argc, argv);
+  EmitObs(opt);
+  return rc;
+}
+
 void PrintHeader(const char* title, const char* columns) {
   std::printf("\n=== %s ===\n%s\n", title, columns);
 }
@@ -388,6 +495,12 @@ void PrintTpccRow(const char* label, uint32_t x, const DriverResult& r) {
   std::printf("%-12s %4u  total %10s tps  new-order %10s tps  p50 %7.1fus  p99 %7.1fus\n", label,
               x, workload::FormatTps(r.ThroughputTps()).c_str(),
               workload::FormatTps(r.ThroughputTps(workload::kNewOrder)).c_str(),
+              r.latency.Percentile(50) / 1000.0, r.latency.Percentile(99) / 1000.0);
+}
+
+void PrintSmallBankRow(const char* label, uint32_t x, const DriverResult& r) {
+  std::printf("%-12s %4u  total %10s tps  p50 %7.1fus  p99 %7.1fus\n", label, x,
+              workload::FormatTps(r.ThroughputTps()).c_str(),
               r.latency.Percentile(50) / 1000.0, r.latency.Percentile(99) / 1000.0);
 }
 

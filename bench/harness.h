@@ -6,8 +6,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <string>
 
+#include "src/cluster/coordinator.h"
+#include "src/obs/metrics.h"
+#include "src/rep/primary_backup.h"
+#include "src/txn/transaction.h"
 #include "src/workload/driver.h"
 #include "src/workload/smallbank.h"
 #include "src/workload/tpcc.h"
@@ -52,12 +58,43 @@ struct SmallBankBenchConfig {
   bool print_stats = false;
 };
 
+// Self-description header stamped into every --metrics-json file (DESIGN.md
+// §12): what ran, at which shape, from which checkout — so a committed
+// BENCH_*.json is comparable by the regression gate without out-of-band
+// context. RunMain fills bench/workload; benches and the suite may overwrite
+// the shape fields before EmitObs runs.
+struct RunInfo {
+  std::string bench;     // binary or suite-entry name
+  std::string workload;  // tpcc | smallbank | transfer | mixed
+  std::string profile;   // full | smoke (empty for ad-hoc runs)
+  uint32_t machines = 0;
+  uint32_t threads = 0;
+  uint32_t logical_nodes = 0;
+  bool replication = false;
+  uint64_t seed = 0;
+  std::string notes;
+};
+
+// Process-wide run info consumed by EmitObs. SetRunInfo replaces it wholesale.
+void SetRunInfo(const RunInfo& info);
+RunInfo& MutableRunInfo();
+
+// `git describe --always --dirty` of the working tree, or "unknown" when git
+// (or the repo) is unavailable. Override with DRTMR_GIT_DESCRIBE in the
+// environment (CI stamps the exact ref this way).
+std::string GitDescribe();
+
 // Observability plumbing shared by every bench binary (DESIGN.md
 // "Observability"). ParseObsArgs recognizes:
 //   --metrics-json=<path>   write a merged metrics snapshot as JSON
+//                           (schema_version + run header + metrics + the
+//                           slow-txn flight recorder; DESIGN.md §12)
 //   --trace-json=<path>     write txn-lifecycle events as a Chrome
 //                           trace_event array (load at chrome://tracing)
 //   --trace-events=<n>      per-thread trace ring capacity (default 16384)
+//   --slow-txns=<k>         flight-recorder depth: keep the k slowest
+//                           transactions with per-phase breakdown and abort
+//                           trail (default 8; 0 disables)
 //   --print-stats           print the structured metrics summary to stdout
 //   --analyze               run under the protocol conformance analyzer
 //                           (src/chk/protocol_analyzer.h); violations are
@@ -72,6 +109,7 @@ struct ObsOptions {
   std::string metrics_json;
   std::string trace_json;
   uint32_t trace_events_per_thread = 1u << 14;
+  uint32_t slow_txns = 8;
   bool print_stats = false;
   bool analyze = false;
   std::string violations_json;
@@ -83,6 +121,59 @@ struct ObsOptions {
 
 ObsOptions ParseObsArgs(int argc, char** argv);
 void EmitObs(const ObsOptions& opt);
+
+// Version of the bench/metrics JSON envelope written by WriteBenchJson; bump
+// on any shape change so the gate refuses to compare across schemas.
+inline constexpr uint32_t kBenchSchemaVersion = 2;
+
+// Writes the full self-describing bench JSON envelope (run header + headline
+// results + metrics snapshot + flight recorder) to `path`. Used by EmitObs
+// for --metrics-json= and by the suite for each BENCH_<name>.json. `results`
+// holds the gated scalars; by convention keys ending in `_tps` are
+// higher-is-better and keys ending in `_ns` are lower-is-better — anything
+// else is informational (scripts/bench_gate.py). `tolerances` holds per-key
+// gate-tolerance overrides (fractional, e.g. 0.35) for results whose measured
+// run-to-run noise exceeds the gate's default 5% — the suite declares them
+// per entry so --regen keeps them in the committed baseline, and the gate
+// reads them from the *baseline* file only.
+bool WriteBenchJson(const std::string& path, const obs::Snapshot& snap,
+                    const std::vector<std::pair<std::string, double>>& results = {},
+                    const std::vector<std::pair<std::string, double>>& tolerances = {});
+
+// Shared entry point that replaces the ParseObsArgs/EmitObs boilerplate in
+// every bench main: parses the observability flags, stamps the run header,
+// runs `body`, then emits the requested artifacts. The body receives the
+// original argc/argv (obs flags included; positional parsers should skip
+// arguments starting with "--").
+struct BenchInfo {
+  const char* name;      // RunInfo::bench
+  const char* workload;  // RunInfo::workload
+};
+int RunMain(int argc, char** argv, const BenchInfo& info,
+            const std::function<int(int argc, char** argv)>& body);
+
+// A fully-wired SmallBank cluster (cluster, catalog, partition map,
+// coordinator, optional 3-way replicator, engine, loaded workload) with one
+// transaction slot per (node, worker). RunSmallBankDrtmR builds one per run;
+// the suite's recovery benchmark keeps a stack alive across a kill/recover
+// cycle (bench/suite.cc).
+struct SmallBankStack {
+  explicit SmallBankStack(const SmallBankBenchConfig& cfg);
+  ~SmallBankStack();
+
+  workload::DriverResult Run(const SmallBankBenchConfig& cfg);
+
+  cluster::ClusterConfig ccfg;
+  std::unique_ptr<cluster::Cluster> cluster;
+  std::unique_ptr<store::Catalog> catalog;
+  std::unique_ptr<cluster::PartitionMap> pmap;
+  std::unique_ptr<cluster::Coordinator> coordinator;
+  std::unique_ptr<rep::PrimaryBackupReplicator> replicator;
+  std::unique_ptr<txn::TxnEngine> engine;
+  std::unique_ptr<workload::SmallBankWorkload> bank;
+  std::vector<std::unique_ptr<txn::Transaction>> txns;
+  std::vector<txn::Transaction*> by_slot;
+};
 
 // DrTM+R (optionally with 3-way replication).
 workload::DriverResult RunTpccDrtmR(const TpccBenchConfig& config);
@@ -96,6 +187,7 @@ workload::DriverResult RunTpccSilo(const TpccBenchConfig& config);  // machines 
 // Row formatting for the reproduction tables.
 void PrintHeader(const char* title, const char* columns);
 void PrintTpccRow(const char* label, uint32_t x, const workload::DriverResult& r);
+void PrintSmallBankRow(const char* label, uint32_t x, const workload::DriverResult& r);
 
 }  // namespace drtmr::bench
 

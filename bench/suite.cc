@@ -1,0 +1,289 @@
+#include "bench/suite.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/chk/torture.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+#include "src/rep/recovery.h"
+
+namespace drtmr::bench {
+
+namespace {
+
+using Results = std::vector<std::pair<std::string, double>>;
+
+void AddLatencyResults(const workload::DriverResult& r, Results* out) {
+  out->emplace_back("total_tps", r.ThroughputTps());
+  // Interpolated percentiles: the bucket-upper-bound Percentile() jumps a
+  // whole log-bucket width when the tail straddles a boundary, which reads as
+  // a fake 30% regression at the gate.
+  out->emplace_back("p50_ns", r.latency.PercentileInterpolated(50));
+  out->emplace_back("p99_ns", r.latency.PercentileInterpolated(99));
+}
+
+void RunSmallBankEntry(bool smoke, bool rep, Results* out) {
+  SmallBankBenchConfig cfg;
+  if (smoke) {
+    // 4 machines so with 3-way replication no node backs up every other —
+    // full backup fan-in (3 nodes, replicas=3) couples the tail latency to
+    // host scheduling hard enough to flake the 5% gate on small hosts.
+    cfg.machines = 4;
+    cfg.threads = 2;
+    cfg.accounts_per_node = 5000;
+    cfg.txns_per_thread = 4000;
+    cfg.warmup_per_thread = 200;
+    cfg.memory_mb = 24;
+    cfg.log_mb = 4;
+  } else {
+    cfg.machines = 6;
+    cfg.threads = 16;  // the paper's peak point (Fig. 14/16 right edge)
+    cfg.txns_per_thread = 3000;
+  }
+  cfg.replication = rep;
+  RunInfo& info = MutableRunInfo();
+  info.machines = cfg.machines;
+  info.threads = cfg.threads;
+  info.logical_nodes = cfg.machines;
+  info.replication = rep;
+  AddLatencyResults(RunSmallBankDrtmR(cfg), out);
+}
+
+void RunTpccEntry(bool smoke, bool rep, Results* out) {
+  TpccBenchConfig cfg;
+  if (smoke) {
+    // Still CI-fast, but enough transactions that the log-bucketed p99 and
+    // the throughput settle well inside the gate's 5% tolerance.
+    cfg.machines = 4;
+    cfg.threads = 4;
+    cfg.txns_per_thread = 5000;
+    cfg.warmup_per_thread = 250;
+    cfg.customers_per_district = 100;
+    cfg.items = 2000;
+    cfg.memory_mb = 32;
+    cfg.log_mb = 4;
+  } else {
+    cfg.txns_per_thread = 2000;  // 6 machines x 8 threads (Fig. 10 right edge)
+  }
+  cfg.replication = rep;
+  RunInfo& info = MutableRunInfo();
+  info.machines = cfg.machines;
+  info.threads = cfg.threads;
+  info.logical_nodes = cfg.machines * cfg.logical_per_machine;
+  info.replication = rep;
+  const workload::DriverResult r = RunTpccDrtmR(cfg);
+  out->emplace_back("neworder_tps", r.ThroughputTps(workload::kNewOrder));
+  AddLatencyResults(r, out);
+}
+
+// Fig. 20's recovery cost, but on the virtual clock so it is gateable: run a
+// replicated SmallBank window to populate the backup logs, fail-stop one
+// machine, and charge RecoverAfterFailure to a survivor's tool context.
+void RunRecoveryEntry(bool smoke, Results* out) {
+  SmallBankBenchConfig cfg;
+  cfg.replication = true;
+  if (smoke) {
+    cfg.machines = 3;
+    cfg.threads = 2;
+    cfg.accounts_per_node = 2000;
+    cfg.txns_per_thread = 100;
+    cfg.warmup_per_thread = 10;
+    cfg.memory_mb = 24;
+    cfg.log_mb = 4;
+  } else {
+    cfg.machines = 6;
+    cfg.threads = 4;
+    cfg.accounts_per_node = 8000;
+    cfg.txns_per_thread = 200;
+    cfg.warmup_per_thread = 20;
+  }
+  RunInfo& info = MutableRunInfo();
+  info.machines = cfg.machines;
+  info.threads = cfg.threads;
+  info.logical_nodes = cfg.machines;
+  info.replication = true;
+
+  SmallBankStack stack(cfg);
+  (void)stack.Run(cfg);  // replicated traffic so the logs have entries to drain
+  const uint32_t dead = cfg.machines - 1;
+  const uint32_t host = 0;
+  stack.cluster->Kill(dead);
+  stack.coordinator->Remove(dead);
+  rep::RecoveryManager rm(stack.engine.get(), stack.replicator.get(),
+                          stack.coordinator.get());
+  sim::ThreadContext* ctx = stack.cluster->node(host)->tool_context();
+  const uint64_t t0 = ctx->clock.now_ns();
+  const rep::RecoveryReport report = rm.RecoverAfterFailure(ctx, dead, host, stack.pmap.get());
+  out->emplace_back("recovery_ns", static_cast<double>(ctx->clock.now_ns() - t0));
+  out->emplace_back("records_rehosted", static_cast<double>(report.records_rehosted));
+  out->emplace_back("log_entries_drained", static_cast<double>(report.log_entries_drained));
+  out->emplace_back("primaries_patched", static_cast<double>(report.primaries_patched));
+}
+
+// Torture wall time: the only wall-clock entry; _ms keys are never gated, so
+// this tracks checker throughput without flaking CI. torture_ok = 1 is
+// required for the suite to pass.
+bool RunTortureEntry(bool smoke, Results* out) {
+  using Clock = std::chrono::steady_clock;
+  chk::TortureOptions topt;
+  topt.shape.nodes = smoke ? 3 : 4;
+  topt.shape.workers = 2;
+  topt.shape.replicas = 3;
+  topt.shape.keys_per_node = 8;
+  topt.shape.txns_per_worker = smoke ? 60 : 200;
+  RunInfo& info = MutableRunInfo();
+  info.machines = topt.shape.nodes;
+  info.threads = topt.shape.workers;
+  info.logical_nodes = topt.shape.nodes;
+  info.replication = true;
+
+  const chk::TorturePlanKind kinds[] = {chk::TorturePlanKind::kDelay,
+                                        chk::TorturePlanKind::kKill};
+  const auto t0 = Clock::now();
+  uint64_t committed = 0;
+  uint64_t runs = 0;
+  bool all_ok = true;
+  for (chk::TorturePlanKind kind : kinds) {
+    for (uint64_t seed = 1; seed <= (smoke ? 1u : 2u); ++seed) {
+      topt.seed = seed;
+      topt.plan_kind = kind;
+      const chk::TortureResult r = chk::RunTorture(topt);
+      committed += r.committed;
+      runs++;
+      if (!r.ok) {
+        std::fprintf(stderr, "[suite] torture FAILED (%s seed=%llu): %s\n",
+                     chk::TorturePlanKindName(kind), (unsigned long long)seed,
+                     r.Summary().c_str());
+        all_ok = false;
+      }
+    }
+  }
+  const double wall_ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count() /
+      1000.0;
+  out->emplace_back("torture_wall_ms", wall_ms);
+  out->emplace_back("torture_runs", static_cast<double>(runs));
+  out->emplace_back("torture_committed", static_cast<double>(committed));
+  out->emplace_back("torture_ok", all_ok ? 1.0 : 0.0);
+  return all_ok;
+}
+
+// Per-key median across repetitions of one entry. A single rep can be
+// perturbed by host scheduling (replication ack waits couple virtual time to
+// real interleavings); the median of three discards the outlier run, which is
+// what keeps the committed baselines reproducible inside the gate tolerance.
+Results MedianResults(const std::vector<Results>& reps) {
+  Results out;
+  for (size_t i = 0; i < reps[0].size(); ++i) {
+    std::vector<double> vals;
+    vals.reserve(reps.size());
+    for (const Results& r : reps) {
+      vals.push_back(r[i].second);
+    }
+    std::sort(vals.begin(), vals.end());
+    out.emplace_back(reps[0][i].first, vals[vals.size() / 2]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> SuiteEntryNames() {
+  return {"smallbank_peak", "smallbank_rep", "tpcc_neworder", "tpcc_rep",
+          "recovery",       "torture"};
+}
+
+std::vector<SuiteEntryResult> RunSuite(const SuiteOptions& opt) {
+  std::vector<SuiteEntryResult> out;
+  for (const std::string& name : SuiteEntryNames()) {
+    if (!opt.only.empty() &&
+        std::find(opt.only.begin(), opt.only.end(), name) == opt.only.end()) {
+      continue;
+    }
+    SuiteEntryResult er;
+    er.name = name;
+    er.file = opt.out_dir + "/BENCH_" + name + (opt.smoke ? ".smoke" : "") + ".json";
+
+    // Fresh, self-contained telemetry per entry.
+    obs::Registry::Global().Reset();
+    obs::Registry::Global().Enable(true);
+    obs::FlightRecorder::Global().Reset();
+    obs::FlightRecorder::Global().Enable(opt.slow_txns);
+    RunInfo info;
+    info.bench = name;
+    info.profile = opt.smoke ? "smoke" : "full";
+    SetRunInfo(info);
+
+    std::printf("[suite] %s (%s) ...\n", name.c_str(), info.profile.c_str());
+    std::fflush(stdout);
+    bool run_ok = true;
+    if (name == "torture") {
+      // Wall-clock entry: one rep; its gated key is torture_ok only.
+      MutableRunInfo().workload = "transfer";
+      run_ok = RunTortureEntry(opt.smoke, &er.results);
+    } else {
+      constexpr int kReps = 3;
+      std::vector<Results> reps;
+      for (int rep = 0; rep < kReps; ++rep) {
+        Results one;
+        if (name == "smallbank_peak") {
+          MutableRunInfo().workload = "smallbank";
+          RunSmallBankEntry(opt.smoke, /*rep=*/false, &one);
+        } else if (name == "smallbank_rep") {
+          MutableRunInfo().workload = "smallbank";
+          RunSmallBankEntry(opt.smoke, /*rep=*/true, &one);
+        } else if (name == "tpcc_neworder") {
+          MutableRunInfo().workload = "tpcc";
+          RunTpccEntry(opt.smoke, /*rep=*/false, &one);
+        } else if (name == "tpcc_rep") {
+          MutableRunInfo().workload = "tpcc";
+          RunTpccEntry(opt.smoke, /*rep=*/true, &one);
+        } else if (name == "recovery") {
+          MutableRunInfo().workload = "smallbank";
+          RunRecoveryEntry(opt.smoke, &one);
+        }
+        reps.push_back(std::move(one));
+      }
+      er.results = MedianResults(reps);
+    }
+
+    // Per-key gate-tolerance overrides, written into the baseline so --regen
+    // keeps them. smallbank_rep's p99 is bimodal (~3.4µs vs ~4.2µs across
+    // runs, a ~30% jump): the replicated 1-read/1-write mix puts almost
+    // exactly 1% of transactions into the NIC-queued replication tail, so the
+    // p99 rank sits on the cliff between the fast mode and the queued mode
+    // and flips between them run to run. Median-of-3 doesn't settle a 40/60
+    // coin; a wider per-key tolerance is the honest gate.
+    std::vector<std::pair<std::string, double>> tolerances;
+    if (name == "smallbank_rep") {
+      tolerances.emplace_back("p99_ns", 0.40);
+      // Throughput at the full-profile shape (6x16, replicated) couples to
+      // host scheduling through backup ack waits: measured run-to-run spread
+      // is ~7% around the mode with occasional faster-mode outliers, while
+      // p50/p99 stay within 1%. (The smoke shape sits near 2%.)
+      tolerances.emplace_back("total_tps", 0.15);
+    }
+
+    const obs::Snapshot snap = obs::Registry::Global().Collect();
+    const bool wrote = WriteBenchJson(er.file, snap, er.results, tolerances);
+    if (!wrote) {
+      std::fprintf(stderr, "[suite] failed to write %s\n", er.file.c_str());
+    }
+    er.ok = run_ok && wrote;
+    std::printf("[suite] %-16s %s ", name.c_str(), er.ok ? "ok  " : "FAIL");
+    for (const auto& kv : er.results) {
+      std::printf(" %s=%.1f", kv.first.c_str(), kv.second);
+    }
+    std::printf("  -> %s\n", er.file.c_str());
+    std::fflush(stdout);
+    out.push_back(std::move(er));
+  }
+  obs::Registry::Global().Enable(false);
+  obs::FlightRecorder::Global().Enable(0);
+  return out;
+}
+
+}  // namespace drtmr::bench

@@ -1,0 +1,49 @@
+// The standard bench suite (DESIGN.md §12): the fixed set of workload points
+// whose BENCH_<name>.json results are committed at the repo root and gated by
+// scripts/bench_gate.py on every change. Entries cover the paper's headline
+// numbers (SmallBank peak, TPC-C new-order, both replicated variants), the
+// recovery path (Fig. 20's virtual-time cost), and a torture wall-time point
+// so correctness-checking throughput is tracked too.
+//
+// Every entry runs on the virtual clock (deterministic up to scheduler
+// interleavings; well inside the gate's 5% tolerance) except `torture`, whose
+// wall_ms result is informational only — the gate never fails on it.
+#ifndef DRTMR_BENCH_SUITE_H_
+#define DRTMR_BENCH_SUITE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace drtmr::bench {
+
+struct SuiteOptions {
+  // smoke: trimmed shapes for CI (minutes, not hours); results land in
+  // BENCH_<name>.smoke.json so full and smoke baselines never collide.
+  bool smoke = false;
+  std::string out_dir = ".";
+  std::vector<std::string> only;  // entry names to run; empty = all
+  uint32_t slow_txns = 8;         // flight-recorder depth per entry
+};
+
+struct SuiteEntryResult {
+  std::string name;
+  std::string file;  // BENCH json written for this entry
+  bool ok = false;   // run completed and the json was written
+  // Headline scalars, also embedded in the json under "results". Keys ending
+  // in _tps are higher-is-better, _ns lower-is-better; others informational.
+  std::vector<std::pair<std::string, double>> results;
+};
+
+// Names of all suite entries, in run order.
+std::vector<std::string> SuiteEntryNames();
+
+// Runs the selected entries, writing one BENCH json per entry into
+// opt.out_dir. Resets the metrics registry and flight recorder around each
+// entry so the per-entry json is self-contained.
+std::vector<SuiteEntryResult> RunSuite(const SuiteOptions& opt);
+
+}  // namespace drtmr::bench
+
+#endif  // DRTMR_BENCH_SUITE_H_

@@ -12,47 +12,47 @@ using namespace drtmr;
 
 int main(int argc, char** argv) {
   using namespace drtmr::bench;
-  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
-  {
-    TpccBenchConfig cfg;
-    cfg.machines = 3;
-    cfg.threads = 4;
-    cfg.txns_per_thread = 2000;
-    const auto r = RunTpccDrtmR(cfg);
-    PrintHeader("Table 5 (TPC-C): generated standard mix vs specification",
-                "type          spec   generated  pattern");
-    static const char* kNames[] = {"new-order", "payment", "order-status", "delivery",
-                                   "stock-level"};
-    static const int kSpec[] = {45, 43, 4, 4, 4};
-    static const char* kPattern[] = {"d/rw (1% cross items)", "d/rw (15% cross customer)",
-                                     "l/ro", "l/rw", "l/ro"};
-    for (uint32_t t = 0; t < workload::kTpccTxnTypes; ++t) {
-      std::printf("%-12s  %3d%%   %6.1f%%   %s\n", kNames[t], kSpec[t],
-                  100.0 * static_cast<double>(r.committed_by_type[t]) /
-                      static_cast<double>(r.committed),
-                  kPattern[t]);
+  return RunMain(argc, argv, {"table5_mix", "tpcc+smallbank"}, [](int, char**) {
+    {
+      TpccBenchConfig cfg;
+      cfg.machines = 3;
+      cfg.threads = 4;
+      cfg.txns_per_thread = 2000;
+      const auto r = RunTpccDrtmR(cfg);
+      PrintHeader("Table 5 (TPC-C): generated standard mix vs specification",
+                  "type          spec   generated  pattern");
+      static const char* kNames[] = {"new-order", "payment", "order-status", "delivery",
+                                     "stock-level"};
+      static const int kSpec[] = {45, 43, 4, 4, 4};
+      static const char* kPattern[] = {"d/rw (1% cross items)", "d/rw (15% cross customer)",
+                                       "l/ro", "l/rw", "l/ro"};
+      for (uint32_t t = 0; t < workload::kTpccTxnTypes; ++t) {
+        std::printf("%-12s  %3d%%   %6.1f%%   %s\n", kNames[t], kSpec[t],
+                    100.0 * static_cast<double>(r.committed_by_type[t]) /
+                        static_cast<double>(r.committed),
+                    kPattern[t]);
+      }
     }
-  }
-  {
-    SmallBankBenchConfig cfg;
-    cfg.machines = 3;
-    cfg.threads = 4;
-    cfg.txns_per_thread = 2000;
-    cfg.accounts_per_node = 5000;
-    const auto r = RunSmallBankDrtmR(cfg);
-    PrintHeader("Table 5 (SmallBank): generated mix vs specification",
-                "type          spec   generated  pattern");
-    static const char* kNames[] = {"send-payment", "balance", "deposit-check",
-                                   "withdraw-check", "transfer-save", "amalgamate"};
-    static const int kSpec[] = {25, 15, 15, 15, 15, 15};
-    static const char* kPattern[] = {"d/rw", "l/ro", "l/rw", "l/rw", "l/rw", "d/rw"};
-    for (uint32_t t = 0; t < workload::kSmallBankTxnTypes; ++t) {
-      std::printf("%-14s %3d%%   %6.1f%%   %s\n", kNames[t], kSpec[t],
-                  100.0 * static_cast<double>(r.committed_by_type[t]) /
-                      static_cast<double>(r.committed),
-                  kPattern[t]);
+    {
+      SmallBankBenchConfig cfg;
+      cfg.machines = 3;
+      cfg.threads = 4;
+      cfg.txns_per_thread = 2000;
+      cfg.accounts_per_node = 5000;
+      const auto r = RunSmallBankDrtmR(cfg);
+      PrintHeader("Table 5 (SmallBank): generated mix vs specification",
+                  "type          spec   generated  pattern");
+      static const char* kNames[] = {"send-payment", "balance", "deposit-check",
+                                     "withdraw-check", "transfer-save", "amalgamate"};
+      static const int kSpec[] = {25, 15, 15, 15, 15, 15};
+      static const char* kPattern[] = {"d/rw", "l/ro", "l/rw", "l/rw", "l/rw", "d/rw"};
+      for (uint32_t t = 0; t < workload::kSmallBankTxnTypes; ++t) {
+        std::printf("%-14s %3d%%   %6.1f%%   %s\n", kNames[t], kSpec[t],
+                    100.0 * static_cast<double>(r.committed_by_type[t]) /
+                        static_cast<double>(r.committed),
+                    kPattern[t]);
+      }
     }
-  }
-  EmitObs(obs_opt);
-  return 0;
+    return 0;
+  });
 }

@@ -25,17 +25,17 @@ void PrintLatencies(const char* label, const workload::DriverResult& r) {
 
 int main(int argc, char** argv) {
   using namespace drtmr::bench;
-  const ObsOptions obs_opt = ParseObsArgs(argc, argv);
-  PrintHeader("Table 6  impact of 3-way replication (TPC-C, 6 machines x 8 threads)", "");
-  TpccBenchConfig cfg;
-  cfg.txns_per_thread = 400;
-  const auto base = RunTpccDrtmR(cfg);
-  cfg.replication = true;
-  const auto rep = RunTpccDrtmR(cfg);
-  PrintLatencies("DrTM+R  ", base);
-  PrintLatencies("DrTM+R=3", rep);
-  std::printf("replication overhead: %.1f%%\n",
-              100.0 * (1.0 - rep.ThroughputTps() / base.ThroughputTps()));
-  EmitObs(obs_opt);
-  return 0;
+  return RunMain(argc, argv, {"table6_replication", "tpcc"}, [](int, char**) {
+    PrintHeader("Table 6  impact of 3-way replication (TPC-C, 6 machines x 8 threads)", "");
+    TpccBenchConfig cfg;
+    cfg.txns_per_thread = 400;
+    const auto base = RunTpccDrtmR(cfg);
+    cfg.replication = true;
+    const auto rep = RunTpccDrtmR(cfg);
+    PrintLatencies("DrTM+R  ", base);
+    PrintLatencies("DrTM+R=3", rep);
+    std::printf("replication overhead: %.1f%%\n",
+                100.0 * (1.0 - rep.ThroughputTps() / base.ThroughputTps()));
+    return 0;
+  });
 }

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Perf regression gate over the committed BENCH_*.json baselines.
+
+Compares a directory of freshly produced bench JSONs (bench_suite output, or
+any --metrics-json= file written through bench::WriteBenchJson) against the
+committed baselines and fails when a gated headline metric regresses past the
+tolerance:
+
+  * keys ending in `_tps`  are higher-is-better: fail if current falls more
+    than --tolerance below baseline;
+  * keys ending in `_ns`   are lower-is-better:  fail if current rises more
+    than --tolerance above baseline;
+  * `torture_ok` must not drop from 1 to 0 (correctness, not perf);
+  * every other key is informational;
+  * a baseline's "tolerances" object overrides the tolerance per key (for
+    metrics with measured noise beyond the default, e.g. a bimodal p99).
+
+For each failing entry the gate names the regressed *phase*: it diffs the
+per-phase histograms (metrics.phases) between baseline and current, ranks
+phases by growth in total virtual time (count x mean) and p99, and prints the
+worst offender together with the slowest transactions from the current run's
+flight recorder (dominant phase + abort trail), so a red gate points at the
+protocol phase to look at rather than just a number.
+
+Exit codes: 0 ok, 1 regression (or missing/corrupt current file), 2 usage.
+
+Usage:
+  scripts/bench_gate.py --baseline-dir=. --current-dir=out \
+      [--profile=smoke|full] [--tolerance=0.05] [--report=gate_report.json]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+GATED_SUFFIXES = ("_tps", "_ns")
+
+
+def is_gated(key):
+    return key.endswith(GATED_SUFFIXES) or key == "torture_ok"
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def baseline_files(baseline_dir, profile):
+    suffix = ".smoke.json" if profile == "smoke" else ".json"
+    out = []
+    for path in sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json"))):
+        smoke = path.endswith(".smoke.json")
+        if (profile == "smoke") == smoke:
+            out.append(path)
+    return out, suffix
+
+
+def compare_results(base, cur, tolerance, overrides=None):
+    """Returns (deltas, failures) for one entry's results dicts.
+
+    `overrides` maps result keys to per-key tolerances declared by the suite
+    in the *baseline* file ("tolerances" object) for metrics whose measured
+    run-to-run noise exceeds the default — e.g. a bimodal p99 that flips
+    between two latency modes. Only the committed baseline is trusted for
+    overrides; a current run cannot loosen its own gate.
+    """
+    deltas = {}
+    failures = []
+    overrides = overrides or {}
+    for key, bval in base.items():
+        if key not in cur:
+            deltas[key] = {"base": bval, "cur": None, "ok": not is_gated(key)}
+            if is_gated(key):
+                failures.append(f"{key}: missing from current run")
+            continue
+        cval = cur[key]
+        delta_pct = ((cval - bval) / bval * 100.0) if bval else 0.0
+        tol = overrides.get(key, tolerance)
+        ok = True
+        if key == "torture_ok":
+            ok = cval >= bval
+        elif key.endswith("_tps") and bval > 0:
+            ok = cval >= bval * (1.0 - tol)
+        elif key.endswith("_ns") and bval > 0:
+            ok = cval <= bval * (1.0 + tol)
+        deltas[key] = {
+            "base": bval,
+            "cur": cval,
+            "delta_pct": round(delta_pct, 2),
+            "gated": is_gated(key),
+            "ok": ok,
+        }
+        if key in overrides:
+            deltas[key]["tolerance"] = tol
+        if not ok:
+            direction = "fell" if key.endswith("_tps") else "rose"
+            failures.append(f"{key} {direction} {abs(delta_pct):.1f}% "
+                            f"({bval:.0f} -> {cval:.0f})")
+    for key in cur:
+        if key not in base:
+            deltas[key] = {"base": None, "cur": cur[key], "ok": True, "new": True}
+    return deltas, failures
+
+
+def regressed_phases(base_metrics, cur_metrics):
+    """Ranks phases by regression between two metrics.phases dicts."""
+    base_phases = base_metrics.get("phases", {})
+    cur_phases = cur_metrics.get("phases", {})
+    ranked = []
+    for name, cur in cur_phases.items():
+        base = base_phases.get(name)
+        if not base:
+            continue
+        base_total = base.get("sum_ns", base.get("count", 0) * base.get("mean_ns", 0))
+        cur_total = cur.get("sum_ns", cur.get("count", 0) * cur.get("mean_ns", 0))
+        total_growth = ((cur_total - base_total) / base_total * 100.0) if base_total else 0.0
+        base_p99 = base.get("p99_ns", 0)
+        cur_p99 = cur.get("p99_ns", 0)
+        p99_growth = ((cur_p99 - base_p99) / base_p99 * 100.0) if base_p99 else 0.0
+        ranked.append({
+            "phase": name,
+            "total_ns_growth_pct": round(total_growth, 1),
+            "p99_ns_growth_pct": round(p99_growth, 1),
+            "base_p99_ns": base_p99,
+            "cur_p99_ns": cur_p99,
+        })
+    ranked.sort(key=lambda p: max(p["total_ns_growth_pct"], p["p99_ns_growth_pct"]),
+                reverse=True)
+    return ranked
+
+
+def slowest_txns(doc, limit=3):
+    out = []
+    for rec in doc.get("flight_recorder", [])[:limit]:
+        out.append({
+            "rank": rec.get("rank"),
+            "total_ns": rec.get("total_ns"),
+            "dominant_phase": rec.get("dominant_phase"),
+            "attempts": rec.get("attempts"),
+            "aborts": rec.get("aborts"),
+        })
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline-dir", required=True)
+    ap.add_argument("--current-dir", required=True)
+    ap.add_argument("--profile", choices=["smoke", "full"], default="smoke")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="relative tolerance on gated keys (default 0.05 = 5%%)")
+    ap.add_argument("--report", help="write the machine-readable delta report here")
+    args = ap.parse_args()
+
+    files, _ = baseline_files(args.baseline_dir, args.profile)
+    if not files:
+        print(f"bench_gate: no {args.profile} baselines under {args.baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    report = {
+        "tolerance": args.tolerance,
+        "profile": args.profile,
+        "baseline_dir": args.baseline_dir,
+        "current_dir": args.current_dir,
+        "entries": [],
+        "ok": True,
+    }
+    for base_path in files:
+        name = os.path.basename(base_path)
+        cur_path = os.path.join(args.current_dir, name)
+        entry = {"file": name, "status": "ok"}
+        report["entries"].append(entry)
+        try:
+            base_doc = load(base_path)
+        except (OSError, json.JSONDecodeError) as e:
+            entry.update(status="corrupt-baseline", error=str(e))
+            report["ok"] = False
+            print(f"FAIL {name}: corrupt baseline: {e}")
+            continue
+        if not os.path.exists(cur_path):
+            entry.update(status="missing")
+            report["ok"] = False
+            print(f"FAIL {name}: not produced by the current run")
+            continue
+        try:
+            cur_doc = load(cur_path)
+        except (OSError, json.JSONDecodeError) as e:
+            entry.update(status="corrupt-current", error=str(e))
+            report["ok"] = False
+            print(f"FAIL {name}: corrupt current file: {e}")
+            continue
+
+        base_schema = base_doc.get("schema_version")
+        cur_schema = cur_doc.get("schema_version")
+        if base_schema != cur_schema:
+            entry.update(status="schema-mismatch",
+                         base_schema=base_schema, cur_schema=cur_schema)
+            report["ok"] = False
+            print(f"FAIL {name}: schema_version {cur_schema} vs baseline {base_schema} "
+                  f"— regenerate the baseline, the shapes are not comparable")
+            continue
+
+        entry["bench"] = cur_doc.get("run", {}).get("bench")
+        deltas, failures = compare_results(base_doc.get("results", {}),
+                                           cur_doc.get("results", {}),
+                                           args.tolerance,
+                                           base_doc.get("tolerances", {}))
+        entry["deltas"] = deltas
+        if failures:
+            entry["status"] = "regression"
+            report["ok"] = False
+            phases = regressed_phases(base_doc.get("metrics", {}),
+                                      cur_doc.get("metrics", {}))
+            entry["regressed_phases"] = phases[:3]
+            entry["slowest_txns"] = slowest_txns(cur_doc)
+            print(f"FAIL {name}:")
+            for f in failures:
+                print(f"  {f}")
+            if phases:
+                worst = phases[0]
+                print(f"  regressed phase: {worst['phase']} "
+                      f"(total virtual time {worst['total_ns_growth_pct']:+.1f}%, "
+                      f"p99 {worst['base_p99_ns']} -> {worst['cur_p99_ns']} ns)")
+            for txn in entry["slowest_txns"]:
+                print(f"  slow txn #{txn['rank']}: {txn['total_ns']} ns, "
+                      f"dominant phase {txn['dominant_phase']}, "
+                      f"{txn['attempts']} attempts")
+        else:
+            gated = {k: v for k, v in deltas.items() if v.get("gated")}
+            summary = " ".join(f"{k}{v['delta_pct']:+.1f}%" for k, v in gated.items()
+                               if v.get("delta_pct") is not None)
+            print(f"ok   {name}: {summary}")
+
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=1)
+        print(f"report: {args.report}")
+    if not report["ok"]:
+        print("bench_gate: REGRESSION — see above (tolerance "
+              f"{args.tolerance * 100:.0f}%)")
+        return 1
+    print(f"bench_gate: all {len(files)} entries within "
+          f"{args.tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

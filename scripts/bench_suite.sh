@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs the standard bench suite and gates the result against the committed
+# BENCH_*.json baselines at the repo root (DESIGN.md §12).
+#
+# Usage: scripts/bench_suite.sh [smoke|full] [--regen] [--out-dir=DIR]
+#
+#   smoke (default) — CI profile: trimmed shapes, BENCH_<name>.smoke.json,
+#                     whole run in well under a minute of wall time.
+#   full            — the committed perf-trajectory profile (BENCH_<name>.json).
+#   --regen         — instead of gating, overwrite the baselines at the repo
+#                     root with this run's output (commit the diff on purpose,
+#                     with the perf change that explains it).
+#   --out-dir=DIR   — where the fresh run lands (default build/bench_out).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROFILE=smoke
+REGEN=0
+OUT_DIR=build/bench_out
+for arg in "$@"; do
+  case "$arg" in
+    smoke|full) PROFILE="$arg" ;;
+    --regen) REGEN=1 ;;
+    --out-dir=*) OUT_DIR="${arg#--out-dir=}" ;;
+    *) echo "usage: scripts/bench_suite.sh [smoke|full] [--regen] [--out-dir=DIR]" >&2; exit 2 ;;
+  esac
+done
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" --target bench_suite
+
+mkdir -p "$OUT_DIR"
+SMOKE_FLAG=""
+if [[ "$PROFILE" == smoke ]]; then
+  SMOKE_FLAG="--smoke"
+fi
+./build/bench/bench_suite $SMOKE_FLAG --out-dir="$OUT_DIR"
+
+if [[ "$REGEN" == 1 ]]; then
+  if [[ "$PROFILE" == smoke ]]; then
+    cp "$OUT_DIR"/BENCH_*.smoke.json .
+  else
+    for f in "$OUT_DIR"/BENCH_*.json; do
+      [[ "$f" == *.smoke.json ]] && continue
+      cp "$f" .
+    done
+  fi
+  echo "baselines regenerated from $OUT_DIR — review and commit the BENCH_*.json diff"
+  exit 0
+fi
+
+python3 scripts/bench_gate.py --baseline-dir=. --current-dir="$OUT_DIR" \
+  --profile="$PROFILE" --report="$OUT_DIR/gate_report.json"

@@ -9,10 +9,11 @@
 #   fast (default) — build + `ctest -L tier1 -LE slow`: the inner-loop cycle,
 #                    a couple of minutes.
 #   full           — build + the whole tier-1 gate (slow suites included) +
-#                    the lint wall (scripts/lint.sh) + a widened torture sweep
-#                    (protocol analyzer on) + ThreadSanitizer, AddressSanitizer
-#                    and UBSanitizer passes over the stress-labeled targets
-#                    with a small seed budget.
+#                    the lint wall (scripts/lint.sh) + the smoke bench suite
+#                    gated against the committed BENCH_*.smoke.json baselines +
+#                    a widened torture sweep (protocol analyzer on) +
+#                    ThreadSanitizer, AddressSanitizer and UBSanitizer passes
+#                    over the stress-labeled targets with a small seed budget.
 #
 # A failing randomized test prints its DRTMR_TEST_SEED; reproduce with
 #   DRTMR_TEST_SEED=<seed> ctest --test-dir build -R <test> --output-on-failure
@@ -53,6 +54,14 @@ echo "== full cycle: lint wall (scripts/lint.sh) =="
 
 echo "== full cycle: widened torture sweep (DRTMR_TORTURE_SEEDS=8) =="
 DRTMR_TORTURE_SEEDS=8 ctest --test-dir build --output-on-failure -j "$JOBS" -L stress
+
+echo "== full cycle: bench suite (smoke) against committed baselines =="
+# The perf trajectory gate (DESIGN.md §12): runs the standard suite in its
+# smoke profile and diffs the result against the committed
+# BENCH_*.smoke.json baselines. A >5% virtual-time regression on a gated key
+# fails the cycle; scripts/bench_suite.sh smoke --regen refreshes baselines
+# when a perf change is intentional.
+./scripts/bench_suite.sh smoke
 
 echo "== full cycle: no-oracle failover acceptance sweep (32 seeds, analyzer on) =="
 # Nobody announces the faults: detection, fencing, re-hosting, and rejoin are

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -47,6 +48,42 @@ constexpr uint64_t kKillMarginNs = 40'000;
 uint64_t KeyOf(uint32_t part, uint64_t i) {
   return (static_cast<uint64_t>(part) << 16) | (i + 1);
 }
+
+// Zipfian index sampler over [0, n): P(i) ∝ 1/(i+1)^theta by inverse CDF.
+// Inactive (and cost-free at the pick site) when theta <= 0, so the default
+// uniform shapes reproduce byte-identical histories for existing seeds. The
+// pick site rotates the rank by the partition id so each node has a distinct
+// hot key — otherwise every partition's traffic would collapse onto index 0
+// and cross-node transfers would see no skew at the remote side.
+class ZipfPicker {
+ public:
+  ZipfPicker(uint32_t n, double theta) {
+    if (theta <= 0.0 || n <= 1) {
+      return;
+    }
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = acc;
+    }
+    for (double& c : cdf_) {
+      c /= acc;
+    }
+  }
+
+  bool active() const { return !cdf_.empty(); }
+
+  uint32_t Pick(FastRand* rng) const {
+    const double u =
+        static_cast<double>(rng->Uniform(1u << 30)) / static_cast<double>(1u << 30);
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<uint32_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
 
 }  // namespace
 
@@ -288,6 +325,10 @@ TortureResult RunTorture(const TortureOptions& opt) {
   for (uint32_t i = 0; i < nodes * shape.workers; ++i) {
     dbg_stage.push_back(std::make_unique<std::atomic<uint64_t>>(0));
   }
+  // Shared, read-only after construction; the post-kill probes stay uniform
+  // on purpose (they verify coverage of the recovered partition, not
+  // contention behaviour).
+  const ZipfPicker zipf(shape.keys_per_node, shape.zipf_theta);
   std::vector<std::thread> workers;
   for (uint32_t n = 0; n < nodes; ++n) {
     const uint64_t kill_ns = plan.KillTimeOf(n);
@@ -308,8 +349,12 @@ TortureResult RunTorture(const TortureOptions& opt) {
           stage.store(attempts * 10 + 1, std::memory_order_relaxed);
           const uint32_t fp = static_cast<uint32_t>(rng.Uniform(nodes));
           const uint32_t tp = static_cast<uint32_t>(rng.Uniform(nodes));
-          const uint64_t from = KeyOf(fp, rng.Uniform(shape.keys_per_node));
-          const uint64_t to = KeyOf(tp, rng.Uniform(shape.keys_per_node));
+          const uint64_t from =
+              KeyOf(fp, zipf.active() ? (zipf.Pick(&rng) + fp) % shape.keys_per_node
+                                      : rng.Uniform(shape.keys_per_node));
+          const uint64_t to =
+              KeyOf(tp, zipf.active() ? (zipf.Pick(&rng) + tp) % shape.keys_per_node
+                                      : rng.Uniform(shape.keys_per_node));
           if (from == to) {
             continue;
           }

@@ -47,6 +47,11 @@ struct TortureShape {
   uint32_t replicas = 3;   // clamped to nodes; 1 disables replication
   uint32_t keys_per_node = 8;
   uint32_t txns_per_worker = 120;  // committed-transfer target per worker
+  // Zipfian skew over the per-node key index (0 = uniform, the default for
+  // every existing seed/test). theta ≈ 0.9 reproduces YCSB-style hot-key
+  // contention; the nightly soak runs large shapes with this set so the
+  // conflict/fallback paths see sustained same-key pressure.
+  double zipf_theta = 0.0;
 };
 
 struct TortureOptions {

@@ -1,0 +1,177 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace drtmr::obs {
+
+Phase SlowTxn::DominantPhase() const {
+  size_t best = 0;
+  for (size_t i = 1; i < kNumPhases; ++i) {
+    if (phase_ns[i] > phase_ns[best]) {
+      best = i;
+    }
+  }
+  return static_cast<Phase>(best);
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* instance = new FlightRecorder();  // leaked by design
+  return *instance;
+}
+
+void FlightRecorder::Enable(uint32_t k) {
+  std::lock_guard<std::mutex> g(mu_);
+  cap_.store(k, std::memory_order_relaxed);
+  detail::g_flight_enabled.store(k > 0, std::memory_order_relaxed);
+  top_.clear();
+  top_.reserve(k);
+  floor_ns_.store(0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  top_.clear();
+  floor_ns_.store(0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::TxnBegin(uint32_t node, uint32_t worker) {
+  static thread_local SlowTxn scratch;
+  scratch = SlowTxn{};
+  scratch.node = node;
+  scratch.worker = worker;
+  detail::g_flight_active = &scratch;
+}
+
+void FlightRecorder::TxnEnd(uint32_t type, uint64_t start_ns, uint64_t total_ns) {
+  SlowTxn* s = detail::g_flight_active;
+  detail::g_flight_active = nullptr;
+  if (s == nullptr) {
+    return;
+  }
+  const uint32_t cap = cap_.load(std::memory_order_relaxed);
+  if (cap == 0) {
+    return;
+  }
+  // Fast reject: a full top-K set with a slower floor means this transaction
+  // cannot place. The floor only ever rises, so a stale read merely admits a
+  // transaction the locked path below will discard.
+  if (total_ns <= floor_ns_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  s->type = type;
+  s->start_ns = start_ns;
+  s->total_ns = total_ns;
+  std::lock_guard<std::mutex> g(mu_);
+  if (top_.size() < cap) {
+    top_.push_back(*s);
+  } else {
+    auto slowest_floor = std::min_element(
+        top_.begin(), top_.end(),
+        [](const SlowTxn& a, const SlowTxn& b) { return a.total_ns < b.total_ns; });
+    if (slowest_floor->total_ns >= total_ns) {
+      return;
+    }
+    *slowest_floor = *s;
+  }
+  if (top_.size() == cap) {
+    uint64_t floor = ~0ull;
+    for (const SlowTxn& t : top_) {
+      floor = std::min(floor, t.total_ns);
+    }
+    floor_ns_.store(floor, std::memory_order_relaxed);
+  }
+}
+
+void FlightRecorder::NotePhase(Phase p, uint64_t ns) {
+  SlowTxn* s = detail::g_flight_active;
+  if (s == nullptr) {
+    return;
+  }
+  s->phase_ns[static_cast<size_t>(p)] += ns;
+  s->phase_count[static_cast<size_t>(p)]++;
+}
+
+void FlightRecorder::NoteCounter(Counter c, uint64_t delta) {
+  SlowTxn* s = detail::g_flight_active;
+  if (s == nullptr) {
+    return;
+  }
+  const uint32_t d = static_cast<uint32_t>(delta);
+  switch (c) {
+    case Counter::kTxnAbortLock: s->aborts_lock += d; break;
+    case Counter::kTxnAbortValidation: s->aborts_validation += d; break;
+    case Counter::kTxnAbortUser: s->aborts_user += d; break;
+    case Counter::kTxnFallback: s->fallbacks += d; break;
+    case Counter::kHtmCommitRetry: s->htm_retries += d; break;
+    default: break;  // only the per-transaction abort trail is recorded
+  }
+}
+
+void FlightRecorder::NoteHtmAbort(uint32_t code, HtmSite site) {
+  SlowTxn* s = detail::g_flight_active;
+  if (s == nullptr) {
+    return;
+  }
+  for (uint32_t i = 0; i < s->htm_trail_len; ++i) {
+    SlowTxn::HtmAbort& e = s->htm_trail[i];
+    if (e.code == code && e.site == static_cast<uint16_t>(site)) {
+      e.count++;
+      return;
+    }
+  }
+  if (s->htm_trail_len < SlowTxn::kTrailCap) {
+    s->htm_trail[s->htm_trail_len++] =
+        SlowTxn::HtmAbort{static_cast<uint16_t>(code), static_cast<uint16_t>(site), 1};
+  }
+}
+
+std::vector<SlowTxn> FlightRecorder::Snapshot() const {
+  std::vector<SlowTxn> out;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    out = top_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowTxn& a, const SlowTxn& b) { return a.total_ns > b.total_ns; });
+  return out;
+}
+
+void FlightRecorder::WriteJson(std::FILE* f) const {
+  const std::vector<SlowTxn> slow = Snapshot();
+  std::fprintf(f, "[");
+  for (size_t i = 0; i < slow.size(); ++i) {
+    const SlowTxn& t = slow[i];
+    std::fprintf(f,
+                 "%s\n    {\"rank\": %zu, \"total_ns\": %llu, \"start_ns\": %llu, "
+                 "\"node\": %u, \"worker\": %u, \"type\": %u, \"attempts\": %u, "
+                 "\"dominant_phase\": \"%s\",\n     \"phases\": {",
+                 i == 0 ? "" : ",", i, (unsigned long long)t.total_ns,
+                 (unsigned long long)t.start_ns, t.node, t.worker, t.type, t.Attempts(),
+                 PhaseName(t.DominantPhase()));
+    bool first = true;
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      if (t.phase_count[p] == 0) {
+        continue;
+      }
+      std::fprintf(f, "%s\"%s\": {\"ns\": %llu, \"count\": %u}", first ? "" : ", ",
+                   PhaseName(static_cast<Phase>(p)), (unsigned long long)t.phase_ns[p],
+                   t.phase_count[p]);
+      first = false;
+    }
+    std::fprintf(f,
+                 "},\n     \"aborts\": {\"lock\": %u, \"validation\": %u, \"user\": %u, "
+                 "\"fallback\": %u, \"htm_retry\": %u},\n     \"htm_trail\": [",
+                 t.aborts_lock, t.aborts_validation, t.aborts_user, t.fallbacks,
+                 t.htm_retries);
+    for (uint32_t e = 0; e < t.htm_trail_len; ++e) {
+      std::fprintf(f, "%s{\"code\": \"%s\", \"site\": \"%s\", \"count\": %u}",
+                   e == 0 ? "" : ", ", HtmAbortCodeName(t.htm_trail[e].code),
+                   HtmSiteName(static_cast<HtmSite>(t.htm_trail[e].site)),
+                   t.htm_trail[e].count);
+    }
+    std::fprintf(f, "]}");
+  }
+  std::fprintf(f, slow.empty() ? "]" : "\n  ]");
+}
+
+}  // namespace drtmr::obs

@@ -1,0 +1,117 @@
+// Slow-transaction flight recorder: a bounded top-K structure that keeps the
+// K slowest transactions of a run together with their full per-phase
+// virtual-time breakdown, abort counters, and HTM-abort trail. When a
+// benchmark regresses, the flight recorder in the emitted BENCH json already
+// says *which phase* moved and what the transaction was aborting on — the
+// regression is attributable without a rerun.
+//
+// Wiring (no transaction-layer changes required):
+//  * the workload driver brackets each measured transaction with
+//    TxnBegin/TxnEnd on the worker thread, which arms a thread-local scratch
+//    record;
+//  * obs::Registry forwards every phase sample, abort counter, and HTM-abort
+//    taxonomy event to the armed scratch record of the recording thread;
+//  * TxnEnd offers the scratch to the global top-K: a relaxed floor check
+//    keeps the common case (txn faster than the current K-th slowest) free of
+//    any shared-state access.
+//
+// Like the rest of src/obs, recording charges no *virtual* time, so simulated
+// results are identical with the recorder on or off. The recorder is only fed
+// while the metrics registry is enabled (the hooks live inside Registry).
+#ifndef DRTMR_SRC_OBS_FLIGHT_RECORDER_H_
+#define DRTMR_SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace drtmr::obs {
+
+struct SlowTxn {
+  uint64_t start_ns = 0;  // virtual time of the measured iteration's begin
+  uint64_t total_ns = 0;  // end-to-end virtual latency, retries included
+  uint32_t node = 0;
+  uint32_t worker = 0;
+  uint32_t type = 0;  // workload transaction type id
+  // Per-phase virtual time and sample count, summed across retries.
+  std::array<uint64_t, kNumPhases> phase_ns{};
+  std::array<uint32_t, kNumPhases> phase_count{};
+  // Abort trail: why the retries happened.
+  uint32_t aborts_lock = 0;
+  uint32_t aborts_validation = 0;
+  uint32_t aborts_user = 0;
+  uint32_t fallbacks = 0;
+  uint32_t htm_retries = 0;
+  // HTM abort taxonomy (code x site), deduplicated with counts.
+  struct HtmAbort {
+    uint16_t code = 0;
+    uint16_t site = 0;
+    uint32_t count = 0;
+  };
+  static constexpr size_t kTrailCap = 8;
+  std::array<HtmAbort, kTrailCap> htm_trail{};
+  uint32_t htm_trail_len = 0;
+
+  uint32_t Attempts() const { return 1 + aborts_lock + aborts_validation + aborts_user; }
+  // The phase carrying the most virtual time — the gate's attribution handle.
+  Phase DominantPhase() const;
+};
+
+class FlightRecorder {
+ public:
+  // Process-wide instance (leaked, like obs::Registry, so thread-local
+  // scratch teardown can never outlive it).
+  static FlightRecorder& Global();
+
+  // Keeps the `k` slowest transactions; 0 disables. Callers must be quiesced
+  // (no transaction in flight on any thread).
+  void Enable(uint32_t k);
+  void Reset();
+  uint32_t capacity() const { return cap_.load(std::memory_order_relaxed); }
+
+  // Transaction scope, called by the workload driver on the worker thread.
+  // TxnBegin arms the thread's scratch record; TxnEnd disarms it and offers
+  // the record to the top-K set.
+  void TxnBegin(uint32_t node, uint32_t worker);
+  void TxnEnd(uint32_t type, uint64_t start_ns, uint64_t total_ns);
+
+  // Recording hooks, forwarded by obs::Registry on the recording thread.
+  // No-ops unless the calling thread is inside a TxnBegin/TxnEnd bracket.
+  static void NotePhase(Phase p, uint64_t ns);
+  static void NoteCounter(Counter c, uint64_t delta);
+  static void NoteHtmAbort(uint32_t code, HtmSite site);
+
+  // The captured transactions, slowest first. Call at quiescence.
+  std::vector<SlowTxn> Snapshot() const;
+  // Serializes Snapshot() as a JSON array (schema in DESIGN.md §12).
+  void WriteJson(std::FILE* f) const;
+
+ private:
+  FlightRecorder() = default;
+
+  mutable std::mutex mu_;
+  std::vector<SlowTxn> top_;           // bounded by cap_, unsorted
+  std::atomic<uint32_t> cap_{0};
+  std::atomic<uint64_t> floor_ns_{0};  // min total_ns in a full top_ set
+};
+
+namespace detail {
+// Armed scratch record of the current thread; non-null only between
+// TxnBegin and TxnEnd on a driver worker.
+inline thread_local SlowTxn* g_flight_active = nullptr;
+inline std::atomic<bool> g_flight_enabled{false};
+}  // namespace detail
+
+inline bool FlightEnabled() {
+  return detail::g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace drtmr::obs
+
+#endif  // DRTMR_SRC_OBS_FLIGHT_RECORDER_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/flight_recorder.h"
+
 namespace drtmr::obs {
 
 const char* PhaseName(Phase p) {
@@ -197,9 +199,13 @@ size_t Registry::num_shards() const {
 
 void Registry::AddCount(Counter c, uint64_t delta) {
   LocalShard()->counters[static_cast<size_t>(c)].fetch_add(delta, std::memory_order_relaxed);
+  FlightRecorder::NoteCounter(c, delta);
 }
 
-void Registry::AddPhase(Phase p, uint64_t ns) { LocalShard()->AddPhase(p, ns); }
+void Registry::AddPhase(Phase p, uint64_t ns) {
+  LocalShard()->AddPhase(p, ns);
+  FlightRecorder::NotePhase(p, ns);
+}
 
 void Registry::AddVerb(Verb v, uint32_t src, uint32_t dst, uint64_t bytes) {
   LocalShard()->AddKeyed(FabricKey(v, src, dst), 1, bytes);
@@ -207,6 +213,7 @@ void Registry::AddVerb(Verb v, uint32_t src, uint32_t dst, uint64_t bytes) {
 
 void Registry::AddHtmAbort(uint32_t code, HtmSite site) {
   LocalShard()->AddKeyed(HtmAbortKey(code, site), 1, 0);
+  FlightRecorder::NoteHtmAbort(code, site);
 }
 
 void Registry::AddTrace(TraceName name, uint32_t node, uint32_t worker, uint64_t ts_ns,
@@ -343,11 +350,12 @@ namespace {
 void WriteHistogramJson(std::FILE* f, const Histogram& h) {
   std::fprintf(f,
                "{\"count\":%llu,\"sum_ns\":%llu,\"mean_ns\":%.1f,\"min_ns\":%llu,"
-               "\"max_ns\":%llu,\"p50_ns\":%llu,\"p90_ns\":%llu,\"p99_ns\":%llu}",
+               "\"max_ns\":%llu,\"p50_ns\":%llu,\"p90_ns\":%llu,\"p99_ns\":%llu,"
+               "\"p999_ns\":%llu}",
                (unsigned long long)h.count(), (unsigned long long)h.sum(), h.Mean(),
                (unsigned long long)h.min(), (unsigned long long)h.max(),
                (unsigned long long)h.Percentile(50), (unsigned long long)h.Percentile(90),
-               (unsigned long long)h.Percentile(99));
+               (unsigned long long)h.Percentile(99), (unsigned long long)h.Percentile(99.9));
 }
 
 }  // namespace

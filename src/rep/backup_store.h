@@ -30,8 +30,13 @@ class BackupStore {
     }
   };
 
-  // Applies an image if it is newer than the stored one.
+  // Applies an image if it is newer than the stored one. An image shorter
+  // than the record header cannot carry a seqnum or lock word — it can only
+  // come from a corrupt log slot, and must not be applied.
   void Apply(uint32_t table, uint32_t primary, uint64_t key, const std::byte* image, size_t len) {
+    if (len < store::RecordLayout::kLine0Payload) {
+      return;
+    }
     const uint64_t seq = store::RecordLayout::GetSeq(image);
     std::lock_guard<std::mutex> g(mu_);
     auto& e = map_[Key{table, primary, key}];

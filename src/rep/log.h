@@ -27,9 +27,33 @@ struct LogSlotHeader {
   uint32_t table_id;
   uint32_t primary;     // node id whose record this is
   uint32_t image_len;
-  uint32_t flags;
+  uint32_t check;       // Fold() of the other fields: torn-header detector
 };
 static_assert(sizeof(LogSlotHeader) == 48);
+
+// Header self-check. The slot (header + image) lands in one RDMA WRITE whose
+// simulated memcpy is not atomic, so a consumer polling the ring can observe
+// stamp == index+1 while the rest of the header is still the previous lap's
+// (or zero). The per-line seq tags (RecordLayout::ImageConsistent) only cover
+// the image, and only with a trustworthy image_len — so the header carries
+// its own fold. A mismatch means "slot not fully written yet": back off, the
+// write completes in finite time (or recovery truncates the tear).
+inline uint32_t FoldLogSlotHeader(const LogSlotHeader& h) {
+  uint64_t z = h.stamp;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull + h.txn_id;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull + h.key;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull + h.record_off;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull +
+      ((static_cast<uint64_t>(h.table_id) << 32) | h.primary);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull + h.image_len;
+  z ^= z >> 32;
+  const uint32_t fold = static_cast<uint32_t>(z);
+  return fold != 0 ? fold : 1;  // 0 stays "never written"
+}
+
+inline bool LogSlotHeaderIntact(const LogSlotHeader& h) {
+  return h.check == FoldLogSlotHeader(h);
+}
 
 struct RingGeometry {
   uint64_t base;        // offset of the ring within the node's region
@@ -42,12 +66,20 @@ struct RingGeometry {
   }
 
   // Ring for writer `writer` within a log area [log_begin, log_begin+log_size)
-  // shared by `num_writers` writers.
+  // shared by `num_writers` writers. Partitions are cache-line aligned: RDMA
+  // (and the simulated bus) is only atomic within a line, so the 8-byte
+  // consumed counter in the ring header must not straddle a line boundary —
+  // a straddling counter can be read torn against the consumer's publication,
+  // yielding a value *larger than ever written* (new high bytes + old low
+  // bytes). Writer flow control latches that phantom, over-admits a lap, and
+  // the clobbered slots jam the ring permanently.
   static RingGeometry For(uint64_t log_begin, uint64_t log_size, uint32_t num_writers,
                           uint32_t writer, uint64_t max_image_bytes) {
     RingGeometry g;
-    const uint64_t per_writer = log_size / num_writers;
-    g.base = log_begin + writer * per_writer;
+    const uint64_t aligned_begin = AlignUpToLine(log_begin);
+    const uint64_t usable = log_size - (aligned_begin - log_begin);
+    const uint64_t per_writer = (usable / num_writers) & ~(kCacheLineSize - 1);
+    g.base = aligned_begin + writer * per_writer;
     g.slot_bytes = AlignUpToLine(sizeof(LogSlotHeader) + max_image_bytes);
     g.nslots = (per_writer - kCacheLineSize) / g.slot_bytes;
     return g;

@@ -74,7 +74,7 @@ Status PrimaryBackupReplicator::ReplicateUpdate(sim::ThreadContext* ctx, uint64_
     hdr.table_id = table_id;
     hdr.primary = primary;
     hdr.image_len = static_cast<uint32_t>(image_len);
-    hdr.flags = 0;
+    hdr.check = FoldLogSlotHeader(hdr);
     std::memcpy(slot.data(), &hdr, sizeof(hdr));
     std::memcpy(slot.data() + sizeof(hdr), image, image_len);
 
@@ -88,6 +88,14 @@ Status PrimaryBackupReplicator::ReplicateUpdate(sim::ThreadContext* ctx, uint64_
       if (s != Status::kOk) {
         dst_dead = true;
         break;
+      }
+      // The consumer cannot pass this writer's own reserved-but-unwritten
+      // slot, so any read above `index` is provably garbage (e.g. a torn read
+      // of a header that violates the line-atomicity contract). Latching it
+      // into the monotonic consumed_seen would over-admit a whole lap and
+      // jam the ring; clamp instead of trusting it.
+      if (consumed > index) {
+        consumed = index;
       }
       uint64_t seen = ws.consumed_seen.load(std::memory_order_relaxed);
       while (consumed > seen &&
@@ -164,8 +172,8 @@ void PrimaryBackupReplicator::PumpRing(sim::ThreadContext* ctx, uint32_t node, u
     const uint64_t index = consumed.load(std::memory_order_relaxed);
     LogSlotHeader hdr;
     bus->Read(ctx, ring.slot_offset(index), &hdr, sizeof(hdr));
-    if (hdr.stamp != index + 1) {
-      break;  // slot not (fully) written yet
+    if (hdr.stamp != index + 1 || !LogSlotHeaderIntact(hdr)) {
+      break;  // slot not (fully) written yet — stamp lands before the rest
     }
     DRTMR_CHECK(hdr.image_len <= ring.slot_bytes - sizeof(LogSlotHeader));
     bus->Read(ctx, ring.slot_offset(index) + sizeof(LogSlotHeader), slot.data(), hdr.image_len);
@@ -230,6 +238,13 @@ uint64_t PrimaryBackupReplicator::TruncateTornTail(sim::ThreadContext* ctx, uint
     if (hdr.stamp != index + 1 ||
         hdr.image_len > ring.slot_bytes - sizeof(LogSlotHeader)) {
       break;  // empty tail (or garbage header): nothing more to discard
+    }
+    if (!LogSlotHeaderIntact(hdr)) {
+      // The writer died mid-header: stamp landed, the rest did not. Same
+      // torn-tail case as a torn image, detected one step earlier.
+      consumed.store(index + 1, std::memory_order_relaxed);
+      ++dropped;
+      continue;
     }
     bus->Read(ctx, ring.slot_offset(index) + sizeof(LogSlotHeader), slot.data(), hdr.image_len);
     if (store::RecordLayout::ImageConsistent(slot.data(), hdr.image_len)) {

@@ -1,0 +1,40 @@
+#ifndef DRTMR_WORKLOAD_BACKOFF_H_
+#define DRTMR_WORKLOAD_BACKOFF_H_
+
+#include <cstdint>
+
+#include "src/sim/thread_context.h"
+#include "src/util/rand.h"
+
+namespace drtmr::workload {
+
+// Charged, escalating, randomized backoff for workload-level abort retries.
+//
+// The engine already randomizes its *internal* HTM-region retries, but a
+// protocol abort (validation conflict, fallback lock CAS lost) surfaces to
+// the workload, whose retry loop would otherwise re-run the whole
+// transaction immediately. On a host with fewer cores than workers the
+// competing retries stay in lockstep — e.g. four same-warehouse TPC-C
+// delivery workers re-reading the same first-pending orders keep dooming
+// each other's HTM regions indefinitely. Charging escalating virtual time
+// here breaks the lockstep for real: the next Begin() syncs the charged
+// clock against the cluster time gate, so a backed-off worker spins outside
+// any HTM region while its competitors (whose clocks lag) get to finish.
+class RetryBackoff {
+ public:
+  // Call after a failed attempt, before retrying. Charges between ~0.4µs
+  // (first retry) and ~200µs (capped, past the 100µs gate window — the point
+  // where the backoff becomes real descheduling, not just bookkeeping).
+  void OnAbort(sim::ThreadContext* ctx, FastRand* rng) {
+    const uint32_t shift = attempt_ < 7 ? attempt_ : 7;
+    ctx->Charge(rng->Range(400, 1600) << shift);
+    ++attempt_;
+  }
+
+ private:
+  uint32_t attempt_ = 0;
+};
+
+}  // namespace drtmr::workload
+
+#endif  // DRTMR_WORKLOAD_BACKOFF_H_

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "src/obs/flight_recorder.h"
 #include "src/util/logging.h"
 #include "src/util/time_gate.h"
 
@@ -68,8 +69,15 @@ DriverResult RunWorkload(cluster::Cluster* cluster, const DriverOptions& options
             break;
           }
           const uint64_t t0 = ctx->clock.now_ns();
+          const bool flight = obs::FlightEnabled();
+          if (flight) {
+            obs::FlightRecorder::Global().TxnBegin(n, w);
+          }
           const uint32_t type = fn(ctx, n, w, &rng);
           const uint64_t dt = ctx->clock.now_ns() - t0;
+          if (flight) {
+            obs::FlightRecorder::Global().TxnEnd(type, t0, dt);
+          }
           out.committed++;
           out.by_type[type]++;
           out.latency.Record(dt);

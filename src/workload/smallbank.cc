@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/util/logging.h"
+#include "src/workload/backoff.h"
 
 namespace drtmr::workload {
 
@@ -108,6 +109,7 @@ uint32_t SmallBankWorkload::RunOne(sim::ThreadContext* ctx, txn::TxnApi* txn, Fa
   const uint32_t n2 = NodeOfAccount(a2);
   const int64_t v = static_cast<int64_t>(rng->Range(1, 100));
 
+  RetryBackoff backoff;
   while (true) {
     bool done = false;
     BankAccountRow c1{}, c2{}, s1{};
@@ -220,6 +222,7 @@ uint32_t SmallBankWorkload::RunOne(sim::ThreadContext* ctx, txn::TxnApi* txn, Fa
     if (done) {
       return type;
     }
+    backoff.OnAbort(ctx, rng);
   }
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/util/logging.h"
+#include "src/workload/backoff.h"
 
 namespace drtmr::workload {
 
@@ -198,7 +199,9 @@ bool TpccWorkload::RunType(uint32_t type, sim::ThreadContext* ctx, txn::TxnApi* 
 uint32_t TpccWorkload::RunOne(sim::ThreadContext* ctx, txn::TxnApi* txn, FastRand* rng) {
   const uint64_t w = PickLocalWarehouse(ctx, rng);
   const uint32_t type = PickType(rng);
+  RetryBackoff backoff;
   while (!RunType(type, ctx, txn, rng, w)) {
+    backoff.OnAbort(ctx, rng);
   }
   return type;
 }

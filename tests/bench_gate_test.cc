@@ -1,0 +1,194 @@
+// Teeth tests for the perf regression gate (scripts/bench_gate.py): a 6%
+// throughput regression must turn the gate red, a 4% one must stay green
+// (tolerance is 5%), and a red gate must name the regressed phase from the
+// per-phase histograms. The gate is a python script, so these tests shell
+// out to it against synthetic BENCH_*.json fixtures; they skip (not fail)
+// when python3 is absent.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef DRTMR_SOURCE_DIR
+#error "DRTMR_SOURCE_DIR must point at the repo root (tests/CMakeLists.txt)"
+#endif
+
+namespace drtmr {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool PythonAvailable() {
+  const int rc = std::system("python3 --version >/dev/null 2>&1");
+  return rc != -1 && WIFEXITED(rc) && WEXITSTATUS(rc) == 0;
+}
+
+class BenchGateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!PythonAvailable()) {
+      GTEST_SKIP() << "python3 not on PATH";
+    }
+    base_dir_ = testing::TempDir() + "gate_base_" + testing::UnitTest::GetInstance()->current_test_info()->name();
+    cur_dir_ = base_dir_ + "_cur";
+    std::system(("rm -rf " + base_dir_ + " " + cur_dir_ + " && mkdir -p " + base_dir_ + " " + cur_dir_).c_str());
+    out_path_ = base_dir_ + "/gate.out";
+    report_path_ = base_dir_ + "/report.json";
+  }
+
+  // Minimal but schema-complete BENCH envelope: run header, gated results,
+  // one phase histogram, one flight-recorder entry.
+  void WriteDoc(const std::string& dir, double tps, double p99,
+                double commit_phase_p99, int schema = 2,
+                const std::string& tolerances = "") {
+    std::ofstream f(dir + "/BENCH_fake.smoke.json");
+    f << "{\n\"schema_version\": " << schema << ",\n"
+      << "\"run\": {\"bench\": \"fake\", \"profile\": \"smoke\"},\n"
+      << "\"results\": {\"total_tps\": " << tps << ", \"p99_ns\": " << p99
+      << ", \"torture_ok\": 1},\n";
+    if (!tolerances.empty()) {
+      f << "\"tolerances\": {" << tolerances << "},\n";
+    }
+    f << "\"metrics\": {\"phases\": {"
+      << "\"commit\": {\"count\": 100, \"sum_ns\": " << 100 * commit_phase_p99
+      << ", \"p99_ns\": " << commit_phase_p99 << "},"
+      << "\"execute\": {\"count\": 100, \"sum_ns\": 50000, \"p99_ns\": 700}"
+      << "}},\n"
+      << "\"flight_recorder\": [{\"rank\": 0, \"total_ns\": 9000, "
+      << "\"dominant_phase\": \"commit\", \"attempts\": 3, \"aborts\": 2}]\n}\n";
+  }
+
+  int RunGate() {
+    const std::string cmd = std::string("python3 ") + DRTMR_SOURCE_DIR +
+                            "/scripts/bench_gate.py --baseline-dir=" + base_dir_ +
+                            " --current-dir=" + cur_dir_ +
+                            " --profile=smoke --report=" + report_path_ + " > " +
+                            out_path_ + " 2>&1";
+    const int rc = std::system(cmd.c_str());
+    EXPECT_NE(rc, -1);
+    EXPECT_TRUE(WIFEXITED(rc)) << Slurp(out_path_);
+    return WEXITSTATUS(rc);
+  }
+
+  std::string base_dir_, cur_dir_, out_path_, report_path_;
+};
+
+TEST_F(BenchGateTest, SixPercentThroughputRegressionFails) {
+  WriteDoc(base_dir_, 1000.0, 500.0, 800.0);
+  WriteDoc(cur_dir_, 940.0, 500.0, 800.0);  // -6% tps
+  EXPECT_EQ(RunGate(), 1) << Slurp(out_path_);
+  EXPECT_NE(Slurp(out_path_).find("total_tps fell 6.0%"), std::string::npos)
+      << Slurp(out_path_);
+}
+
+TEST_F(BenchGateTest, FourPercentThroughputDipPasses) {
+  WriteDoc(base_dir_, 1000.0, 500.0, 800.0);
+  WriteDoc(cur_dir_, 960.0, 500.0, 800.0);  // -4% tps: inside tolerance
+  EXPECT_EQ(RunGate(), 0) << Slurp(out_path_);
+}
+
+TEST_F(BenchGateTest, SixPercentP99RiseFailsFourPasses) {
+  WriteDoc(base_dir_, 1000.0, 1000.0, 800.0);
+  WriteDoc(cur_dir_, 1000.0, 1060.0, 800.0);  // +6% p99
+  EXPECT_EQ(RunGate(), 1) << Slurp(out_path_);
+  WriteDoc(cur_dir_, 1000.0, 1040.0, 800.0);  // +4% p99
+  EXPECT_EQ(RunGate(), 0) << Slurp(out_path_);
+}
+
+TEST_F(BenchGateTest, BaselineToleranceOverrideWidensOneKeyOnly) {
+  // The baseline declares a 40% per-key tolerance for its bimodal p99; a 30%
+  // p99 rise must pass, but the override must not loosen the other keys —
+  // the same run with a 6% tps dip must still fail.
+  WriteDoc(base_dir_, 1000.0, 1000.0, 800.0, 2, "\"p99_ns\": 0.40");
+  WriteDoc(cur_dir_, 1000.0, 1300.0, 800.0);  // +30% p99: inside the override
+  EXPECT_EQ(RunGate(), 0) << Slurp(out_path_);
+  WriteDoc(cur_dir_, 940.0, 1300.0, 800.0);  // -6% tps still gates at 5%
+  EXPECT_EQ(RunGate(), 1) << Slurp(out_path_);
+  EXPECT_NE(Slurp(out_path_).find("total_tps fell 6.0%"), std::string::npos)
+      << Slurp(out_path_);
+  // An override in the *current* file must not weaken the gate.
+  WriteDoc(base_dir_, 1000.0, 1000.0, 800.0);
+  WriteDoc(cur_dir_, 1000.0, 1300.0, 800.0, 2, "\"p99_ns\": 0.40");
+  EXPECT_EQ(RunGate(), 1) << Slurp(out_path_);
+}
+
+TEST_F(BenchGateTest, RedGateNamesTheRegressedPhase) {
+  WriteDoc(base_dir_, 1000.0, 1000.0, /*commit p99=*/800.0);
+  // Throughput regresses and the commit phase's histogram blew up while
+  // execute stayed flat — the gate must finger commit, with the slow-txn
+  // flight data alongside.
+  WriteDoc(cur_dir_, 900.0, 1000.0, /*commit p99=*/2400.0);
+  EXPECT_EQ(RunGate(), 1);
+  const std::string out = Slurp(out_path_);
+  EXPECT_NE(out.find("regressed phase: commit"), std::string::npos) << out;
+  EXPECT_NE(out.find("dominant phase commit"), std::string::npos) << out;
+  const std::string report = Slurp(report_path_);
+  EXPECT_NE(report.find("\"regressed_phases\""), std::string::npos);
+  EXPECT_NE(report.find("\"slowest_txns\""), std::string::npos);
+}
+
+TEST_F(BenchGateTest, TortureOkDropFails) {
+  WriteDoc(base_dir_, 1000.0, 500.0, 800.0);
+  {
+    std::ofstream f(cur_dir_ + "/BENCH_fake.smoke.json");
+    f << "{\"schema_version\": 2, \"run\": {\"bench\": \"fake\"},"
+      << "\"results\": {\"total_tps\": 1000, \"p99_ns\": 500, \"torture_ok\": 0},"
+      << "\"metrics\": {\"phases\": {}}, \"flight_recorder\": []}\n";
+  }
+  EXPECT_EQ(RunGate(), 1) << Slurp(out_path_);
+}
+
+TEST_F(BenchGateTest, MissingCurrentFileFails) {
+  WriteDoc(base_dir_, 1000.0, 500.0, 800.0);
+  EXPECT_EQ(RunGate(), 1);
+  EXPECT_NE(Slurp(out_path_).find("not produced"), std::string::npos);
+}
+
+TEST_F(BenchGateTest, MissingGatedKeyFails) {
+  WriteDoc(base_dir_, 1000.0, 500.0, 800.0);
+  {
+    std::ofstream f(cur_dir_ + "/BENCH_fake.smoke.json");
+    f << "{\"schema_version\": 2, \"run\": {\"bench\": \"fake\"},"
+      << "\"results\": {\"total_tps\": 1000},"  // p99_ns vanished
+      << "\"metrics\": {\"phases\": {}}, \"flight_recorder\": []}\n";
+  }
+  EXPECT_EQ(RunGate(), 1);
+  EXPECT_NE(Slurp(out_path_).find("missing from current run"), std::string::npos);
+}
+
+TEST_F(BenchGateTest, SchemaVersionMismatchFails) {
+  WriteDoc(base_dir_, 1000.0, 500.0, 800.0, /*schema=*/2);
+  WriteDoc(cur_dir_, 1000.0, 500.0, 800.0, /*schema=*/3);
+  EXPECT_EQ(RunGate(), 1);
+  EXPECT_NE(Slurp(out_path_).find("schema_version"), std::string::npos);
+}
+
+TEST_F(BenchGateTest, CorruptCurrentFileFails) {
+  WriteDoc(base_dir_, 1000.0, 500.0, 800.0);
+  {
+    std::ofstream f(cur_dir_ + "/BENCH_fake.smoke.json");
+    f << "{\"schema_version\": 2, truncated";
+  }
+  EXPECT_EQ(RunGate(), 1);
+}
+
+TEST_F(BenchGateTest, IdenticalRunPassesAndWritesReport) {
+  WriteDoc(base_dir_, 1000.0, 500.0, 800.0);
+  WriteDoc(cur_dir_, 1000.0, 500.0, 800.0);
+  EXPECT_EQ(RunGate(), 0) << Slurp(out_path_);
+  const std::string report = Slurp(report_path_);
+  EXPECT_NE(report.find("\"ok\": true"), std::string::npos) << report;
+  EXPECT_NE(report.find("\"tolerance\": 0.05"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace drtmr

@@ -10,6 +10,8 @@
 #include <string>
 
 #include "bench/harness.h"
+#include "src/chk/protocol_analyzer.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 
 namespace drtmr {
@@ -148,6 +150,62 @@ TEST_F(ObsHarnessTest, DisabledObservabilityRecordsNothing) {
   }
   EXPECT_TRUE(snap.fabric.empty());
   EXPECT_TRUE(snap.htm_aborts.empty());
+}
+
+// ParseObsArgs edge cases: flag parsing must be order-stable (last repeat
+// wins), leave unrecognized arguments for the bench's own parser, and keep a
+// flagless run cost-free (registry stays disabled).
+TEST(ParseObsArgsTest, NoFlagsLeavesObservabilityDisabled) {
+  const char* argv[] = {"bench"};
+  const bench::ObsOptions opt = bench::ParseObsArgs(1, const_cast<char**>(argv));
+  EXPECT_FALSE(opt.enabled());
+  EXPECT_FALSE(obs::Enabled());
+  EXPECT_EQ(opt.slow_txns, 8u);  // default depth, armed only when enabled
+}
+
+TEST(ParseObsArgsTest, RepeatedFlagsLastOneWins) {
+  const char* argv[] = {"bench", "--metrics-json=/tmp/a.json", "--slow-txns=4",
+                        "--metrics-json=/tmp/b.json", "--slow-txns=16"};
+  const bench::ObsOptions opt = bench::ParseObsArgs(5, const_cast<char**>(argv));
+  EXPECT_EQ(opt.metrics_json, "/tmp/b.json");
+  EXPECT_EQ(opt.slow_txns, 16u);
+  EXPECT_TRUE(opt.enabled());
+  obs::Registry::Global().Enable(false);
+  obs::FlightRecorder::Global().Enable(0);
+}
+
+TEST(ParseObsArgsTest, UnrecognizedAndMalformedFlagsAreLeftAlone) {
+  // Positional args, a bench-owned flag, and a near-miss spelling: none of
+  // them may enable observability or perturb the defaults.
+  const char* argv[] = {"bench", "6", "8", "--machines=4", "--metrics-json", "--slow-txns"};
+  const bench::ObsOptions opt = bench::ParseObsArgs(6, const_cast<char**>(argv));
+  EXPECT_FALSE(opt.enabled());
+  EXPECT_TRUE(opt.metrics_json.empty());
+  EXPECT_EQ(opt.slow_txns, 8u);
+}
+
+TEST(ParseObsArgsTest, ViolationsJsonImpliesAnalyze) {
+  const char* argv[] = {"bench", "--violations-json=/tmp/v.json"};
+  const bench::ObsOptions opt = bench::ParseObsArgs(2, const_cast<char**>(argv));
+  EXPECT_TRUE(opt.analyze);
+  EXPECT_EQ(opt.violations_json, "/tmp/v.json");
+  chk::ProtocolAnalyzer::Global().Enable(false);
+  obs::Registry::Global().Enable(false);
+  obs::FlightRecorder::Global().Enable(0);
+}
+
+TEST(ParseObsArgsTest, SlowTxnsZeroDisablesTheFlightRecorder) {
+  const char* argv[] = {"bench", "--print-stats", "--slow-txns=0"};
+  const bench::ObsOptions opt = bench::ParseObsArgs(3, const_cast<char**>(argv));
+  EXPECT_TRUE(opt.enabled());
+  EXPECT_EQ(opt.slow_txns, 0u);
+  EXPECT_FALSE(obs::FlightEnabled());
+  obs::Registry::Global().Enable(false);
+}
+
+TEST(ParseObsArgsTest, WriteBenchJsonRejectsUnwritablePath) {
+  const obs::Snapshot snap = obs::Registry::Global().Collect();
+  EXPECT_FALSE(bench::WriteBenchJson("/nonexistent-dir/out.json", snap));
 }
 
 }  // namespace

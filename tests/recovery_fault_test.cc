@@ -106,6 +106,9 @@ class RecoveryFaultTest : public ::testing::Test {
     hdr.table_id = kTableId;
     hdr.primary = writer;
     hdr.image_len = static_cast<uint32_t>(image_len);
+    // An intact header fold: the torn-image case must be detected from the
+    // payload lines disagreeing with the seqnum, not from a garbled header.
+    hdr.check = FoldLogSlotHeader(hdr);
     std::vector<std::byte> slot(sizeof(LogSlotHeader) + image_len);
     std::memcpy(slot.data(), &hdr, sizeof(hdr));
     std::memcpy(slot.data() + sizeof(hdr), image, image_len);

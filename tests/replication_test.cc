@@ -47,6 +47,35 @@ TEST(SeqRules, Table4Conditions) {
   EXPECT_EQ(orr.RemoteCommitSeq(4), 6u);
 }
 
+TEST(RingGeometryTest, HeaderWordNeverStraddlesACacheLine) {
+  // The 8-byte consumed counter at header_offset() must stay within one cache
+  // line: RDMA (and the simulated bus) is atomic only within a line, and a
+  // straddling counter can be read torn against the consumer's publication —
+  // yielding a phantom value larger than ever written, which writer flow
+  // control latches and over-admits until the ring jams. Regression: 8 MiB
+  // log over 6 writers gave per_writer % 64 == 21, putting writer 3's header
+  // at line offset 63.
+  const uint64_t sizes[] = {1u << 20, 4u << 20, 8u << 20, 8u << 20 | 4096};
+  const uint64_t begins[] = {0, 1u << 20, (1u << 20) + 8};
+  for (uint64_t log_size : sizes) {
+    for (uint64_t log_begin : begins) {
+      for (uint32_t num = 2; num <= 8; ++num) {
+        for (uint32_t w = 0; w < num; ++w) {
+          const RingGeometry g = RingGeometry::For(log_begin, log_size, num, w, 128);
+          ASSERT_EQ(g.header_offset() % kCacheLineSize, 0u)
+              << "log_size=" << log_size << " begin=" << log_begin << " num=" << num
+              << " writer=" << w;
+          ASSERT_EQ(g.slot_offset(0) % kCacheLineSize, 0u);
+          // The ring must stay inside the writer's share of the log area.
+          ASSERT_GE(g.header_offset(), log_begin);
+          ASSERT_LE(g.slot_offset(g.nslots - 1) + g.slot_bytes, log_begin + log_size);
+          ASSERT_GE(g.nslots, 16u);
+        }
+      }
+    }
+  }
+}
+
 struct Cell {
   uint64_t value;
   uint64_t pad[9];  // 80 bytes: record spans 2 cache lines
