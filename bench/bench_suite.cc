@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
     const char* a = argv[i];
     if (std::strcmp(a, "--smoke") == 0) {
       opt.smoke = true;
+    } else if (std::strcmp(a, "--no-glob") == 0) {
+      opt.no_glob = true;
     } else if (std::strncmp(a, "--out-dir=", 10) == 0) {
       opt.out_dir = a + 10;
     } else if (std::strncmp(a, "--only=", 7) == 0) {
@@ -43,7 +45,7 @@ int main(int argc, char** argv) {
       return 0;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_suite [--smoke] [--out-dir=DIR] [--only=a,b] "
+                   "usage: bench_suite [--smoke] [--no-glob] [--out-dir=DIR] [--only=a,b] "
                    "[--slow-txns=K] [--list]\n");
       return 2;
     }

@@ -40,6 +40,7 @@ struct TpccStack {
     if (cfg.replication) {
       rep::RepConfig rcfg;
       rcfg.replicas = std::min<uint32_t>(3, ccfg.num_nodes);
+      rcfg.group_commit_window = cfg.group_commit_window;
       replicator = std::make_unique<rep::PrimaryBackupReplicator>(cluster.get(), rcfg);
     }
     txn::TxnConfig tcfg;
@@ -172,8 +173,12 @@ DriverResult RunTpccDrtmR(const TpccBenchConfig& cfg) {
       by_slot[n * cfg.threads + w] = txns.back().get();
     }
   }
-  DriverResult r = RunWorkload(stack.cluster.get(), MakeOptions(cfg.threads, cfg.txns_per_thread,
-                                                                cfg.warmup_per_thread),
+  DriverOptions opt = MakeOptions(cfg.threads, cfg.txns_per_thread, cfg.warmup_per_thread);
+  if (stack.replicator != nullptr) {
+    rep::PrimaryBackupReplicator* rep = stack.replicator.get();
+    opt.worker_done = [rep](sim::ThreadContext* ctx) { rep->FlushLog(ctx); };
+  }
+  DriverResult r = RunWorkload(stack.cluster.get(), opt,
                                [&](sim::ThreadContext* ctx, uint32_t n, uint32_t w,
                                    FastRand* rng) {
                                  return stack.tpcc->RunOne(ctx, by_slot[n * cfg.threads + w], rng);
@@ -252,6 +257,9 @@ SmallBankStack::SmallBankStack(const SmallBankBenchConfig& cfg) {
   ccfg.workers_per_node = cfg.threads;
   ccfg.memory_bytes = cfg.memory_mb << 20;
   ccfg.log_bytes = cfg.log_mb << 20;
+  if (cfg.fused_seq_lock) {
+    ccfg.atomicity = sim::AtomicityLevel::kGlob;
+  }
   cluster = std::make_unique<cluster::Cluster>(ccfg);
   catalog = std::make_unique<store::Catalog>(cluster.get());
   pmap = std::make_unique<cluster::PartitionMap>(cfg.machines);
@@ -262,11 +270,13 @@ SmallBankStack::SmallBankStack(const SmallBankBenchConfig& cfg) {
   if (cfg.replication) {
     rep::RepConfig rcfg;
     rcfg.replicas = std::min<uint32_t>(3, cfg.machines);
+    rcfg.group_commit_window = cfg.group_commit_window;
     replicator = std::make_unique<rep::PrimaryBackupReplicator>(cluster.get(), rcfg);
   }
   txn::TxnConfig tcfg;
   tcfg.replication = cfg.replication;
   tcfg.replicas = cfg.replication ? 3 : 1;
+  tcfg.fused_seq_lock = cfg.fused_seq_lock;
   engine = std::make_unique<txn::TxnEngine>(cluster.get(), catalog.get(), tcfg,
                                             coordinator.get(), replicator.get());
 
@@ -297,6 +307,10 @@ DriverResult SmallBankStack::Run(const SmallBankBenchConfig& cfg) {
   opt.txns_per_thread = cfg.txns_per_thread;
   opt.warmup_per_thread = cfg.warmup_per_thread;
   opt.max_txn_types = workload::kSmallBankTxnTypes;
+  if (replicator != nullptr) {
+    rep::PrimaryBackupReplicator* rep = replicator.get();
+    opt.worker_done = [rep](sim::ThreadContext* ctx) { rep->FlushLog(ctx); };
+  }
   return RunWorkload(cluster.get(), opt,
                      [&](sim::ThreadContext* ctx, uint32_t n, uint32_t w, FastRand* rng) {
                        return bank->RunOne(ctx, by_slot[n * cfg.threads + w], rng);

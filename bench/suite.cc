@@ -25,8 +25,9 @@ void AddLatencyResults(const workload::DriverResult& r, Results* out) {
   out->emplace_back("p99_ns", r.latency.PercentileInterpolated(99));
 }
 
-void RunSmallBankEntry(bool smoke, bool rep, Results* out) {
+void RunSmallBankEntry(bool smoke, bool rep, bool no_glob, Results* out) {
   SmallBankBenchConfig cfg;
+  cfg.fused_seq_lock = !no_glob;
   if (smoke) {
     // 4 machines so with 3-way replication no node backs up every other —
     // full backup fan-in (3 nodes, replicas=3) couples the tail latency to
@@ -52,8 +53,9 @@ void RunSmallBankEntry(bool smoke, bool rep, Results* out) {
   AddLatencyResults(RunSmallBankDrtmR(cfg), out);
 }
 
-void RunTpccEntry(bool smoke, bool rep, Results* out) {
+void RunTpccEntry(bool smoke, bool rep, bool no_glob, Results* out) {
   TpccBenchConfig cfg;
+  cfg.fused_seq_lock = !no_glob;
   if (smoke) {
     // Still CI-fast, but enough transactions that the log-bucketed p99 and
     // the throughput settle well inside the gate's 5% tolerance.
@@ -205,7 +207,8 @@ std::vector<SuiteEntryResult> RunSuite(const SuiteOptions& opt) {
     }
     SuiteEntryResult er;
     er.name = name;
-    er.file = opt.out_dir + "/BENCH_" + name + (opt.smoke ? ".smoke" : "") + ".json";
+    er.file = opt.out_dir + "/BENCH_" + name + (opt.smoke ? ".smoke" : "") +
+              (opt.no_glob ? ".noglob" : "") + ".json";
 
     // Fresh, self-contained telemetry per entry.
     obs::Registry::Global().Reset();
@@ -231,16 +234,16 @@ std::vector<SuiteEntryResult> RunSuite(const SuiteOptions& opt) {
         Results one;
         if (name == "smallbank_peak") {
           MutableRunInfo().workload = "smallbank";
-          RunSmallBankEntry(opt.smoke, /*rep=*/false, &one);
+          RunSmallBankEntry(opt.smoke, /*rep=*/false, opt.no_glob, &one);
         } else if (name == "smallbank_rep") {
           MutableRunInfo().workload = "smallbank";
-          RunSmallBankEntry(opt.smoke, /*rep=*/true, &one);
+          RunSmallBankEntry(opt.smoke, /*rep=*/true, opt.no_glob, &one);
         } else if (name == "tpcc_neworder") {
           MutableRunInfo().workload = "tpcc";
-          RunTpccEntry(opt.smoke, /*rep=*/false, &one);
+          RunTpccEntry(opt.smoke, /*rep=*/false, opt.no_glob, &one);
         } else if (name == "tpcc_rep") {
           MutableRunInfo().workload = "tpcc";
-          RunTpccEntry(opt.smoke, /*rep=*/true, &one);
+          RunTpccEntry(opt.smoke, /*rep=*/true, opt.no_glob, &one);
         } else if (name == "recovery") {
           MutableRunInfo().workload = "smallbank";
           RunRecoveryEntry(opt.smoke, &one);
@@ -248,6 +251,36 @@ std::vector<SuiteEntryResult> RunSuite(const SuiteOptions& opt) {
         reps.push_back(std::move(one));
       }
       er.results = MedianResults(reps);
+    }
+
+    // Derived Table 6 metric for the replicated entries: the fractional
+    // throughput gap to the unreplicated peer entry from this same
+    // invocation (0.45 = replication costs 45% of peak). Informational key
+    // (no _tps/_ns suffix) — the gate holds the line through total_tps; this
+    // makes the overhead the paper tabulates directly readable from the
+    // committed json. Skipped when --only leaves the peer out.
+    if (name == "smallbank_rep" || name == "tpcc_rep") {
+      const std::string peer = name == "smallbank_rep" ? "smallbank_peak" : "tpcc_neworder";
+      double peak_tps = 0.0;
+      for (const SuiteEntryResult& prev : out) {
+        if (prev.name != peer) {
+          continue;
+        }
+        for (const auto& kv : prev.results) {
+          if (kv.first == "total_tps") {
+            peak_tps = kv.second;
+          }
+        }
+      }
+      double rep_tps = 0.0;
+      for (const auto& kv : er.results) {
+        if (kv.first == "total_tps") {
+          rep_tps = kv.second;
+        }
+      }
+      if (peak_tps > 0.0 && rep_tps > 0.0) {
+        er.results.emplace_back("rep_gap", 1.0 - rep_tps / peak_tps);
+      }
     }
 
     // Per-key gate-tolerance overrides, written into the baseline so --regen

@@ -22,6 +22,11 @@ struct SuiteOptions {
   // smoke: trimmed shapes for CI (minutes, not hours); results land in
   // BENCH_<name>.smoke.json so full and smoke baselines never collide.
   bool smoke = false;
+  // no_glob: run the workload entries with the §4.4 GLOB fused lock+validate
+  // commit path disabled (the pre-promotion two-verb protocol). Results land
+  // in BENCH_<name>[.smoke].noglob.json; CI gates the replicated entries
+  // both ways so the flag's off-path cannot rot.
+  bool no_glob = false;
   std::string out_dir = ".";
   std::vector<std::string> only;  // entry names to run; empty = all
   uint32_t slow_txns = 8;         // flight-recorder depth per entry

@@ -96,6 +96,7 @@ int Main(int argc, char** argv) {
   uint64_t start_seed = 1;
   uint32_t txns = 120;
   uint32_t keys = 8;
+  uint32_t window = 1;      // --window=8 sweeps with group commit open mid-kill
   double zipf_theta = 0.0;  // --zipf=0.9 for hot-key soak runs
   bool shrink = true;
   bool no_oracle = false;
@@ -116,6 +117,8 @@ int Main(int argc, char** argv) {
       txns = static_cast<uint32_t>(std::strtoul(a + 7, nullptr, 0));
     } else if (std::strncmp(a, "--keys=", 7) == 0) {
       keys = static_cast<uint32_t>(std::strtoul(a + 7, nullptr, 0));
+    } else if (std::strncmp(a, "--window=", 9) == 0) {
+      window = static_cast<uint32_t>(std::strtoul(a + 9, nullptr, 0));
     } else if (std::strncmp(a, "--zipf=", 7) == 0) {
       zipf_theta = std::strtod(a + 7, nullptr);
     } else if (std::strcmp(a, "--no-shrink") == 0) {
@@ -150,8 +153,8 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: torture [--seeds=N] [--start-seed=S] [--plans=a,b] "
-                   "[--shapes=3x2x3] [--txns=N] [--keys=N] [--zipf=THETA] [--no-shrink] "
-                   "[--no-oracle] [--analyze] [--violations-json=PATH]\n");
+                   "[--shapes=3x2x3] [--txns=N] [--keys=N] [--window=N] [--zipf=THETA] "
+                   "[--no-shrink] [--no-oracle] [--analyze] [--violations-json=PATH]\n");
       return 2;
     }
   }
@@ -177,6 +180,7 @@ int Main(int argc, char** argv) {
         opt.shape.keys_per_node = keys;
         opt.shape.txns_per_worker = txns;
         opt.shape.zipf_theta = zipf_theta;
+        opt.shape.group_commit_window = window;
         opt.seed = start_seed + s;
         opt.plan_kind = kind;
         opt.no_oracle = no_oracle;

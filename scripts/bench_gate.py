@@ -48,11 +48,26 @@ def load(path):
 
 
 def baseline_files(baseline_dir, profile):
-    suffix = ".smoke.json" if profile == "smoke" else ".json"
+    # Profiles map to file suffixes: full -> BENCH_x.json, smoke ->
+    # BENCH_x.smoke.json, smoke-noglob -> BENCH_x.smoke.noglob.json (the
+    # replicated entries re-run with the GLOB fused commit path disabled).
+    suffixes = {
+        "full": ".json",
+        "smoke": ".smoke.json",
+        "smoke-noglob": ".smoke.noglob.json",
+    }
+    suffix = suffixes[profile]
     out = []
     for path in sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json"))):
         smoke = path.endswith(".smoke.json")
-        if (profile == "smoke") == smoke:
+        noglob = path.endswith(".noglob.json")
+        if profile == "smoke-noglob":
+            matches = path.endswith(".smoke.noglob.json")
+        elif profile == "smoke":
+            matches = smoke and not noglob
+        else:
+            matches = not smoke and not noglob
+        if matches:
             out.append(path)
     return out, suffix
 
@@ -149,7 +164,8 @@ def main():
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("--baseline-dir", required=True)
     ap.add_argument("--current-dir", required=True)
-    ap.add_argument("--profile", choices=["smoke", "full"], default="smoke")
+    ap.add_argument("--profile", choices=["smoke", "full", "smoke-noglob"],
+                    default="smoke")
     ap.add_argument("--tolerance", type=float, default=0.05,
                     help="relative tolerance on gated keys (default 0.05 = 5%%)")
     ap.add_argument("--report", help="write the machine-readable delta report here")

@@ -3,6 +3,7 @@
 #   tier1  — the correctness gate (every test carries it)
 #   slow   — multi-second property/recovery suites
 #   stress — seed-scalable torture sweeps (DRTMR_TORTURE_SEEDS widens them)
+#   rep    — the replication battery (`ctest --test-dir build -L rep`)
 #
 # Usage: scripts/check.sh [fast|full] [--no-tsan] [--no-asan] [--no-ubsan]
 #
@@ -63,6 +64,12 @@ echo "== full cycle: bench suite (smoke) against committed baselines =="
 # when a perf change is intentional.
 ./scripts/bench_suite.sh smoke
 
+echo "== full cycle: bench suite (smoke-noglob: classic two-verb commit path) =="
+# Same smoke workload with the GLOB-fused lock+validate disabled, gated
+# against the BENCH_*.smoke.noglob.json baselines: a regression hiding
+# behind either flag value turns the cycle red.
+./scripts/bench_suite.sh smoke-noglob
+
 echo "== full cycle: no-oracle failover acceptance sweep (32 seeds, analyzer on) =="
 # Nobody announces the faults: detection, fencing, re-hosting, and rejoin are
 # the membership layer's job (DESIGN.md §10). --analyze layers the protocol
@@ -70,6 +77,13 @@ echo "== full cycle: no-oracle failover acceptance sweep (32 seeds, analyzer on)
 # sweep. Exits non-zero on any violation.
 ./build/bench/torture --seeds=32 --plans=freeze,partition,kill \
   --shapes=3x2x3,4x2x3 --no-oracle --no-shrink --analyze
+
+echo "== full cycle: group-commit torture sweep (32 seeds, window=8) =="
+# Kills land inside an open group-commit window: every decided slot must
+# survive through the per-lane watermark (zero lost updates) and every
+# speculative slot must be truncated at promotion.
+./build/bench/torture --seeds=32 --window=8 --plans=clean,delay,kill \
+  --shapes=3x2x3 --no-shrink
 
 if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: stress + concurrency tests under ThreadSanitizer =="

@@ -228,6 +228,8 @@ TortureResult RunTorture(const TortureOptions& opt) {
   if (replication) {
     rep::RepConfig rcfg;
     rcfg.replicas = replicas;
+    rcfg.group_commit_window = shape.group_commit_window;
+    rcfg.test = opt.rep_test;
     replicator = std::make_unique<rep::PrimaryBackupReplicator>(&cluster, rcfg);
   }
   txn::TxnConfig tcfg;
@@ -379,6 +381,14 @@ TortureResult RunTorture(const TortureOptions& opt) {
           if (txn.Commit() == Status::kOk) {
             ++done;
           }
+        }
+        // A surviving worker flushes its group-commit window before leaving;
+        // a worker parked for the kill does not (fail-stop takes it as-is —
+        // exactly the mid-window state recovery must handle).
+        const bool parked =
+            kill_ns != ~0ull && ctx->clock.now_ns() + kKillMarginNs >= kill_ns;
+        if (replicator != nullptr && !parked) {
+          replicator->FlushLog(ctx);
         }
         committed.fetch_add(done);
         running.fetch_sub(1);
@@ -658,6 +668,17 @@ TortureResult RunTorture(const TortureOptions& opt) {
   result.committed = committed.load() + post_committed;
   result.audits = audits.load();
 
+  // Drain every surviving node's log rings so the backup-convergence audit
+  // below sees final state, not pump lag.
+  if (replicator != nullptr) {
+    for (uint32_t n = 0; n < nodes; ++n) {
+      if (result.killed && n == victim) {
+        continue;
+      }
+      replicator->DrainNode(cluster.node(n)->tool_context(), n);
+    }
+  }
+
   // Quiescent sweep: conservation, no leaked locks (a lock owned by the dead
   // machine may linger until touched — passive release), committable seqs.
   // The leak rule itself is ProtocolAnalyzer::QuiescentLockLeaked, shared
@@ -691,6 +712,41 @@ TortureResult RunTorture(const TortureOptions& opt) {
       if (replication && store::RecordLayout::GetSeq(rec.data()) % 2 != 0) {
         flag("odd (uncommitted) seq at quiescence on partition " + std::to_string(p) +
              " key " + std::to_string(i));
+      }
+      // Backup convergence (the watermark contract, DESIGN.md §13): after the
+      // drain, a backup copy can never be AHEAD of its primary — only decided,
+      // committed slots may be applied, and every committed seq is write-back
+      // visible at quiescence. And a seq names a unique committed image, so an
+      // equal-seq copy must carry the identical value. A speculative or
+      // aborted image leaking past the watermark breaks one of the two.
+      if (replicator != nullptr) {
+        const uint64_t primary_seq = store::RecordLayout::GetSeq(rec.data());
+        for (uint32_t r = 1; r < shape.replicas; ++r) {
+          const uint32_t b = cluster.BackupOf(p, r);
+          if (b == p || (result.killed && b == victim)) {
+            continue;
+          }
+          std::vector<std::byte> img;
+          if (!replicator->backup_store(b)->Get(kTableId, p, KeyOf(p, i), &img)) {
+            continue;
+          }
+          const uint64_t backup_seq = store::RecordLayout::GetSeq(img.data());
+          if (backup_seq > primary_seq) {
+            flag("backup " + std::to_string(b) + " ahead of primary on partition " +
+                 std::to_string(p) + " key " + std::to_string(i) + " (seq " +
+                 std::to_string(backup_seq) + " > " + std::to_string(primary_seq) +
+                 "): an undecided or aborted image was applied");
+          } else if (backup_seq == primary_seq) {
+            Cell bc{};
+            store::RecordLayout::GatherValue(img.data(), &bc, sizeof(bc));
+            if (bc.value != c.value) {
+              flag("backup " + std::to_string(b) + " diverges at seq " +
+                   std::to_string(backup_seq) + " on partition " + std::to_string(p) +
+                   " key " + std::to_string(i) + ": backup value " + std::to_string(bc.value) +
+                   " != committed " + std::to_string(c.value));
+            }
+          }
+        }
       }
     }
   }

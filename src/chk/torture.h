@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/chk/checker.h"
+#include "src/rep/primary_backup.h"
 #include "src/sim/fault.h"
 
 namespace drtmr::chk {
@@ -52,6 +53,10 @@ struct TortureShape {
   // contention; the nightly soak runs large shapes with this set so the
   // conflict/fallback paths see sustained same-key pressure.
   double zipf_theta = 0.0;
+  // Group-commit window (rep::RepConfig::group_commit_window): decisions per
+  // worker lane between durability fences. > 1 exercises mid-window kills —
+  // the recovery watermark contract must still show zero lost updates.
+  uint32_t group_commit_window = 1;
 };
 
 struct TortureOptions {
@@ -64,6 +69,11 @@ struct TortureOptions {
   // Teeth: disable commit-time read validation in the engine. The run is
   // expected to FAIL the checker — this proves the oracle has teeth.
   bool unsafe_skip_read_validation = false;
+  // Teeth: replication slot-lifecycle overrides (RepConfig::TestOverrides),
+  // passed straight to the replicator. Runs with one of these set are
+  // expected to FAIL the quiescence oracles (typically via a kKill plan:
+  // recovery reads the corrupted backup copies).
+  rep::RepConfig::TestOverrides rep_test{};
   // Run under the protocol conformance analyzer (protocol_analyzer.h): shadow
   // lockset/seqlock/atomicity/epoch checking on every bus access, plus the
   // analyzer's quiescent lock sweep (the same leak rule as the harness's own

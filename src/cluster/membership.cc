@@ -201,7 +201,12 @@ void MembershipService::HeartbeatOnce(uint32_t node, sim::ThreadContext* ctx) {
       break;
     }
   }
-  if (!reached && v.members.size() == 1 && v.members[0] == node) {
+  if (!reached && (v.members.empty() || (v.members.size() == 1 && v.members[0] == node))) {
+    // No *other* member to probe: a singleton view (this node is the lone
+    // member) or an empty one (every lease expired at once — total collapse).
+    // The loopback probe stands in for coordinator reachability; without it an
+    // empty configuration would be absorbing, since no node could ever prove
+    // connectivity against zero probe targets and rejoin.
     uint64_t word = 0;
     if (nic->ReadTimeout(ctx, node, sim::Fabric::kEpochWordOff, &word, sizeof(word),
                          config_.probe_timeout_ns) == Status::kOk) {
@@ -307,6 +312,16 @@ void MembershipService::ProcessViewChange(const ClusterView& view, sim::ThreadCo
   for (uint32_t d : removed) {
     if (recovery_fn_ && !view.members.empty()) {
       recovery_fn_(d, PickHost(view, d));
+      recoveries_.fetch_add(1, std::memory_order_relaxed);
+    } else if (view.members.empty()) {
+      // Total collapse: every lease expired in one sweep, so there is no
+      // survivor to re-host d's data on — and nobody to serve it to, since
+      // every issuer is fenced by the stamp above. The partition map was
+      // likewise left untouched (step 1 skipped), so d's data sits intact
+      // with its fenced incarnation and comes back verbatim when the node
+      // rejoins through the loopback-probe path. The suspicion is therefore
+      // resolved vacuously; leaving it dangling would wedge the
+      // suspicions==recoveries settle invariant forever.
       recoveries_.fetch_add(1, std::memory_order_relaxed);
     }
     pending_recovery_[d].store(false, std::memory_order_release);

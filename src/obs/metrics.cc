@@ -30,6 +30,12 @@ const char* CounterName(Counter c) {
     case Counter::kHtmCommitRetry: return "htm_commit_retry";
     case Counter::kRepLogEntries: return "rep_log_entries";
     case Counter::kRepLogBytes: return "rep_log_bytes";
+    case Counter::kFabricDoorbells: return "fabric_doorbells";
+    case Counter::kFabricChainedVerbs: return "fabric_chained_verbs";
+    case Counter::kRepWindowFlushes: return "rep_window_flushes";
+    case Counter::kRepWindowTxns: return "rep_window_txns";
+    case Counter::kRepSlotsRetired: return "rep_slots_retired";
+    case Counter::kRepSlotsSuperseded: return "rep_slots_superseded";
     case Counter::kKeyedOverflow: return "keyed_overflow";
     case Counter::kTraceDropped: return "trace_dropped";
     case Counter::kMembershipEpochChange: return "membership_epoch_change";

@@ -64,6 +64,12 @@ enum class Counter : uint32_t {
   kHtmCommitRetry,      // HTM commit region retried
   kRepLogEntries,       // replication log slots pushed
   kRepLogBytes,         // replication log bytes pushed
+  kFabricDoorbells,     // chained submissions rung (one doorbell each)
+  kFabricChainedVerbs,  // WQEs carried by those chains
+  kRepWindowFlushes,    // group-commit windows fenced
+  kRepWindowTxns,       // transactions closed across those windows (occupancy)
+  kRepSlotsRetired,     // speculative slots tombstoned by an abort
+  kRepSlotsSuperseded,  // speculative slots re-staged with a corrected image
   kKeyedOverflow,       // keyed-table slots exhausted (taxonomy truncated)
   kTraceDropped,        // trace ring overwrites
   kMembershipEpochChange,  // committed configuration epoch advanced

@@ -1,12 +1,28 @@
 // NVM log rings (§5.1, after FaRM). Each node's registered region reserves a
-// log area at the top, divided into one ring per writer machine. A primary
-// committing a transaction RDMA-WRITEs one fixed-size slot per written record
-// into the rings of that record's backups; the write is durable when the NIC
-// acks (battery-backed DRAM). The backup's auxiliary thread consumes slots in
-// order, applies them to its backup copies, and advances a consumed counter
-// in the ring header (truncation). Writers use the counter for flow control.
+// log area at the top, divided into one ring per writer *lane* (one lane per
+// context slot on each machine, so every ring has exactly one writer thread).
+// A primary committing a transaction RDMA-WRITEs one fixed-size slot per
+// written record into the rings of that record's backups; the write is
+// durable when the NIC acks (battery-backed DRAM). The backup's auxiliary
+// thread consumes slots in order, applies them to its backup copies, and
+// advances a consumed counter in the ring header (truncation). Writers use
+// the counter for flow control.
 //
-// Ring layout:  [ header line: consumed_count(8B) | pad ] [ slot 0 ] [ slot 1 ] ...
+// Ring layout:
+//   [ line 0: consumed_count(8B) | pad ]   — written by the CONSUMER only
+//   [ line 1: watermark(8B)      | pad ]   — written by the WRITER only
+//   [ slot 0 ] [ slot 1 ] ...
+// The two header words live on separate cache lines on purpose: RDMA (and the
+// simulated bus) is atomic per line, and mixing two writers' words on one
+// line re-creates the torn-publication jam documented at RingGeometry::For.
+//
+// The watermark is the writer's commit-sequence frontier: slots with
+// index < watermark belong to *decided* transactions (committed slots carry
+// kSlotCommitted; aborted ones are tombstoned) and may be applied by the
+// pump. Slots at index >= watermark are speculative — staged early, possibly
+// belonging to a transaction that will abort — and must never be applied or
+// replayed by recovery.
+//
 // Slot layout:  LogSlotHeader | record image (image_len bytes), padded to the
 //               fixed slot size. stamp == write_index + 1 marks a complete
 //               slot (slots are zero before first use).
@@ -19,6 +35,10 @@
 
 namespace drtmr::rep {
 
+// Slot lifecycle flags (DESIGN.md §13).
+inline constexpr uint32_t kSlotCommitted = 1u << 0;  // decided: apply the image
+inline constexpr uint32_t kSlotTombstone = 1u << 1;  // decided: skip (aborted/superseded)
+
 struct LogSlotHeader {
   uint64_t stamp;       // write index + 1; 0 = empty
   uint64_t txn_id;
@@ -27,9 +47,11 @@ struct LogSlotHeader {
   uint32_t table_id;
   uint32_t primary;     // node id whose record this is
   uint32_t image_len;
+  uint32_t flags;       // kSlot* lifecycle bits; 0 while speculative
   uint32_t check;       // Fold() of the other fields: torn-header detector
+  uint32_t pad;
 };
-static_assert(sizeof(LogSlotHeader) == 48);
+static_assert(sizeof(LogSlotHeader) == 56);
 
 // Header self-check. The slot (header + image) lands in one RDMA WRITE whose
 // simulated memcpy is not atomic, so a consumer polling the ring can observe
@@ -45,7 +67,8 @@ inline uint32_t FoldLogSlotHeader(const LogSlotHeader& h) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull + h.record_off;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull +
       ((static_cast<uint64_t>(h.table_id) << 32) | h.primary);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull + h.image_len;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull +
+      ((static_cast<uint64_t>(h.image_len) << 32) | h.flags);
   z ^= z >> 32;
   const uint32_t fold = static_cast<uint32_t>(z);
   return fold != 0 ? fold : 1;  // 0 stays "never written"
@@ -60,19 +83,20 @@ struct RingGeometry {
   uint64_t slot_bytes;  // fixed, line-aligned
   uint64_t nslots;
 
-  uint64_t header_offset() const { return base; }
+  uint64_t header_offset() const { return base; }          // consumed counter
+  uint64_t watermark_offset() const { return base + kCacheLineSize; }
   uint64_t slot_offset(uint64_t index) const {
-    return base + kCacheLineSize + (index % nslots) * slot_bytes;
+    return base + 2 * kCacheLineSize + (index % nslots) * slot_bytes;
   }
 
-  // Ring for writer `writer` within a log area [log_begin, log_begin+log_size)
-  // shared by `num_writers` writers. Partitions are cache-line aligned: RDMA
-  // (and the simulated bus) is only atomic within a line, so the 8-byte
-  // consumed counter in the ring header must not straddle a line boundary —
-  // a straddling counter can be read torn against the consumer's publication,
-  // yielding a value *larger than ever written* (new high bytes + old low
-  // bytes). Writer flow control latches that phantom, over-admits a lap, and
-  // the clobbered slots jam the ring permanently.
+  // Ring for writer lane `writer` within a log area [log_begin,
+  // log_begin+log_size) shared by `num_writers` lanes. Partitions are
+  // cache-line aligned: RDMA (and the simulated bus) is only atomic within a
+  // line, so the 8-byte consumed counter in the ring header must not straddle
+  // a line boundary — a straddling counter can be read torn against the
+  // consumer's publication, yielding a value *larger than ever written* (new
+  // high bytes + old low bytes). Writer flow control latches that phantom,
+  // over-admits a lap, and the clobbered slots jam the ring permanently.
   static RingGeometry For(uint64_t log_begin, uint64_t log_size, uint32_t num_writers,
                           uint32_t writer, uint64_t max_image_bytes) {
     RingGeometry g;
@@ -81,7 +105,7 @@ struct RingGeometry {
     const uint64_t per_writer = (usable / num_writers) & ~(kCacheLineSize - 1);
     g.base = aligned_begin + writer * per_writer;
     g.slot_bytes = AlignUpToLine(sizeof(LogSlotHeader) + max_image_bytes);
-    g.nslots = (per_writer - kCacheLineSize) / g.slot_bytes;
+    g.nslots = (per_writer - 2 * kCacheLineSize) / g.slot_bytes;
     return g;
   }
 };

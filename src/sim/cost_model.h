@@ -32,6 +32,12 @@ struct CostModel {
   uint64_t rdma_atomic_ns = 2100;    // CAS / FETCH_AND_ADD round trip
   uint64_t nic_verb_busy_ns = 45;    // NIC occupancy per verb (~22M verbs/s, message-rate bound)
   uint64_t nic_bytes_per_us = 7000;  // ~7 GB/s payload bandwidth per NIC
+  // Doorbell batching: WQEs linked into one chained submission share a single
+  // doorbell; the NIC walks the list by DMA instead of taking a MMIO write per
+  // verb, so follow-on verbs cost a fraction of a standalone verb's
+  // message-rate budget (the batched verbs/s ceiling of ConnectX-3 era NICs).
+  uint64_t nic_chained_verb_busy_ns = 12;  // occupancy of each chained verb after the first
+  uint64_t chain_wqe_build_ns = 10;        // CPU cost to link one WQE (no doorbell)
   // Both NICs (requester and responder) are occupied by a verb. When a node
   // runs several logical nodes (Fig. 12) they share one physical NIC.
 

@@ -185,6 +185,62 @@ Status RdmaNic::WritePosted(ThreadContext* ctx, uint32_t dst, uint64_t offset, c
   return Status::kOk;
 }
 
+Status RdmaNic::ChainAppend(ThreadContext* ctx, VerbChain* chain, uint32_t dst, uint64_t offset,
+                            const void* src, size_t len) {
+  DRTMR_CHECK(!chain->open() || chain->dst == dst);
+  if (ctx->current_htm != nullptr) {
+    ctx->current_htm->Abort(HtmTxn::AbortCode::kIo);
+    if (chk::AnalyzerEnabled()) {
+      chk::ProtocolAnalyzer::Global().OnVerbInRegion(ctx, /*aborted=*/true);
+    }
+    return Status::kAborted;
+  }
+  // WQE link: CPU only. Occupancy for the wire work is reserved in one piece
+  // by ChainRing, which is the whole point of the batch.
+  verbs_issued_.fetch_add(1, std::memory_order_relaxed);
+  ctx->Charge(cost_->chain_wqe_build_ns + cost_->CopyNs(len));
+  obs::CountVerb(obs::Verb::kWrite, node_id_, dst, len);
+  if (Status s = ApplyFaults(ctx, dst, &chain->fault_floor_ns); s != Status::kOk) {
+    return s;
+  }
+  if (Status s = FenceCheck(dst); s != Status::kOk) {
+    return s;
+  }
+  chain->dst = dst;
+  chain->verbs++;
+  chain->bytes += len;
+  AnalyzerVerbAdmitted(fabric_, node_id_, dst);
+  chk::ScopedActor actor(node_id_, ctx->worker_id);
+  fabric_->bus(dst)->Write(/*ctx=*/nullptr, offset, src, len);
+  return Status::kOk;
+}
+
+void RdmaNic::ChainRing(ThreadContext* ctx, VerbChain* chain, uint64_t* completion_ns) {
+  if (!chain->open()) {
+    return;
+  }
+  RdmaNic* dst_nic = fabric_->nic(chain->dst);
+  const uint64_t busy = cost_->nic_verb_busy_ns +
+                        (chain->verbs - 1) * cost_->nic_chained_verb_busy_ns +
+                        cost_->TransferNs(chain->bytes);
+  const uint64_t src_start = occupancy_->tx.Reserve(ctx->clock.now_ns(), busy);
+  uint64_t done = src_start + busy;
+  if (dst_nic->occupancy() != occupancy()) {
+    const uint64_t dst_start = dst_nic->occupancy()->rx.Reserve(src_start, busy);
+    done = dst_start + busy;
+  }
+  if (chain->fault_floor_ns > done) {
+    done = chain->fault_floor_ns;
+  }
+  ctx->Charge(kPostCpuNs);  // one doorbell for the whole chain
+  obs::Count(obs::Counter::kFabricDoorbells);
+  obs::Count(obs::Counter::kFabricChainedVerbs, chain->verbs);
+  if (completion_ns != nullptr && done > *completion_ns) {
+    *completion_ns = done;
+  }
+  *chain = VerbChain{};
+}
+
 Status RdmaNic::CompareSwapPosted(ThreadContext* ctx, uint32_t dst, uint64_t offset,
                                   uint64_t expected, uint64_t desired, uint64_t* observed,
                                   uint64_t* completion_ns) {

@@ -101,6 +101,41 @@ class RdmaNic {
   // Advances the caller past the batch completion plus one verb latency.
   void Fence(ThreadContext* ctx, uint64_t completion_ns, uint64_t latency_ns);
 
+  // ---- doorbell-batched verb chains ----
+  //
+  // A VerbChain accumulates WRITE work-queue entries destined for one target
+  // into a single chained submission: each ChainAppend links a WQE (CPU cost
+  // only — no doorbell, no NIC occupancy) and applies the write's memory
+  // effects; ChainRing rings one doorbell for the whole chain, reserving NIC
+  // occupancy of one full verb plus a discounted per-chained-verb cost and
+  // the aggregate payload transfer, and raises *completion_ns like the other
+  // posted verbs (Fence() once per batch for durability).
+  //
+  // Memory effects land at append time, matching WritePosted: in the
+  // simulator "posted" verbs take effect at issue and only their virtual-time
+  // completion is deferred. The chain is therefore a cost/occupancy batching
+  // construct; ordering per target is FIFO by construction (appends apply in
+  // program order on the issuing thread).
+  struct VerbChain {
+    uint32_t dst = 0;
+    uint32_t verbs = 0;         // WQEs linked since the last doorbell
+    uint64_t bytes = 0;         // aggregate payload of those WQEs
+    uint64_t fault_floor_ns = 0;  // injected-fault floor for the chain's completion
+    bool open() const { return verbs > 0; }
+  };
+
+  // Links one WRITE WQE onto `chain` (which must be closed or already bound
+  // to `dst`) and applies its memory effects. Same failure surface as Write:
+  // kAborted inside an HTM region (region doomed, nothing written),
+  // kUnavailable for dead/dropped, kStaleEpoch when fenced — in every failure
+  // case the WQE is not linked and the chain stays valid.
+  Status ChainAppend(ThreadContext* ctx, VerbChain* chain, uint32_t dst, uint64_t offset,
+                     const void* src, size_t len);
+  // Rings the doorbell for `chain`: charges one posting cost, reserves NIC
+  // occupancy for the whole chain, raises *completion_ns, and resets the
+  // chain. No-op on an empty chain.
+  void ChainRing(ThreadContext* ctx, VerbChain* chain, uint64_t* completion_ns);
+
   // Two-sided messaging (SEND/RECV verbs) — used for insert/delete shipping
   // (§4.3) and by the Calvin baseline (at IPoIB cost, set by the caller).
   // `qp` selects the target receive queue: 0 is the node's service queue,

@@ -456,26 +456,72 @@ Status Transaction::HtmValidateAndApply() {
   }
 }
 
-Status Transaction::ReplicateAll() {
+void Transaction::StageReplicationEarly() {
+  // R.1 issued early (Fig. 9 moved left): the slots ride the per-backup
+  // doorbell chains while C.2–C.4 run, so by decision time the log images
+  // are already on the wire. The staged seq is a *prediction* — the
+  // RemoteCommitSeq this write installs if every validation passes. For
+  // non-blind writes validation enforces exactly that base seq on every
+  // committing path, so the prediction only misses for blind writes (whose
+  // observed seq may be stale); those are superseded at decision time.
   Replicator* rep = engine_->replicator();
   std::vector<std::byte> image;
-  uint64_t completion = 0;
+  for (size_t i = 0; i < write_set_.size(); ++i) {
+    const WriteEntry& w = write_set_[i];
+    const uint64_t base =
+        rules_.replication ? ((w.access.seq + 1) & ~1ull) : w.access.seq;
+    const uint64_t predicted = rules_.RemoteCommitSeq(base);
+    BuildImage(w, predicted, &image);
+    const Status s = rep->StageUpdate(ctx_, txn_id_, w.access.node, w.access.table->id(),
+                                      w.access.key, w.access.offset, image.data(),
+                                      image.size());
+    if (s == Status::kOk || s == Status::kUnavailable) {
+      // A dead backup is tolerated: the configuration service reconfigures
+      // and recovery rebuilds redundancy (vertical Paxos, §5.1).
+      staged_seq_[i] = predicted;
+      rep_staged_ = true;
+    }
+    // Other failures (fenced mid-stage): leave the entry unstaged; the
+    // decision path re-attempts or the abort path retires what did land.
+  }
+}
+
+Status Transaction::FinishReplication() {
+  Replicator* rep = engine_->replicator();
+  std::vector<std::byte> image;
+  Status worst = Status::kOk;
   for (size_t i = 0; i < write_set_.size(); ++i) {
     const WriteEntry& w = write_set_[i];
     const uint64_t final_seq = rules_.RemoteCommitSeq(commit_seq_[i]);
-    BuildImage(w, final_seq, &image);
-    const Status s = rep->ReplicateUpdate(ctx_, txn_id_, w.access.node, w.access.table->id(),
-                                          w.access.key, w.access.offset, image.data(),
-                                          image.size(), &completion);
-    if (s != Status::kOk && s != Status::kUnavailable) {
-      return s;
+    if (staged_seq_[i] == final_seq) {
+      continue;  // the early slot already carries the committed image
     }
-    // A dead backup is tolerated: the configuration service will reconfigure
-    // and recovery rebuilds redundancy (vertical Paxos, §5.1).
+    BuildImage(w, final_seq, &image);
+    const Status s =
+        staged_seq_[i] == kNotStaged
+            ? rep->StageUpdate(ctx_, txn_id_, w.access.node, w.access.table->id(),
+                               w.access.key, w.access.offset, image.data(), image.size())
+            : rep->SupersedeUpdate(ctx_, txn_id_, w.access.node, w.access.table->id(),
+                                   w.access.key, w.access.offset, image.data(), image.size());
+    if (s == Status::kOk || s == Status::kUnavailable) {
+      staged_seq_[i] = final_seq;
+      rep_staged_ = true;
+    } else if (worst == Status::kOk) {
+      worst = s;
+    }
   }
-  // Durability point: all posted log writes acked (Fig. 9's R.1 completes).
-  rep->FenceReplication(ctx_, completion);
-  return Status::kOk;
+  if (worst != Status::kOk && engine_->fencing()) {
+    // Fenced mid-replication: the caller aborts, and Commit() tombstones the
+    // slots that did land (AbortTxnLog) so they never reach a backup copy.
+    return worst;
+  }
+  // Commit decision: watermark past the staged slots and close one
+  // transaction in the group-commit window. In non-fenced mode a partial
+  // staging still commits (old behavior: warn and proceed; recovery
+  // reconciles via seq comparison), so the decision must still be published.
+  (void)rep->CommitTxnLog(ctx_, txn_id_);
+  rep_staged_ = false;
+  return worst;
 }
 
 void Transaction::MakeupLocal() {
@@ -667,7 +713,7 @@ Status Transaction::FallbackCommit(const std::vector<LockTarget>& remote_targets
                         image.size() - RecordLayout::kSeqOff);
   }
   if (engine_->config().replication) {
-    const Status s = ReplicateAll();
+    const Status s = FinishReplication();
     if (s != Status::kOk) {
       if (engine_->fencing()) {
         // Same rule as the fast path: a fenced primary must not report
@@ -705,6 +751,8 @@ Status Transaction::CommitReadWrite() {
     return Status::kStaleEpoch;
   }
   commit_seq_.assign(write_set_.size(), 0);
+  staged_seq_.assign(write_set_.size(), kNotStaged);
+  rep_staged_ = false;
 
   // C.1: lock remote read and write sets (sorted, deduplicated).
   std::vector<LockTarget> remote_targets;
@@ -742,6 +790,13 @@ Status Transaction::CommitReadWrite() {
     return Status::kAborted;
   }
   held_locks_ = remote_targets;
+
+  // R.1 issued early: stage speculative log slots onto the doorbell chains
+  // now, so the log writes overlap C.2–C.4 instead of serializing after them.
+  if (engine_->config().replication) {
+    obs::PhaseTimer timer(ctx_, obs::Phase::kReplication);
+    StageReplicationEarly();
+  }
 
   // C.2: validate the remote read set (and remote write committability).
   {
@@ -789,10 +844,10 @@ Status Transaction::CommitReadWrite() {
     return FallbackCommit(remote_targets);
   }
 
-  // R.1 + R.2 (replication), C.5 (remote write-back).
+  // R.1 decision + R.2 (replication), C.5 (remote write-back).
   if (engine_->config().replication) {
     obs::PhaseTimer timer(ctx_, obs::Phase::kReplication);
-    const Status rs = ReplicateAll();
+    const Status rs = FinishReplication();
     if (rs != Status::kOk) {
       if (engine_->fencing()) {
         // Fenced mid-replication: this primary may be cut off and about to be
@@ -848,6 +903,14 @@ Status Transaction::Commit() {
   } else {
     s = CommitReadWrite();
   }
+  if (engine_->config().replication && rep_staged_) {
+    // Speculative slots were staged but no commit decision was published
+    // (abort on any path after C.1): tombstone them and move the watermark
+    // past, so the backup pump and recovery never replay them and the ring
+    // cannot jam on an undecided tail.
+    engine_->replicator()->AbortTxnLog(ctx_, txn_id_);
+    rep_staged_ = false;
+  }
   self_->ExitCommit();
   if (obs::TraceEnabled()) {
     const uint64_t end_ns = ctx_->clock.now_ns();
@@ -900,6 +963,8 @@ Status Transaction::CommitReadWriteFused() {
     return Status::kStaleEpoch;
   }
   commit_seq_.assign(write_set_.size(), 0);
+  staged_seq_.assign(write_set_.size(), kNotStaged);
+  rep_staged_ = false;
 
   struct FusedTarget {
     uint32_t node;
@@ -977,6 +1042,13 @@ Status Transaction::CommitReadWriteFused() {
     if (!IsLocal(w.access.node)) {
       commit_seq_[i] = expected_of(w.access.seq);
     }
+  }
+
+  // R.1 issued early, right after the fused lock+validate: the staged slots
+  // overlap the HTM step and any fallback work.
+  if (engine_->config().replication) {
+    obs::PhaseTimer timer(ctx_, obs::Phase::kReplication);
+    StageReplicationEarly();
   }
 
   // C.3 + C.4 inside one HTM region (unchanged; local records are never
@@ -1109,7 +1181,7 @@ Status Transaction::CommitReadWriteFused() {
 
   if (engine_->config().replication) {
     obs::PhaseTimer timer(ctx_, obs::Phase::kReplication);
-    const Status rs = ReplicateAll();
+    const Status rs = FinishReplication();
     if (rs != Status::kOk) {
       if (engine_->fencing()) {
         // A fenced primary must not report commit on partial replication.

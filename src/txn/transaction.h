@@ -108,9 +108,20 @@ class Transaction : public TxnApi {
   // §6.1 fallback: lock everything (local via loopback CAS), validate, apply.
   Status FallbackCommit(const std::vector<LockTarget>& remote_targets);
 
-  // R.1 for all write-set entries. `final_seq[i]` is the replicated seq of
-  // write_set_[i].
-  Status ReplicateAll();
+  // R.1, early half: stages one speculative log slot per write-set entry on
+  // each backup (doorbell-chained, no fence) right after C.1, carrying the
+  // predicted final seq — RemoteCommitSeq of the closest committable seq at
+  // or after the one observed during execution. The prediction is
+  // validation-enforced for non-blind writes; blind writes may need a
+  // supersede at decision time. Overlaps the log writes with C.2–C.4.
+  void StageReplicationEarly();
+  // R.1, decision half: reconciles staged slots against the now-known final
+  // seqs (supersede on mismatch, stage anything unstaged) and publishes the
+  // commit decision via CommitTxnLog — entering it into the group-commit
+  // window. Returns the worst non-tolerated staging status; under fencing a
+  // failure returns *before* the commit decision so the caller can abort
+  // (Commit() then retires the speculative slots via AbortTxnLog).
+  Status FinishReplication();
   // R.2: local written records become committable (even seq).
   void MakeupLocal();
   // C.5: write back remote records.
@@ -146,6 +157,13 @@ class Transaction : public TxnApi {
   // Current seq observed at commit time for each write entry (index-aligned
   // with write_set_); becomes the base for the Table 4 increments.
   std::vector<uint64_t> commit_seq_;
+  // Final seq carried by the log slot staged early for each write entry
+  // (index-aligned with write_set_); kNotStaged when no slot was staged.
+  static constexpr uint64_t kNotStaged = ~0ull;
+  std::vector<uint64_t> staged_seq_;
+  // True while this transaction has staged speculative log slots without a
+  // decision call yet; Commit() retires them on any non-commit outcome.
+  bool rep_staged_ = false;
 };
 
 }  // namespace drtmr::txn

@@ -83,6 +83,9 @@ DriverResult RunWorkload(cluster::Cluster* cluster, const DriverOptions& options
           out.latency.Record(dt);
           out.latency_by_type[type].Record(dt);
         }
+        if (options.worker_done && !cluster->node(n)->killed()) {
+          options.worker_done(ctx);
+        }
         out.window_ns = ctx->clock.now_ns() - window_start;
         gate.Done(gate_id);
       });

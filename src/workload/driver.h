@@ -21,6 +21,11 @@ struct DriverOptions {
   uint64_t txns_per_thread = 2000;
   uint64_t warmup_per_thread = 100;
   uint32_t max_txn_types = 8;
+  // Called once per worker thread after its last transaction (not called for
+  // killed nodes — fail-stop). Replicated runs use it to flush the worker's
+  // group-commit window so no decided transaction is left unfenced; the time
+  // it charges lands inside the measured window.
+  std::function<void(sim::ThreadContext*)> worker_done;
 };
 
 struct DriverResult {

@@ -42,13 +42,26 @@ store::Table* MakeTable(store::Catalog* catalog) {
   return catalog->CreateTable(kTable, opt);
 }
 
-TEST(DurabilityTest, FullClusterRestartPreservesCommittedData) {
-  const std::string dir = std::filesystem::temp_directory_path() / "drtmr_snapshot_test";
+// Parameterized over the commit path (false = classic two-verb, true =
+// GLOB-fused lock+validate): durability must hold however the data was
+// committed, and a snapshot written by either path restores under the same.
+class DurabilityModes : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DurabilityModes, FullClusterRestartPreservesCommittedData) {
+  const bool fused = GetParam();
+  // Param-specific directory: ctest runs both instances concurrently.
+  const std::string dir =
+      std::filesystem::temp_directory_path() /
+      (fused ? "drtmr_snapshot_test_fused" : "drtmr_snapshot_test_twoverb");
   std::filesystem::remove_all(dir);
+  ClusterConfig cfg = MakeConfig();
+  if (fused) {
+    cfg.atomicity = sim::AtomicityLevel::kGlob;
+  }
 
   // --- life before the power failure ---
   {
-    Cluster cluster(MakeConfig());
+    Cluster cluster(cfg);
     store::Catalog catalog(&cluster);
     store::Table* table = MakeTable(&catalog);
     rep::RepConfig rcfg;
@@ -56,6 +69,7 @@ TEST(DurabilityTest, FullClusterRestartPreservesCommittedData) {
     rep::PrimaryBackupReplicator replicator(&cluster, rcfg);
     txn::TxnConfig tcfg;
     tcfg.replication = true;
+    tcfg.fused_seq_lock = fused;
     txn::TxnEngine engine(&cluster, &catalog, tcfg, nullptr, &replicator);
     engine.StartServices();
     for (uint64_t k = 1; k <= 12; ++k) {
@@ -86,7 +100,7 @@ TEST(DurabilityTest, FullClusterRestartPreservesCommittedData) {
 
   // --- restart: same configuration, same deterministic table creation ---
   {
-    Cluster cluster(MakeConfig());
+    Cluster cluster(cfg);
     store::Catalog catalog(&cluster);
     store::Table* table = MakeTable(&catalog);
     ASSERT_EQ(LoadClusterSnapshot(&cluster, dir), Status::kOk);
@@ -96,6 +110,7 @@ TEST(DurabilityTest, FullClusterRestartPreservesCommittedData) {
     rep::PrimaryBackupReplicator replicator(&cluster, rcfg);
     txn::TxnConfig tcfg;
     tcfg.replication = true;
+    tcfg.fused_seq_lock = fused;
     txn::TxnEngine engine(&cluster, &catalog, tcfg, nullptr, &replicator);
     engine.StartServices();
 
@@ -146,6 +161,11 @@ TEST(DurabilityTest, FullClusterRestartPreservesCommittedData) {
   }
   std::filesystem::remove_all(dir);
 }
+
+INSTANTIATE_TEST_SUITE_P(CommitPath, DurabilityModes, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "fused" : "twoverb";
+                         });
 
 TEST(DurabilityTest, LoadRejectsMismatchedConfiguration) {
   const std::string dir = std::filesystem::temp_directory_path() / "drtmr_snapshot_bad";

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/cluster/partition_map.h"
+#include "src/obs/metrics.h"
 #include "src/rep/log.h"
 #include "src/rep/primary_backup.h"
 #include "src/rep/recovery.h"
@@ -35,7 +36,7 @@ constexpr int64_t kInitialBalance = 1000;
 
 class RecoveryFaultTest : public ::testing::Test {
  protected:
-  void Build(uint32_t nodes, uint64_t keys_per_node) {
+  void Build(uint32_t nodes, uint64_t keys_per_node, uint32_t group_commit_window = 1) {
     nodes_ = nodes;
     keys_per_node_ = keys_per_node;
     cfg_.num_nodes = nodes;
@@ -54,6 +55,12 @@ class RecoveryFaultTest : public ::testing::Test {
     }
     RepConfig rcfg;
     rcfg.replicas = 3;
+    rcfg.group_commit_window = group_commit_window;
+    if (group_commit_window > 1) {
+      // Mid-window kill tests need the window to stay open until the kill:
+      // the age-based close would fence it behind the test's back.
+      rcfg.group_commit_max_open_ns = ~0ull;
+    }
     replicator_ = std::make_unique<PrimaryBackupReplicator>(cluster_.get(), rcfg);
     txn::TxnConfig tcfg;
     tcfg.replication = true;
@@ -88,16 +95,16 @@ class RecoveryFaultTest : public ::testing::Test {
     return (static_cast<uint64_t>(part) << 16) | (i + 1);
   }
 
-  // Forges a log slot at the head of `writer`'s ring on `node` carrying
-  // `image` for `key` (primary = writer). When `torn`, the per-line versions
-  // are left stale so the image is inconsistent with its seqnum — exactly
-  // what a writer that died mid-slot leaves behind.
+  // Forges a *decided* log slot at the head of one of `writer`'s lane rings
+  // on `node` carrying `image` for `key` (primary = writer), with the lane's
+  // watermark published past it — what a writer that died right after its
+  // commit decision leaves behind. A torn caller passes an image whose
+  // per-line versions are stale (inconsistent with its seqnum): the writer
+  // died mid-slot-write after the decision word landed.
   void ForgeSlot(uint32_t node, uint32_t writer, uint64_t key, const std::byte* image,
                  size_t image_len) {
-    const cluster::Node* n0 = cluster_->node(0);
-    const RingGeometry ring =
-        RingGeometry::For(n0->log_begin(), n0->log_size(), nodes_, writer,
-                          replicator_->config().max_record_bytes);
+    const uint32_t lane = replicator_->LaneOf(cluster_->node(writer)->context(0));
+    const RingGeometry ring = replicator_->Ring(lane);
     LogSlotHeader hdr{};
     hdr.stamp = 1;  // index 0
     hdr.txn_id = 0xf0f0;
@@ -106,6 +113,7 @@ class RecoveryFaultTest : public ::testing::Test {
     hdr.table_id = kTableId;
     hdr.primary = writer;
     hdr.image_len = static_cast<uint32_t>(image_len);
+    hdr.flags = kSlotCommitted;
     // An intact header fold: the torn-image case must be detected from the
     // payload lines disagreeing with the seqnum, not from a garbled header.
     hdr.check = FoldLogSlotHeader(hdr);
@@ -113,6 +121,7 @@ class RecoveryFaultTest : public ::testing::Test {
     std::memcpy(slot.data(), &hdr, sizeof(hdr));
     std::memcpy(slot.data() + sizeof(hdr), image, image_len);
     cluster_->node(node)->bus()->Write(nullptr, ring.slot_offset(0), slot.data(), slot.size());
+    cluster_->node(node)->bus()->WriteU64(nullptr, ring.watermark_offset(), 1);
   }
 
   // Reads the record for partition `part`, key index `i` through the current
@@ -225,6 +234,93 @@ TEST_F(RecoveryFaultTest, TornInFlightLogEntryIsDiscardedDuringPromotion) {
   }
   ReadRecord(kDead, 0, &c, &seq);
   EXPECT_EQ(c.value, kInitialBalance + 1);
+}
+
+// A kill in the middle of an open group-commit window (decisions made, fence
+// never issued) must lose nothing: the per-lane watermark covers every
+// decided slot the moment the decision lands, so promotion rolls all of them
+// forward, while the one transaction still in flight at the kill — staged at
+// lock time, never decided — is truncated and rolled back (§5.2, DESIGN.md
+// §13 watermark contract).
+TEST_F(RecoveryFaultTest, MidWindowKillLosesNoDecidedUpdates) {
+  Build(/*nodes=*/3, /*keys_per_node=*/6, /*group_commit_window=*/64);
+  constexpr uint32_t kDead = 1;
+  constexpr uint32_t kHost = 2;
+  constexpr uint64_t kCommitted = 5;  // decided inside the open window
+
+  obs::Registry::Global().Enable(true);
+  obs::Registry::Global().Reset();
+
+  // kCommitted transactions from the doomed node, all inside one open window:
+  // with a 64-txn window and the age-based close disabled, no fence runs
+  // between the first decision and the kill.
+  sim::ThreadContext* ctx = cluster_->node(kDead)->context(0);
+  txn::Transaction txn(engine_.get(), ctx);
+  for (uint64_t i = 0; i < kCommitted; ++i) {
+    bool committed = false;
+    for (int attempt = 0; attempt < 100 && !committed; ++attempt) {
+      txn.Begin();
+      Cell v{};
+      if (txn.Read(table_, kDead, KeyOf(kDead, i), &v) != Status::kOk) {
+        txn.UserAbort();
+        continue;
+      }
+      v.value = kInitialBalance + 100 + static_cast<int64_t>(i);
+      if (txn.Write(table_, kDead, KeyOf(kDead, i), &v) != Status::kOk) {
+        txn.UserAbort();
+        continue;
+      }
+      committed = txn.Commit() == Status::kOk;
+    }
+    ASSERT_TRUE(committed) << "key index " << i;
+  }
+  {
+    const obs::Snapshot snap = obs::Registry::Global().Collect();
+    ASSERT_EQ(snap.counter(obs::Counter::kRepWindowFlushes), 0u)
+        << "window closed early — the kill would not land mid-window";
+  }
+  obs::Registry::Global().Enable(false);
+  obs::Registry::Global().Reset();
+
+  // ...plus one transaction still in flight at the kill: staged at lock time
+  // (speculative slot past the watermark), never decided.
+  {
+    const uint64_t off = table_->hash(kDead)->Lookup(nullptr, KeyOf(kDead, 5));
+    std::vector<std::byte> img(table_->record_bytes());
+    cluster_->node(kDead)->bus()->Read(nullptr, off, img.data(), img.size());
+    const uint64_t old_seq = RecordLayout::GetSeq(img.data());
+    Cell spec{kInitialBalance + 999999, {}};
+    RecordLayout::SetSeq(img.data(), old_seq + 2);
+    RecordLayout::ScatterValue(img.data(), &spec, sizeof(spec));
+    RecordLayout::SetVersions(img.data(), sizeof(Cell), old_seq + 2);
+    ASSERT_TRUE(RecordLayout::ImageConsistent(img.data(), img.size()));
+    ASSERT_EQ(replicator_->StageUpdate(ctx, /*txn_id=*/0xabcd, kDead, kTableId, KeyOf(kDead, 5),
+                                       off, img.data(), img.size()),
+              Status::kOk);
+  }
+
+  cluster_->Kill(kDead);
+  coordinator_->Remove(kDead);
+
+  RecoveryManager rm(engine_.get(), replicator_.get(), coordinator_.get());
+  const RecoveryReport report =
+      rm.RecoverAfterFailure(cluster_->node(kHost)->tool_context(), kDead, kHost, pmap_.get());
+  EXPECT_GE(report.records_rehosted, keys_per_node_);
+  EXPECT_EQ(pmap_->node_of(kDead), kHost);
+  // The speculative slot (beyond the watermark) was discarded, not applied.
+  EXPECT_GE(report.torn_tail_truncated, 1u);
+
+  // Zero lost updates: every decided-but-unfenced commit is visible on the
+  // promoted copy...
+  Cell c{};
+  uint64_t seq = 0;
+  for (uint64_t i = 0; i < kCommitted; ++i) {
+    ReadRecord(kDead, i, &c, &seq);
+    EXPECT_EQ(c.value, kInitialBalance + 100 + static_cast<int64_t>(i)) << "key index " << i;
+  }
+  // ...and the in-flight transaction was rolled back.
+  ReadRecord(kDead, 5, &c, &seq);
+  EXPECT_EQ(c.value, kInitialBalance);
 }
 
 // Recovery is safe to run concurrently with surviving workers: promotion and

@@ -81,15 +81,22 @@ struct Cell {
   uint64_t pad[9];  // 80 bytes: record spans 2 cache lines
 };
 
-class ReplicationTest : public ::testing::Test {
+// Parameterized over the commit path: false = classic two-verb lock+validate,
+// true = GLOB-fused single-verb lock+validate (§4.4) — the replication
+// contract must be identical under both.
+class ReplicationTest : public ::testing::TestWithParam<bool> {
  protected:
   static constexpr uint32_t kTable = 1;
 
-  ReplicationTest() {
+  void SetUp() override {
+    const bool fused = GetParam();
     cfg_.num_nodes = 3;
     cfg_.workers_per_node = 4;
     cfg_.memory_bytes = 16 << 20;
     cfg_.log_bytes = 4 << 20;
+    if (fused) {
+      cfg_.atomicity = sim::AtomicityLevel::kGlob;
+    }
     cluster_ = std::make_unique<cluster::Cluster>(cfg_);
     catalog_ = std::make_unique<store::Catalog>(cluster_.get());
     store::TableOptions opt;
@@ -109,6 +116,7 @@ class ReplicationTest : public ::testing::Test {
     txn::TxnConfig tcfg;
     tcfg.replication = true;
     tcfg.replicas = 3;
+    tcfg.fused_seq_lock = fused;
     engine_ = std::make_unique<txn::TxnEngine>(cluster_.get(), catalog_.get(), tcfg,
                                                coordinator_.get(), replicator_.get());
     engine_->StartServices();
@@ -119,7 +127,11 @@ class ReplicationTest : public ::testing::Test {
     }
   }
 
-  ~ReplicationTest() override { engine_->StopServices(); }
+  ~ReplicationTest() override {
+    if (engine_ != nullptr) {
+      engine_->StopServices();
+    }
+  }
 
   uint32_t HomeOf(uint64_t k) const { return static_cast<uint32_t>(k % 3); }
 
@@ -184,7 +196,7 @@ class ReplicationTest : public ::testing::Test {
   std::unique_ptr<txn::TxnEngine> engine_;
 };
 
-TEST_F(ReplicationTest, CommitLeavesRecordCommittable) {
+TEST_P(ReplicationTest, CommitLeavesRecordCommittable) {
   const uint64_t seq_before = RecordSeq(3);
   EXPECT_EQ(seq_before % 2, 0u);
   CommitUpdate(0, 3, 500);
@@ -193,7 +205,7 @@ TEST_F(ReplicationTest, CommitLeavesRecordCommittable) {
   EXPECT_EQ(ReadCommitted(1, HomeOf(3), 3), 500u);
 }
 
-TEST_F(ReplicationTest, LogWrittenToBothBackups) {
+TEST_P(ReplicationTest, LogWrittenToBothBackups) {
   const uint64_t before = replicator_->log_writes() + replicator_->entries_applied();
   CommitUpdate(0, 3, 700);  // key 3 is local to node 0
   // Two backup copies must receive the update (via RDMA log or local apply).
@@ -214,7 +226,7 @@ TEST_F(ReplicationTest, LogWrittenToBothBackups) {
   }
 }
 
-TEST_F(ReplicationTest, UncommittableRecordBlocksWriters) {
+TEST_P(ReplicationTest, UncommittableRecordBlocksWriters) {
   // Force key 6 (node 0) into the odd (committed-but-unreplicated) state.
   const uint64_t off = table_->hash(0)->Lookup(nullptr, 6);
   const uint64_t seq = cluster_->node(0)->bus()->ReadU64(nullptr, off + RecordLayout::kSeqOff);
@@ -238,7 +250,7 @@ TEST_F(ReplicationTest, UncommittableRecordBlocksWriters) {
   EXPECT_EQ(t.Commit(), Status::kOk);
 }
 
-TEST_F(ReplicationTest, OptimisticReadOfOddRecordCommitsAfterMakeup) {
+TEST_P(ReplicationTest, OptimisticReadOfOddRecordCommitsAfterMakeup) {
   const uint64_t off = table_->hash(0)->Lookup(nullptr, 9);
   const uint64_t seq = cluster_->node(0)->bus()->ReadU64(nullptr, off + RecordLayout::kSeqOff);
   cluster_->node(0)->bus()->WriteU64(nullptr, off + RecordLayout::kSeqOff, seq + 1);
@@ -258,7 +270,7 @@ TEST_F(ReplicationTest, OptimisticReadOfOddRecordCommitsAfterMakeup) {
   EXPECT_EQ(t.Commit(), Status::kOk);
 }
 
-TEST_F(ReplicationTest, RemoteUpdateReplicates) {
+TEST_P(ReplicationTest, RemoteUpdateReplicates) {
   CommitUpdate(/*from_node=*/1, /*key=*/3, 900);  // key 3 lives on node 0: remote commit
   EXPECT_EQ(ReadCommitted(2, HomeOf(3), 3), 900u);
   for (uint32_t n = 0; n < 3; ++n) {
@@ -271,7 +283,7 @@ TEST_F(ReplicationTest, RemoteUpdateReplicates) {
   EXPECT_EQ(c.value, 900u);
 }
 
-TEST_F(ReplicationTest, RingWrapAroundManyUpdates) {
+TEST_P(ReplicationTest, RingWrapAroundManyUpdates) {
   // Push enough updates through one ring to wrap it several times; the
   // consumer (service threads) must keep up via flow control.
   for (int i = 0; i < 400; ++i) {
@@ -288,7 +300,7 @@ TEST_F(ReplicationTest, RingWrapAroundManyUpdates) {
   EXPECT_EQ(c.value, 1399u);
 }
 
-TEST_F(ReplicationTest, RecoveryRevivesDeadNodesData) {
+TEST_P(ReplicationTest, RecoveryRevivesDeadNodesData) {
   // Update a few records, then kill node 1 and recover onto node 2.
   CommitUpdate(0, 1, 111);   // key 1 on node 1
   CommitUpdate(0, 4, 444);   // key 4 on node 1
@@ -328,7 +340,7 @@ TEST_F(ReplicationTest, RecoveryRevivesDeadNodesData) {
   EXPECT_EQ(ReadCommitted(0, 2, 1), 112u);
 }
 
-TEST_F(ReplicationTest, RecoveryPatchesPartialWriteBack) {
+TEST_P(ReplicationTest, RecoveryPatchesPartialWriteBack) {
   // Simulate a writer (node 1) dying between R.1 (logs durable) and C.5
   // (remote write-back): the log holds seq+2 while the primary still has the
   // old value, locked by the dead writer.
@@ -360,7 +372,7 @@ TEST_F(ReplicationTest, RecoveryPatchesPartialWriteBack) {
   EXPECT_EQ(ReadCommitted(0, 0, 3), 31337u);
 }
 
-TEST_F(ReplicationTest, ConcurrentReplicatedTransfersConserveMoney) {
+TEST_P(ReplicationTest, ConcurrentReplicatedTransfersConserveMoney) {
   constexpr uint64_t kTotal = 12 * 100;
   std::vector<std::thread> threads;
   for (uint32_t n = 0; n < 3; ++n) {
@@ -425,6 +437,11 @@ TEST_F(ReplicationTest, ConcurrentReplicatedTransfersConserveMoney) {
   }
   EXPECT_EQ(backup_total, kTotal);
 }
+
+INSTANTIATE_TEST_SUITE_P(CommitPath, ReplicationTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "fused" : "twoverb";
+                         });
 
 }  // namespace
 }  // namespace drtmr::rep

@@ -115,6 +115,67 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<2>(info.param));
     });
 
+// ---- group commit: decisions outlive their durability fence ----
+
+// With a group-commit window open (several decisions per fence), a kill can
+// land mid-window: decided-but-unfenced slots must survive via the watermark
+// (zero lost updates) while speculative slots of in-flight transactions are
+// truncated. The no-oracle variant makes the membership layer drive that
+// recovery itself.
+class GroupCommitSweep : public ::testing::TestWithParam<TorturePlanKind> {};
+
+TEST_P(GroupCommitSweep, WatermarkContractHoldsMidWindow) {
+  const TorturePlanKind kind = GetParam();
+  const uint64_t base = util::TestSeed();
+  const uint64_t num_seeds = util::EnvCount("DRTMR_TORTURE_SEEDS", 2);
+  for (uint64_t s = 0; s < num_seeds; ++s) {
+    TortureOptions opt;
+    opt.shape.nodes = 3;
+    opt.shape.workers = 2;
+    opt.shape.replicas = 3;
+    opt.shape.group_commit_window = 8;
+    opt.seed = base + s * 7919 + 23;
+    opt.plan_kind = kind;
+    const TortureResult r = RunTorture(opt);
+    EXPECT_TRUE(r.ok) << "repro: seed=" << opt.seed << " plan=" << TorturePlanKindName(kind)
+                      << " shape=3x2x3 window=8\n"
+                      << MakeTorturePlan(kind, opt.seed, 3).Describe() << "\n"
+                      << r.Summary();
+    EXPECT_GT(r.committed, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Window8, GroupCommitSweep,
+                         ::testing::Values(TorturePlanKind::kClean, TorturePlanKind::kDelay,
+                                           TorturePlanKind::kKill),
+                         [](const ::testing::TestParamInfo<TorturePlanKind>& info) {
+                           std::string name = TorturePlanKindName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(GroupCommitNoOracle, MidWindowKillFailsOverAutomatically) {
+  const uint64_t num_seeds = util::EnvCount("DRTMR_TORTURE_SEEDS", 2);
+  for (uint64_t s = 0; s < num_seeds; ++s) {
+    TortureOptions opt;
+    opt.shape.nodes = 3;
+    opt.shape.workers = 2;
+    opt.shape.replicas = 3;
+    opt.shape.group_commit_window = 8;
+    opt.seed = util::TestSeed() + s * 7919 + 29;
+    opt.plan_kind = TorturePlanKind::kKill;
+    opt.no_oracle = true;
+    const TortureResult r = RunTorture(opt);
+    EXPECT_TRUE(r.ok) << "repro: seed=" << opt.seed
+                      << " plan=kill shape=3x2x3 window=8 (no-oracle)\n"
+                      << r.Summary();
+    EXPECT_GE(r.suspicions, 1u) << "seed=" << opt.seed;
+    EXPECT_GE(r.recoveries, 1u) << "seed=" << opt.seed;
+  }
+}
+
 // ---- teeth: a deliberately broken engine must FAIL the checker ----
 
 // Skipping commit-time read validation admits stale reads; the dependency
@@ -156,6 +217,19 @@ TEST(TortureTeeth, DroppedVerbsAreCaught) {
   EXPECT_FALSE(r.ok) << "oracles passed a run on a lossy fabric (seed=" << opt.seed << ")\n"
                      << r.Summary();
 }
+
+// Slot-lifecycle teeth (RepConfig::TestOverrides — pump ignoring the
+// watermark, pump applying tombstones, watermark published at stage time)
+// live in tests/rep_batching_test.cc, where each override's damage is
+// provoked and caught deterministically. A sweep-level EXPECT_FALSE here
+// would be flaky by construction: a stage-then-abort needs a validation
+// failure *after* lock acquisition (rare — most aborts happen at the lock
+// CAS, before staging), and any later commit on the same key overwrites
+// the poisoned image at a higher seq (BackupStore::Apply is freshest-wins),
+// so workers retrying until success launder almost every poisoned slot
+// before quiescence. The backup-convergence audit the sweeps DO run
+// (src/chk/torture.cc) still catches surviving divergence: a backup ahead
+// of its primary or disagreeing at equal seq fails the run.
 
 }  // namespace
 }  // namespace drtmr::chk
