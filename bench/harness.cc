@@ -263,6 +263,9 @@ SmallBankStack::SmallBankStack(const SmallBankBenchConfig& cfg) {
   cluster = std::make_unique<cluster::Cluster>(ccfg);
   catalog = std::make_unique<store::Catalog>(cluster.get());
   pmap = std::make_unique<cluster::PartitionMap>(cfg.machines);
+  if (cfg.pre_load) {
+    cfg.pre_load(pmap.get());
+  }
   coordinator = std::make_unique<cluster::Coordinator>();
   for (uint32_t i = 0; i < cfg.machines; ++i) {
     coordinator->Join(i, 0, ~0ull >> 2);
@@ -303,6 +306,7 @@ SmallBankStack::~SmallBankStack() { engine->StopServices(); }
 
 DriverResult SmallBankStack::Run(const SmallBankBenchConfig& cfg) {
   DriverOptions opt;
+  opt.nodes = cfg.load_nodes;
   opt.threads_per_node = cfg.threads;
   opt.txns_per_thread = cfg.txns_per_thread;
   opt.warmup_per_thread = cfg.warmup_per_thread;

@@ -68,6 +68,15 @@ struct SmallBankBenchConfig {
   uint32_t group_commit_window = 8;
   // Diagnostics: print engine statistics (aborts, fallbacks) after the run.
   bool print_stats = false;
+  // Elasticity hooks (the suite's "elastic" entry). load_nodes restricts the
+  // driver's load threads to the first N nodes (0 = all machines) so a
+  // 6-machine cluster can run a 3-node placement without starving
+  // PickLocalPartition. pre_load runs after the partition map is created and
+  // before the workload loads, so it can re-shape the initial placement
+  // (e.g. fold partitions 3-5 onto nodes 0-2) and the loader seeds records
+  // at the re-shaped homes.
+  uint32_t load_nodes = 0;
+  std::function<void(cluster::PartitionMap*)> pre_load;
 };
 
 // Self-description header stamped into every --metrics-json file (DESIGN.md

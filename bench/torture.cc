@@ -15,6 +15,12 @@
 // anyone — detection, epoch fencing, re-hosting, and rejoin must all happen
 // automatically before the quiescence oracles run. Requires replicas >= 2.
 //
+// --migrate (implies --no-oracle) additionally drives a live shard migration
+// mid-run on every seed (src/rep/migration.h): a seed-derived partition moves
+// to a seed-derived destination while the workers keep committing — and on
+// odd seeds moves back — so faults land mid-flight and the quiescence oracles
+// judge whatever placement the commit-or-rollback machinery produced.
+//
 // --analyze runs every seed under the protocol conformance analyzer
 // (src/chk/protocol_analyzer.h); any typed protocol violation fails the run.
 // --violations-json=PATH (implies --analyze) writes the first failing run's
@@ -100,6 +106,7 @@ int Main(int argc, char** argv) {
   double zipf_theta = 0.0;  // --zipf=0.9 for hot-key soak runs
   bool shrink = true;
   bool no_oracle = false;
+  bool migrate = false;
   bool analyze = false;
   std::string violations_json;
   std::vector<TorturePlanKind> plans = {TorturePlanKind::kClean,    TorturePlanKind::kDelay,
@@ -125,6 +132,9 @@ int Main(int argc, char** argv) {
       shrink = false;
     } else if (std::strcmp(a, "--no-oracle") == 0) {
       no_oracle = true;
+    } else if (std::strcmp(a, "--migrate") == 0) {
+      migrate = true;
+      no_oracle = true;  // cutover runs on the epoch-fence substrate
     } else if (std::strcmp(a, "--analyze") == 0) {
       analyze = true;
     } else if (std::strncmp(a, "--violations-json=", 18) == 0) {
@@ -154,7 +164,8 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: torture [--seeds=N] [--start-seed=S] [--plans=a,b] "
                    "[--shapes=3x2x3] [--txns=N] [--keys=N] [--window=N] [--zipf=THETA] "
-                   "[--no-shrink] [--no-oracle] [--analyze] [--violations-json=PATH]\n");
+                   "[--no-shrink] [--no-oracle] [--migrate] [--analyze] "
+                   "[--violations-json=PATH]\n");
       return 2;
     }
   }
@@ -184,6 +195,7 @@ int Main(int argc, char** argv) {
         opt.seed = start_seed + s;
         opt.plan_kind = kind;
         opt.no_oracle = no_oracle;
+        opt.migrate = migrate;
         opt.analyze = analyze;
         const TortureResult r = RunTorture(opt);
         ++runs;

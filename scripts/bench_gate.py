@@ -36,10 +36,16 @@ import os
 import sys
 
 GATED_SUFFIXES = ("_tps", "_ns")
+# Correctness bits (1 = clean run): must never drop from 1 to 0.
+CORRECTNESS_KEYS = ("torture_ok", "elastic_ok")
+# The elastic entry's zero-downtime bar: the scale-out/in throughput dip is
+# gated absolutely (must stay under this), not relative to the baseline.
+DIP_PCT_MAX = 10.0
 
 
 def is_gated(key):
-    return key.endswith(GATED_SUFFIXES) or key == "torture_ok"
+    return (key.endswith(GATED_SUFFIXES) or key in CORRECTNESS_KEYS
+            or key in ("dip_pct", "migration_ms"))
 
 
 def load(path):
@@ -94,8 +100,12 @@ def compare_results(base, cur, tolerance, overrides=None):
         delta_pct = ((cval - bval) / bval * 100.0) if bval else 0.0
         tol = overrides.get(key, tolerance)
         ok = True
-        if key == "torture_ok":
+        if key in CORRECTNESS_KEYS:
             ok = cval >= bval
+        elif key == "dip_pct":
+            ok = cval < DIP_PCT_MAX
+        elif key == "migration_ms" and bval > 0:
+            ok = cval <= bval * (1.0 + tol)
         elif key.endswith("_tps") and bval > 0:
             ok = cval >= bval * (1.0 - tol)
         elif key.endswith("_ns") and bval > 0:
@@ -110,9 +120,15 @@ def compare_results(base, cur, tolerance, overrides=None):
         if key in overrides:
             deltas[key]["tolerance"] = tol
         if not ok:
-            direction = "fell" if key.endswith("_tps") else "rose"
-            failures.append(f"{key} {direction} {abs(delta_pct):.1f}% "
-                            f"({bval:.0f} -> {cval:.0f})")
+            if key == "dip_pct":
+                failures.append(f"dip_pct {cval:.1f} breaches the absolute "
+                                f"{DIP_PCT_MAX:.0f}% zero-downtime bar")
+            elif key in CORRECTNESS_KEYS:
+                failures.append(f"{key} dropped {bval:.0f} -> {cval:.0f}")
+            else:
+                direction = "fell" if key.endswith("_tps") else "rose"
+                failures.append(f"{key} {direction} {abs(delta_pct):.1f}% "
+                                f"({bval:.0f} -> {cval:.0f})")
     for key in cur:
         if key not in base:
             deltas[key] = {"base": None, "cur": cur[key], "ok": True, "new": True}

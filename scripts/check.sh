@@ -78,6 +78,14 @@ echo "== full cycle: no-oracle failover acceptance sweep (32 seeds, analyzer on)
 ./build/bench/torture --seeds=32 --plans=freeze,partition,kill \
   --shapes=3x2x3,4x2x3 --no-oracle --no-shrink --analyze
 
+echo "== full cycle: mid-migration kill sweep (32 seeds, no oracle) =="
+# A live shard migration is in flight on every seed (--migrate implies
+# --no-oracle) when the kill lands: the migration must commit or roll back
+# cleanly on its own, and the quiescence oracles judge whichever placement
+# the commit-or-rollback machinery produced (DESIGN.md §14).
+./build/bench/torture --seeds=32 --plans=kill --shapes=3x2x3 \
+  --migrate --no-shrink
+
 echo "== full cycle: group-commit torture sweep (32 seeds, window=8) =="
 # Kills land inside an open group-commit window: every decided slot must
 # survive through the per-lane watermark (zero lost updates) and every

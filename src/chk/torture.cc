@@ -17,6 +17,7 @@
 #include "src/cluster/membership.h"
 #include "src/cluster/node.h"
 #include "src/cluster/partition_map.h"
+#include "src/rep/migration.h"
 #include "src/rep/primary_backup.h"
 #include "src/rep/recovery.h"
 #include "src/sim/htm.h"
@@ -25,6 +26,7 @@
 #include "src/store/table.h"
 #include "src/txn/transaction.h"
 #include "src/txn/txn_engine.h"
+#include "src/util/backoff.h"
 #include "src/util/logging.h"
 #include "src/util/rand.h"
 #include "src/util/time_gate.h"
@@ -178,6 +180,10 @@ std::string TortureResult::Summary() const {
     os << "\n  failover: " << suspicions << " suspicions, " << epoch_changes
        << " epoch changes, " << recoveries << " recoveries, " << rejoins << " rejoins";
   }
+  if (migrations > 0) {
+    os << "\n  migration: " << migrations << " started, " << migrations_committed
+       << " committed, " << migrations_rolled_back << " rolled back";
+  }
   os << "\n  checker: " << check.Summary();
   if (violations > 0) {
     os << "\n  analyzer: " << violations << " protocol violation(s)";
@@ -304,6 +310,21 @@ TortureResult RunTorture(const TortureOptions& opt) {
     membership->Start();
   }
 
+  // --- live-migration layer (DESIGN.md §14) ---
+  // Built before the worker threads exist so the write-admission block is
+  // registered with the engine from the first commit.
+  std::unique_ptr<rep::MigrationManager> migrator;
+  if (opt.migrate) {
+    DRTMR_CHECK(opt.no_oracle)
+        << "migrate mode needs the epoch-fence substrate (no_oracle)";
+    rep::MigrationSpec mspec;
+    mspec.tables = {table};
+    mspec.partition_of = [](uint64_t key) { return static_cast<uint32_t>(key >> 16); };
+    mspec.seed = opt.seed;
+    migrator = std::make_unique<rep::MigrationManager>(&engine, replicator.get(),
+                                                       &coordinator, &pmap, std::move(mspec));
+  }
+
   TortureResult result;
   result.killed = victim != sim::FaultPlan::kAnyNode;
   std::mutex err_mu;
@@ -339,6 +360,11 @@ TortureResult RunTorture(const TortureOptions& opt) {
         sim::ThreadContext* ctx = cluster.node(n)->context(w);
         txn::Transaction txn(&engine, ctx);
         FastRand rng(opt.seed * 131 + n * 31 + w + 5);
+        // Jittered escalation for routing rejections (kStaleEpoch/kMigrating):
+        // the drain window is bounded, so callers back off rather than spin.
+        // Draws from `rng` only on the rejection paths, so fault-free
+        // histories stay byte-identical for existing seeds.
+        util::Backoff route_backoff = util::Backoff::Exponential(400, 1600, /*max_shift=*/7);
         std::atomic<uint64_t>& stage = *dbg_stage[n * shape.workers + w];
         uint64_t done = 0;
         uint64_t attempts = 0;
@@ -362,24 +388,44 @@ TortureResult RunTorture(const TortureOptions& opt) {
           }
           const int64_t amt = 1 + static_cast<int64_t>(rng.Uniform(9));
           txn.Begin();
+          // Route once per attempt, after Begin, against this transaction's
+          // begin epoch: an entry flipped under a newer epoch (recovery or a
+          // migration cutover) rejects the stale router here instead of
+          // wasting the commit path, and a partition inside its migration
+          // write-drain window rejects writers outright. Legacy non-fenced
+          // runs pass ~0 and accept every entry (begin_epoch stays 0 there
+          // while scripted recovery raises entry epochs).
+          const uint64_t be = engine.fencing() ? txn.begin_epoch() : ~0ull;
+          uint32_t fn = 0, tn = 0;
+          if (pmap.Route(fp, be, /*for_write=*/true, &fn) != Status::kOk ||
+              pmap.Route(tp, be, /*for_write=*/true, &tn) != Status::kOk) {
+            txn.UserAbort();
+            ctx->Charge(route_backoff.NextDelay(&rng));
+            continue;
+          }
+          route_backoff.Reset();
           Cell a{}, b{};
           stage.store(attempts * 10 + 2, std::memory_order_relaxed);
-          if (txn.Read(table, pmap.node_of(fp), from, &a) != Status::kOk ||
-              txn.Read(table, pmap.node_of(tp), to, &b) != Status::kOk) {
+          if (txn.Read(table, fn, from, &a) != Status::kOk ||
+              txn.Read(table, tn, to, &b) != Status::kOk) {
             txn.UserAbort();
             continue;
           }
           a.value -= amt;
           b.value += amt;
           stage.store(attempts * 10 + 3, std::memory_order_relaxed);
-          if (txn.Write(table, pmap.node_of(fp), from, &a) != Status::kOk ||
-              txn.Write(table, pmap.node_of(tp), to, &b) != Status::kOk) {
+          if (txn.Write(table, fn, from, &a) != Status::kOk ||
+              txn.Write(table, tn, to, &b) != Status::kOk) {
             txn.UserAbort();
             continue;
           }
           stage.store(attempts * 10 + 4, std::memory_order_relaxed);
-          if (txn.Commit() == Status::kOk) {
+          const Status cs = txn.Commit();
+          if (cs == Status::kOk) {
             ++done;
+          } else if (cs == Status::kMigrating) {
+            // The write drain raced our admission check; wait it out.
+            ctx->Charge(route_backoff.NextDelay(&rng));
           }
         }
         // A surviving worker flushes its group-commit window before leaving;
@@ -397,6 +443,41 @@ TortureResult RunTorture(const TortureOptions& opt) {
         }
       });
     }
+  }
+  // Live-migration control thread: once the workers have built up virtual
+  // time, move a seed-derived partition to a seed-derived destination while
+  // they keep committing; odd seeds then move it back. Faults are NOT
+  // consulted — a kill or freeze landing mid-flight must be absorbed by the
+  // migration's own commit-or-rollback machinery.
+  std::thread migration_thread;
+  if (migrator != nullptr) {
+    migration_thread = std::thread([&] {
+      FastRand mrng(opt.seed * 0x9e3779b97f4a7c15ull + 0x6d19);
+      const uint32_t part = static_cast<uint32_t>(mrng.Uniform(nodes));
+      const uint32_t dst =
+          (part + 1 + static_cast<uint32_t>(mrng.Uniform(nodes - 1))) % nodes;
+      const uint64_t launch_ns = 40'000 + mrng.Uniform(40'000);
+      // Wait (in real time) for some worker clock to pass the launch instant;
+      // the workers finishing first is fine — the migration then runs against
+      // a quiet cluster and the sweeps audit the moved placement all the same.
+      const auto launch_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (running.load(std::memory_order_relaxed) > 0 &&
+             std::chrono::steady_clock::now() < launch_deadline) {
+        uint64_t frontier = 0;
+        for (uint32_t i = 0; i < nodes; ++i) {
+          frontier = std::max(frontier, cluster.node(i)->context(0)->clock.now_ns());
+        }
+        if (frontier >= launch_ns) {
+          break;
+        }
+        std::this_thread::yield();
+      }
+      const rep::MigrationReport r1 = migrator->MigratePartition(part, dst);
+      if (r1.status == Status::kOk && (opt.seed & 1) != 0) {
+        (void)migrator->MigratePartition(part, r1.source);
+      }
+    });
   }
   std::thread monitor;
   std::atomic<bool> monitor_stop{false};
@@ -465,6 +546,14 @@ TortureResult RunTorture(const TortureOptions& opt) {
   }
   for (auto& t : auditors) {
     t.join();
+  }
+  if (migration_thread.joinable()) {
+    migration_thread.join();
+  }
+  if (migrator != nullptr) {
+    result.migrations = migrator->migrations_started();
+    result.migrations_committed = migrator->migrations_committed();
+    result.migrations_rolled_back = migrator->migrations_rolled_back();
   }
   if (monitor.joinable()) {
     monitor_stop.store(true);
@@ -721,29 +810,38 @@ TortureResult RunTorture(const TortureOptions& opt) {
       // aborted image leaking past the watermark breaks one of the two.
       if (replicator != nullptr) {
         const uint64_t primary_seq = store::RecordLayout::GetSeq(rec.data());
-        for (uint32_t r = 1; r < shape.replicas; ++r) {
-          const uint32_t b = cluster.BackupOf(p, r);
-          if (b == p || (result.killed && b == victim)) {
-            continue;
-          }
-          std::vector<std::byte> img;
-          if (!replicator->backup_store(b)->Get(kTableId, p, KeyOf(p, i), &img)) {
-            continue;
-          }
-          const uint64_t backup_seq = store::RecordLayout::GetSeq(img.data());
-          if (backup_seq > primary_seq) {
-            flag("backup " + std::to_string(b) + " ahead of primary on partition " +
-                 std::to_string(p) + " key " + std::to_string(i) + " (seq " +
-                 std::to_string(backup_seq) + " > " + std::to_string(primary_seq) +
-                 "): an undecided or aborted image was applied");
-          } else if (backup_seq == primary_seq) {
-            Cell bc{};
-            store::RecordLayout::GatherValue(img.data(), &bc, sizeof(bc));
-            if (bc.value != c.value) {
-              flag("backup " + std::to_string(b) + " diverges at seq " +
-                   std::to_string(backup_seq) + " on partition " + std::to_string(p) +
-                   " key " + std::to_string(i) + ": backup value " + std::to_string(bc.value) +
-                   " != committed " + std::to_string(c.value));
+        // A record's backup ring lives under its primary's name: the
+        // seed-time ring under p, and — after a committed live migration or
+        // an automatic re-host — a re-seeded ring under the current owner n.
+        // Audit both; a ring frozen at drain time must never be ahead of the
+        // primary either, and an equal seq still names a unique image.
+        const uint32_t homes[2] = {p, n};
+        for (uint32_t h = 0; h < (n == p ? 1u : 2u); ++h) {
+          const uint32_t home = homes[h];
+          for (uint32_t r = 1; r < shape.replicas; ++r) {
+            const uint32_t b = cluster.BackupOf(home, r);
+            if (b == n || (result.killed && b == victim)) {
+              continue;
+            }
+            std::vector<std::byte> img;
+            if (!replicator->backup_store(b)->Get(kTableId, home, KeyOf(p, i), &img)) {
+              continue;
+            }
+            const uint64_t backup_seq = store::RecordLayout::GetSeq(img.data());
+            if (backup_seq > primary_seq) {
+              flag("backup " + std::to_string(b) + " (ring of " + std::to_string(home) +
+                   ") ahead of primary on partition " + std::to_string(p) + " key " +
+                   std::to_string(i) + " (seq " + std::to_string(backup_seq) + " > " +
+                   std::to_string(primary_seq) + "): an undecided or aborted image was applied");
+            } else if (backup_seq == primary_seq) {
+              Cell bc{};
+              store::RecordLayout::GatherValue(img.data(), &bc, sizeof(bc));
+              if (bc.value != c.value) {
+                flag("backup " + std::to_string(b) + " (ring of " + std::to_string(home) +
+                     ") diverges at seq " + std::to_string(backup_seq) + " on partition " +
+                     std::to_string(p) + " key " + std::to_string(i) + ": backup value " +
+                     std::to_string(bc.value) + " != committed " + std::to_string(c.value));
+              }
             }
           }
         }

@@ -142,6 +142,11 @@ uint64_t Coordinator::epoch() const {
   return epoch_;
 }
 
+uint64_t Coordinator::BumpEpoch() {
+  std::lock_guard<std::mutex> g(mu_);
+  return ++epoch_;
+}
+
 bool Coordinator::SafeToStealLocksOf(uint32_t node, uint64_t now) const {
   std::lock_guard<std::mutex> g(mu_);
   for (const auto& m : members_) {

@@ -63,6 +63,11 @@ class Coordinator {
   ClusterView view() const;
   uint64_t epoch() const;
 
+  // Commits a new configuration epoch with an unchanged member set. Planned
+  // reconfiguration (live shard migration cutover) uses this to fence
+  // in-flight transactions begun under the pre-cutover partition placement.
+  uint64_t BumpEpoch();
+
   // Lease-expiry removals record the lease deadline as a tombstone; a
   // survivor may steal the removed owner's locks only after
   // deadline + steal grace has passed on the survivor's clock, bounding the

@@ -286,7 +286,9 @@ void MembershipService::ProcessViewChange(const ClusterView& view, sim::ThreadCo
       const uint32_t host = PickHost(view, d);
       for (uint32_t p = 0; p < pmap_->num_partitions(); ++p) {
         if (pmap_->node_of(p) == d) {
-          pmap_->Rehost(p, host);
+          // Carry the committed view's epoch: a racing migration cutover with
+          // a newer epoch wins the CAS and its flip stands.
+          pmap_->Rehost(p, host, view.epoch);
         }
       }
     }

@@ -1,8 +1,18 @@
 // Partition -> hosting-node map. Workloads shard by partition (e.g. one
 // TPC-C warehouse group per partition); after a failure, recovery re-hosts
-// the dead machine's partitions on survivors and updates this map (§5.2:
-// "the instance on failed machine will be recovered on one of the surviving
-// machines"). Lock-free reads on the hot path.
+// the dead machine's partitions on survivors, and live migration re-hosts
+// them proactively during scale-out/in. Lock-free reads on the hot path.
+//
+// Each entry packs (epoch, migrating, owner) into one 64-bit word so a
+// routing read observes a *consistent* pair — the stale-routing hole of the
+// old two-field design was that a reader could pick up the new owner but
+// route under its old begin epoch (or vice versa) and land a mutating verb
+// on the pre-migration home after cutover. Rehost is a monotone CAS: a flip
+// carrying an epoch older than the installed one is refused, which resolves
+// concurrent migration-vs-recovery races in whichever order they land.
+//
+// Word layout: bits[31:0] owner node, bit[32] migrating (write-drain window
+// open), bits[63:33] epoch of the flip that installed this owner.
 #ifndef DRTMR_SRC_CLUSTER_PARTITION_MAP_H_
 #define DRTMR_SRC_CLUSTER_PARTITION_MAP_H_
 
@@ -10,28 +20,97 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/status.h"
+
 namespace drtmr::cluster {
 
 class PartitionMap {
  public:
-  explicit PartitionMap(uint32_t num_partitions) : owner_(num_partitions) {
+  explicit PartitionMap(uint32_t num_partitions) : entry_(num_partitions) {
     for (uint32_t i = 0; i < num_partitions; ++i) {
-      owner_[i].store(i, std::memory_order_relaxed);
+      entry_[i].store(Pack(i, /*migrating=*/false, /*epoch=*/0), std::memory_order_relaxed);
     }
   }
 
   uint32_t node_of(uint32_t partition) const {
-    return owner_[partition].load(std::memory_order_acquire);
+    return OwnerOf(entry_[partition].load(std::memory_order_acquire));
   }
 
-  void Rehost(uint32_t partition, uint32_t node) {
-    owner_[partition].store(node, std::memory_order_release);
+  uint64_t entry_epoch(uint32_t partition) const {
+    return EpochOf(entry_[partition].load(std::memory_order_acquire));
   }
 
-  uint32_t num_partitions() const { return static_cast<uint32_t>(owner_.size()); }
+  bool migrating(uint32_t partition) const {
+    return MigratingOf(entry_[partition].load(std::memory_order_acquire));
+  }
+
+  // Routing read with staleness rejection. `begin_epoch` is the reader's
+  // transaction begin epoch (pass ~0ull to accept any entry — legacy
+  // non-fenced runs). Returns:
+  //   kOk          — *owner filled, safe to route.
+  //   kStaleEpoch  — the entry was flipped by an epoch newer than the
+  //                  reader's begin epoch; the reader must re-begin.
+  //   kMigrating   — for_write and the partition is in its write-drain
+  //                  window; back off and retry.
+  Status Route(uint32_t partition, uint64_t begin_epoch, bool for_write,
+               uint32_t* owner) const {
+    const uint64_t e = entry_[partition].load(std::memory_order_acquire);
+    if (EpochOf(e) > begin_epoch) {
+      return Status::kStaleEpoch;
+    }
+    if (for_write && MigratingOf(e)) {
+      return Status::kMigrating;
+    }
+    *owner = OwnerOf(e);
+    return Status::kOk;
+  }
+
+  // Installs (node, epoch) and clears the migrating flag. Monotone: refuses
+  // (returns false) when the installed entry already carries a newer epoch —
+  // the caller lost a race against another reconfiguration and must treat
+  // its flip as not having happened.
+  bool Rehost(uint32_t partition, uint32_t node, uint64_t epoch) {
+    uint64_t cur = entry_[partition].load(std::memory_order_acquire);
+    const uint64_t next = Pack(node, /*migrating=*/false, epoch);
+    while (true) {
+      if (EpochOf(cur) > epoch) {
+        return false;
+      }
+      if (entry_[partition].compare_exchange_weak(cur, next, std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+        return true;
+      }
+    }
+  }
+
+  // Opens/closes the write-drain window without changing owner or epoch.
+  void SetMigrating(uint32_t partition, bool on) {
+    uint64_t cur = entry_[partition].load(std::memory_order_acquire);
+    while (true) {
+      const uint64_t next = on ? (cur | kMigratingBit) : (cur & ~kMigratingBit);
+      if (cur == next ||
+          entry_[partition].compare_exchange_weak(cur, next, std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  uint32_t num_partitions() const { return static_cast<uint32_t>(entry_.size()); }
 
  private:
-  std::vector<std::atomic<uint32_t>> owner_;
+  static constexpr uint64_t kMigratingBit = 1ull << 32;
+  static constexpr uint32_t kEpochShift = 33;
+
+  static constexpr uint64_t Pack(uint32_t owner, bool migrating, uint64_t epoch) {
+    return static_cast<uint64_t>(owner) | (migrating ? kMigratingBit : 0) |
+           (epoch << kEpochShift);
+  }
+  static constexpr uint32_t OwnerOf(uint64_t e) { return static_cast<uint32_t>(e); }
+  static constexpr bool MigratingOf(uint64_t e) { return (e & kMigratingBit) != 0; }
+  static constexpr uint64_t EpochOf(uint64_t e) { return e >> kEpochShift; }
+
+  std::vector<std::atomic<uint64_t>> entry_;
 };
 
 }  // namespace drtmr::cluster

@@ -128,11 +128,14 @@ RecoveryReport RecoveryManager::RecoverAfterFailure(sim::ThreadContext* ctx, uin
     }
   }
 
-  // 4) Route the dead machine's partitions to the host.
+  // 4) Route the dead machine's partitions to the host, stamped with the
+  //    configuration epoch that removed the dead machine. A concurrent
+  //    migration cutover with a newer epoch wins the monotone CAS.
   if (pmap != nullptr) {
+    const uint64_t epoch = coordinator_->epoch();
     for (uint32_t p = 0; p < pmap->num_partitions(); ++p) {
       if (pmap->node_of(p) == dead) {
-        pmap->Rehost(p, host);
+        pmap->Rehost(p, host, epoch);
       }
     }
   }

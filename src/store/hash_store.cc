@@ -281,6 +281,23 @@ Status HashStore::InsertImage(sim::ThreadContext* ctx, uint64_t key, const std::
   }
 }
 
+void HashStore::ForEachKey(const std::function<void(uint64_t key, uint64_t offset)>& fn) {
+  std::lock_guard<std::mutex> g(mutate_mu_);
+  for (uint64_t b = 0; b < nbuckets_; ++b) {
+    uint64_t bucket = buckets_off_ + b * kCacheLineSize;
+    BucketImage img;
+    while (bucket != 0) {
+      LoadBucket(nullptr, bucket, &img);
+      for (uint32_t i = 0; i < kSlotsPerBucket; ++i) {
+        if (img.slots[i].key != 0) {
+          fn(img.slots[i].key, img.slots[i].offset);
+        }
+      }
+      bucket = img.next;
+    }
+  }
+}
+
 uint64_t HashStore::RemoteLookup(sim::ThreadContext* ctx, sim::RdmaNic* nic, uint32_t target_node,
                                  uint64_t key, uint32_t* rdma_reads) {
   uint64_t bucket = BucketOffset(key);

@@ -14,6 +14,7 @@
 #define DRTMR_SRC_STORE_HASH_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 
 #include "src/cluster/node.h"
@@ -54,6 +55,14 @@ class HashStore {
   // node's records from backup copies). If the key already exists, the
   // existing record is overwritten when the image's seq is newer.
   Status InsertImage(sim::ThreadContext* ctx, uint64_t key, const std::byte* image, size_t len);
+
+  // Visits every (key, record offset) linked into this store, holding
+  // mutate_mu_ so the slot set is stable for the duration (record *contents*
+  // may still change concurrently — callers that need a consistent image use
+  // the per-line version check). Migration's bulk copy pass uses this to
+  // enumerate a partition's records; it never runs on the transaction hot
+  // path, so blocking local mutations for the walk is acceptable.
+  void ForEachKey(const std::function<void(uint64_t key, uint64_t offset)>& fn);
 
   // --- remote operation (run on any node, one-sided RDMA only) ---
 

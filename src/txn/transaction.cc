@@ -9,6 +9,7 @@
 #include "src/cluster/membership.h"
 #include "src/obs/phase_timer.h"
 #include "src/store/record.h"
+#include "src/util/backoff.h"
 #include "src/util/logging.h"
 
 namespace drtmr::txn {
@@ -208,7 +209,9 @@ Status Transaction::AcquireLock(const LockTarget& t) {
   // spinning forever (DESIGN.md §10).
   sim::RdmaNic* nic = self_->nic();
   const TxnConfig& cfg = engine_->config();
-  uint32_t dangling_retries = 0;
+  util::Backoff backoff = util::Backoff::Exponential(
+      cfg.lock_backoff_base_ns, cfg.lock_backoff_base_ns * 2,
+      /*max_shift=*/16, cfg.lock_backoff_cap_ns);
   while (true) {
     uint64_t observed = 0;
     const Status s = nic->CompareSwap(ctx_, t.node, t.offset + RecordLayout::kLockOff,
@@ -224,7 +227,7 @@ Status Transaction::AcquireLock(const LockTarget& t) {
     }
     if (engine_->OwnerAbsent(ctx_, observed)) {
       // §5.2: the lock owner crashed; release the dangling lock and retry.
-      if (++dangling_retries > cfg.lock_retry_threshold) {
+      if (backoff.attempts() >= cfg.lock_retry_threshold) {
         return Status::kTimeout;
       }
       if (chk::AnalyzerEnabled()) {
@@ -235,9 +238,7 @@ Status Transaction::AcquireLock(const LockTarget& t) {
       (void)nic->CompareSwap(ctx_, t.node, t.offset + RecordLayout::kLockOff, observed,
                              LockWord::kUnlocked, nullptr);
       engine_->stats().dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
-      const uint64_t cap =
-          std::min(cfg.lock_backoff_base_ns << dangling_retries, cfg.lock_backoff_cap_ns);
-      ctx_->Charge(ctx_->rng.Range(cfg.lock_backoff_base_ns, cap));
+      ctx_->Charge(backoff.NextDelay(&ctx_->rng));
       continue;
     }
     return Status::kConflict;
@@ -891,6 +892,30 @@ Status Transaction::Commit() {
   // and application logic between them.
   obs::PhaseSample(obs::Phase::kExecution, ctx_->clock.now_ns() - begin_ns_);
   const bool read_only = read_only_ || (write_set_.empty() && mutations_.empty());
+  // Migration write admission (DESIGN.md §14): while a partition's cutover
+  // drain window is open, refuse read-write transactions touching it — on
+  // either home — before entering the commit protocol. Reads keep flowing
+  // (dual-home window); the caller retries with jittered backoff and its
+  // next Begin() routes to the new home after the flip.
+  if (!read_only) {
+    const MigrationBlock* block = engine_->migration_block();
+    if (block != nullptr && block->active()) {
+      bool blocked = false;
+      for (const WriteEntry& w : write_set_) {
+        if (block->Blocks(w.access.key)) {
+          blocked = true;
+          break;
+        }
+      }
+      for (size_t i = 0; !blocked && i < mutations_.size(); ++i) {
+        blocked = block->Blocks(mutations_[i].key);
+      }
+      if (blocked) {
+        engine_->stats().IncAbortMigrating();
+        return Status::kMigrating;
+      }
+    }
+  }
   // Bracket the commit phase so the reconfiguration driver can drain commits
   // that entered before an epoch stamp before it re-hosts data (DESIGN.md
   // §10; post-stamp entrants self-fence, so the drain terminates).

@@ -70,7 +70,9 @@ class Transaction : public TxnApi {
   // discarded and the caller is expected to retry: kAborted on a
   // validation/lock conflict, kStaleEpoch when the configuration epoch moved
   // past the transaction's begin epoch (fencing, DESIGN.md §10), kTimeout
-  // when a bounded retry budget ran out.
+  // when a bounded retry budget ran out, kMigrating when a write-set record
+  // lives on a partition inside its cutover drain window (DESIGN.md §14 —
+  // back off and retry; the post-flip Begin() routes to the new home).
   Status Commit() override;
 
   // User abort: discards all buffered effects.
@@ -78,6 +80,10 @@ class Transaction : public TxnApi {
 
   bool read_only() const { return read_only_; }
   uint64_t id() const { return txn_id_; }
+  // Configuration epoch snapshotted at Begin() (0 when fencing is off).
+  // Routers pass this to PartitionMap::Route to reject entries flipped by a
+  // newer epoch than the one this transaction began under.
+  uint64_t begin_epoch() const override { return begin_epoch_; }
 
  private:
   struct LockTarget {

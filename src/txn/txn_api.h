@@ -25,6 +25,11 @@ class TxnApi {
                            const std::function<bool(uint64_t key, const void* value)>& fn) = 0;
   virtual Status Commit() = 0;
   virtual void UserAbort() = 0;
+
+  // Configuration epoch snapshotted at Begin(), for epoch-checked routing
+  // (cluster::PartitionMap::Route). Engines without epoch fencing keep the
+  // default, which Route treats as "accept any entry" (legacy semantics).
+  virtual uint64_t begin_epoch() const { return ~0ull; }
 };
 
 }  // namespace drtmr::txn

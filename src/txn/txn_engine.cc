@@ -6,6 +6,7 @@
 #include "src/chk/protocol_analyzer.h"
 #include "src/cluster/membership.h"
 #include "src/store/record.h"
+#include "src/util/backoff.h"
 #include "src/util/logging.h"
 
 namespace drtmr::txn {
@@ -105,8 +106,9 @@ Status TxnEngine::ReadLocalRecord(sim::ThreadContext* ctx, store::Table* table, 
         stats_.dangling_locks_released.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      const uint64_t backoff = ctx->rng.Range(50, 400) * (attempt + 1);
-      ctx->Charge(backoff);
+      // Linear jitter keyed to the loop's own attempt index (bit-identical to
+      // the historical Range(50, 400) * (attempt + 1) charge sequence).
+      ctx->Charge(util::Backoff::Linear(50, 400).DelayAt(attempt, &ctx->rng));
       std::this_thread::yield();
       continue;
     }

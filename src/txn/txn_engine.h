@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -22,6 +23,44 @@ class MembershipService;
 }  // namespace drtmr::cluster
 
 namespace drtmr::txn {
+
+// Live-migration write admission (DESIGN.md §14). During a partition's
+// cutover the migration manager opens a drain window by activating a block
+// naming the partition; Transaction::Commit then refuses read-write
+// transactions that touch that partition — on ANY home — with kMigrating
+// *before* entering the commit protocol, so the source quiesces while reads
+// keep flowing. The block is deliberately partition-wide rather than keyed
+// to the source node: after the map flips, writes route to the destination,
+// and a destination write committing while a reader of the frozen source
+// copy is still admissible (same epoch, not yet stamped) would let that
+// reader validate a stale snapshot — the source record never changes again,
+// so seq re-checks cannot catch it. Holding both homes blocked until the
+// epoch stamp + drain close the window restores the fence's guarantee. One
+// partition migrates at a time, so a single word suffices; the blocked
+// writer retries with jittered backoff and lands after cutover (routed to
+// the new home by its next Begin()).
+struct MigrationBlock {
+  static constexpr uint64_t kNone = ~0ull;
+
+  // Maps a key to its partition (workload sharding function). Set once
+  // before any Activate; read concurrently by committing workers.
+  std::function<uint32_t(uint64_t key)> partition_of;
+  std::atomic<uint64_t> target{kNone};
+
+  void Activate(uint32_t partition) {
+    target.store(partition, std::memory_order_release);
+  }
+  void Deactivate() { target.store(kNone, std::memory_order_release); }
+  bool active() const { return target.load(std::memory_order_acquire) != kNone; }
+
+  bool Blocks(uint64_t key) const {
+    const uint64_t t = target.load(std::memory_order_acquire);
+    if (t == kNone) {
+      return false;
+    }
+    return partition_of(key) == static_cast<uint32_t>(t);
+  }
+};
 
 class TxnEngine {
  public:
@@ -54,6 +93,11 @@ class TxnEngine {
   void set_membership(cluster::MembershipService* m) { membership_ = m; }
   cluster::MembershipService* membership() const { return membership_; }
   bool fencing() const { return membership_ != nullptr; }
+
+  // Optional live-migration write admission (DESIGN.md §14). When set,
+  // Transaction::Commit consults it before running the commit protocol.
+  void set_migration_block(MigrationBlock* b) { migration_block_ = b; }
+  MigrationBlock* migration_block() const { return migration_block_; }
 
   // True when the lock word's owner machine is absent from the current
   // configuration — the survivor may release the dangling lock (§5.2). With a
@@ -105,6 +149,7 @@ class TxnEngine {
   TxnConfig config_;
   cluster::Coordinator* coordinator_;
   cluster::MembershipService* membership_ = nullptr;
+  MigrationBlock* migration_block_ = nullptr;
   Replicator* replicator_;
   TxnStats stats_;
   std::atomic<uint64_t> next_txn_id_{1};

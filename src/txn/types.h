@@ -114,6 +114,7 @@ struct TxnStats {
   std::atomic<uint64_t> aborts_user{0};
   std::atomic<uint64_t> aborts_stale_epoch{0};  // fenced: configuration epoch moved
   std::atomic<uint64_t> aborts_timeout{0};      // bounded retry/poll budget exhausted
+  std::atomic<uint64_t> aborts_migrating{0};    // write hit a partition's drain window
   std::atomic<uint64_t> fallbacks{0};          // commit took the fallback handler
   std::atomic<uint64_t> htm_commit_retries{0};
   std::atomic<uint64_t> dangling_locks_released{0};
@@ -123,7 +124,8 @@ struct TxnStats {
   // Aborts caused by the commit protocol itself (lock conflicts, validation
   // failures, epoch fencing, retry timeouts). Excludes user-requested aborts.
   uint64_t ProtocolAborts() const {
-    return aborts_lock + aborts_validation + aborts_stale_epoch + aborts_timeout;
+    return aborts_lock + aborts_validation + aborts_stale_epoch + aborts_timeout +
+           aborts_migrating;
   }
   // Every aborted transaction attempt, including explicit user aborts.
   uint64_t TotalAborts() const { return ProtocolAborts() + aborts_user; }
@@ -152,6 +154,7 @@ struct TxnStats {
     obs::Count(obs::Counter::kFenceSelfAbort);
   }
   void IncAbortTimeout() { aborts_timeout.fetch_add(1, std::memory_order_relaxed); }
+  void IncAbortMigrating() { aborts_migrating.fetch_add(1, std::memory_order_relaxed); }
   void IncFallback() {
     fallbacks.fetch_add(1, std::memory_order_relaxed);
     obs::Count(obs::Counter::kTxnFallback);
@@ -168,6 +171,7 @@ struct TxnStats {
     aborts_user = 0;
     aborts_stale_epoch = 0;
     aborts_timeout = 0;
+    aborts_migrating = 0;
     fallbacks = 0;
     htm_commit_retries = 0;
     dangling_locks_released = 0;

@@ -23,6 +23,7 @@ enum class [[nodiscard]] Status : uint8_t {
   kStale,          // incarnation mismatch (record freed/reused)
   kStaleEpoch,     // issuer fenced out of the current configuration epoch
   kTimeout,        // bounded retry/poll budget exhausted
+  kMigrating,      // target partition is in its migration write-drain window
 };
 
 constexpr bool IsOk(Status s) { return s == Status::kOk; }
@@ -51,6 +52,8 @@ constexpr const char* StatusString(Status s) {
       return "stale-epoch";
     case Status::kTimeout:
       return "timeout";
+    case Status::kMigrating:
+      return "migrating";
   }
   return "unknown";
 }

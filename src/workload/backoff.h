@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "src/sim/thread_context.h"
+#include "src/util/backoff.h"
 #include "src/util/rand.h"
 
 namespace drtmr::workload {
@@ -26,13 +27,13 @@ class RetryBackoff {
   // (first retry) and ~200µs (capped, past the 100µs gate window — the point
   // where the backoff becomes real descheduling, not just bookkeeping).
   void OnAbort(sim::ThreadContext* ctx, FastRand* rng) {
-    const uint32_t shift = attempt_ < 7 ? attempt_ : 7;
-    ctx->Charge(rng->Range(400, 1600) << shift);
-    ++attempt_;
+    ctx->Charge(backoff_.NextDelay(rng));
   }
 
  private:
-  uint32_t attempt_ = 0;
+  // Shape chosen to keep the historical charge sequence bit-for-bit: one
+  // Range(400, 1600) draw per abort, shifted by min(attempt, 7).
+  util::Backoff backoff_ = util::Backoff::Exponential(400, 1600, /*max_shift=*/7);
 };
 
 }  // namespace drtmr::workload

@@ -26,10 +26,20 @@ void SmallBankWorkload::CreateTables() {
 void SmallBankWorkload::Load(rep::PrimaryBackupReplicator* replicator) {
   cluster::Cluster* cluster = engine_->cluster();
   const uint32_t replicas = replicator != nullptr ? replicator->config().replicas : 1;
-  std::vector<std::thread> loaders;
+  // One loader thread per *owning node*, loading all of that node's
+  // partitions sequentially: a re-shaped partition map (bench/suite.cc's
+  // elastic entry folds several partitions onto one node) must not put two
+  // loader threads on the same ThreadContext/HTM slot.
+  std::vector<std::vector<uint32_t>> parts_of_node(cluster->num_nodes());
   for (uint32_t part = 0; part < pmap_->num_partitions(); ++part) {
-    loaders.emplace_back([&, part] {
-      const uint32_t node = pmap_->node_of(part);
+    parts_of_node[pmap_->node_of(part)].push_back(part);
+  }
+  std::vector<std::thread> loaders;
+  for (uint32_t node = 0; node < cluster->num_nodes(); ++node) {
+    if (parts_of_node[node].empty()) {
+      continue;
+    }
+    loaders.emplace_back([&, node] {
       sim::ThreadContext* lctx = cluster->node(node)->context(0);
       auto put = [&](store::Table* table, uint64_t key, int64_t balance) {
         BankAccountRow row{balance, {}};
@@ -44,9 +54,11 @@ void SmallBankWorkload::Load(rep::PrimaryBackupReplicator* replicator) {
           }
         }
       };
-      for (uint64_t i = 0; i < config_.accounts_per_node; ++i) {
-        put(checking_, AccountKey(part, i), 10000);
-        put(savings_, AccountKey(part, i), 10000);
+      for (const uint32_t part : parts_of_node[node]) {
+        for (uint64_t i = 0; i < config_.accounts_per_node; ++i) {
+          put(checking_, AccountKey(part, i), 10000);
+          put(savings_, AccountKey(part, i), 10000);
+        }
       }
     });
   }
@@ -65,7 +77,13 @@ uint32_t SmallBankWorkload::PickLocalPartition(sim::ThreadContext* ctx, FastRand
       owned[n++] = p;
     }
   }
-  DRTMR_CHECK(n > 0);
+  if (n == 0) {
+    // A re-shaped placement (the elastic bench folds partitions onto a node
+    // subset) can leave this worker's node without a local partition: fall
+    // back to a uniform pick — all its traffic is remote until a migration
+    // hands the node a shard.
+    return static_cast<uint32_t>(rng->Uniform(pmap_->num_partitions()));
+  }
   return owned[rng->Uniform(n)];
 }
 
@@ -94,38 +112,66 @@ uint32_t SmallBankWorkload::RunOne(sim::ThreadContext* ctx, txn::TxnApi* txn, Fa
       break;
     }
   }
-  const uint64_t a1 = PickAccount(ctx, rng, /*allow_remote=*/false);
-  uint64_t a2 = PickAccount(ctx, rng,
-                            /*allow_remote=*/type == kSendPayment || type == kAmalgamate);
-  if (a2 == a1) {
-    a2 = AccountKey(static_cast<uint32_t>(a1 >> 40), (a1 & 0xffffffffffull) % config_.accounts_per_node);
+  const bool uses_a2 = type == kSendPayment || type == kAmalgamate;
+  uint64_t a1 = 0;
+  uint64_t a2 = 0;
+  const auto pick = [&] {
+    a1 = PickAccount(ctx, rng, /*allow_remote=*/false);
+    a2 = PickAccount(ctx, rng, /*allow_remote=*/uses_a2);
     if (a2 == a1) {
-      a2 = a1 == AccountKey(static_cast<uint32_t>(a1 >> 40), 0)
-               ? AccountKey(static_cast<uint32_t>(a1 >> 40), 1)
-               : AccountKey(static_cast<uint32_t>(a1 >> 40), 0);
+      a2 = AccountKey(static_cast<uint32_t>(a1 >> 40),
+                      (a1 & 0xffffffffffull) % config_.accounts_per_node);
+      if (a2 == a1) {
+        a2 = a1 == AccountKey(static_cast<uint32_t>(a1 >> 40), 0)
+                 ? AccountKey(static_cast<uint32_t>(a1 >> 40), 1)
+                 : AccountKey(static_cast<uint32_t>(a1 >> 40), 0);
+      }
     }
-  }
-  const uint32_t n1 = NodeOfAccount(a1);
-  const uint32_t n2 = NodeOfAccount(a2);
+  };
+  pick();
   const int64_t v = static_cast<int64_t>(rng->Range(1, 100));
 
   RetryBackoff backoff;
+  // Typed kMigrating/kStaleEpoch rejections get a bounded jittered backoff
+  // and a *fresh account pick*: new requests steer away from a shard inside
+  // its cutover drain window instead of hammering it (DESIGN.md §14). Never
+  // drawn outside a migration window, so fault-free runs keep the historical
+  // rng stream.
+  util::Backoff route_backoff = util::Backoff::Exponential(400, 1600, /*max_shift=*/3);
   while (true) {
     bool done = false;
+    Status commit_status = Status::kAborted;
     BankAccountRow c1{}, c2{}, s1{};
+    // Routing resolves *after* Begin, against the transaction's begin epoch:
+    // Route rejects a partition-map entry flipped by a newer epoch
+    // (kStaleEpoch) instead of following it, and resolving any earlier would
+    // let a transaction that began after a cutover's epoch stamp keep
+    // writing the frozen old home — a lost update.
+    txn->Begin(/*read_only=*/type == kBalance);
+    uint32_t n1 = 0;
+    uint32_t n2 = 0;
+    const uint64_t be = engine_->fencing() ? txn->begin_epoch() : ~0ull;
+    if (pmap_->Route(static_cast<uint32_t>(a1 >> 40), be,
+                     /*for_write=*/type != kBalance, &n1) != Status::kOk ||
+        (uses_a2 && pmap_->Route(static_cast<uint32_t>(a2 >> 40), be,
+                                 /*for_write=*/true, &n2) != Status::kOk)) {
+      txn->UserAbort();
+      ctx->Charge(route_backoff.NextDelay(rng));
+      pick();
+      continue;
+    }
     switch (type) {
       case kBalance: {
-        txn->Begin(/*read_only=*/true);
         if (txn->Read(checking_, n1, a1, &c1) != Status::kOk ||
             txn->Read(savings_, n1, a1, &s1) != Status::kOk) {
           txn->UserAbort();
           break;
         }
-        done = txn->Commit() == Status::kOk;
+        commit_status = txn->Commit();
+        done = commit_status == Status::kOk;
         break;
       }
       case kDepositChecking: {
-        txn->Begin();
         if (txn->Read(checking_, n1, a1, &c1) != Status::kOk) {
           txn->UserAbort();
           break;
@@ -135,14 +181,14 @@ uint32_t SmallBankWorkload::RunOne(sim::ThreadContext* ctx, txn::TxnApi* txn, Fa
           txn->UserAbort();
           break;
         }
-        done = txn->Commit() == Status::kOk;
+        commit_status = txn->Commit();
+        done = commit_status == Status::kOk;
         if (done) {
           external_delta_.fetch_add(v, std::memory_order_relaxed);
         }
         break;
       }
       case kTransferSavings: {
-        txn->Begin();
         if (txn->Read(savings_, n1, a1, &s1) != Status::kOk) {
           txn->UserAbort();
           break;
@@ -152,14 +198,14 @@ uint32_t SmallBankWorkload::RunOne(sim::ThreadContext* ctx, txn::TxnApi* txn, Fa
           txn->UserAbort();
           break;
         }
-        done = txn->Commit() == Status::kOk;
+        commit_status = txn->Commit();
+        done = commit_status == Status::kOk;
         if (done) {
           external_delta_.fetch_add(v, std::memory_order_relaxed);
         }
         break;
       }
       case kWithdrawChecking: {
-        txn->Begin();
         if (txn->Read(savings_, n1, a1, &s1) != Status::kOk ||
             txn->Read(checking_, n1, a1, &c1) != Status::kOk) {
           txn->UserAbort();
@@ -170,14 +216,14 @@ uint32_t SmallBankWorkload::RunOne(sim::ThreadContext* ctx, txn::TxnApi* txn, Fa
           txn->UserAbort();
           break;
         }
-        done = txn->Commit() == Status::kOk;
+        commit_status = txn->Commit();
+        done = commit_status == Status::kOk;
         if (done) {
           external_delta_.fetch_sub(v, std::memory_order_relaxed);
         }
         break;
       }
       case kSendPayment: {
-        txn->Begin();
         if (txn->Read(checking_, n1, a1, &c1) != Status::kOk ||
             txn->Read(checking_, n2, a2, &c2) != Status::kOk) {
           txn->UserAbort();
@@ -195,11 +241,11 @@ uint32_t SmallBankWorkload::RunOne(sim::ThreadContext* ctx, txn::TxnApi* txn, Fa
           txn->UserAbort();
           break;
         }
-        done = txn->Commit() == Status::kOk;
+        commit_status = txn->Commit();
+        done = commit_status == Status::kOk;
         break;
       }
       case kAmalgamate: {
-        txn->Begin();
         if (txn->Read(savings_, n1, a1, &s1) != Status::kOk ||
             txn->Read(checking_, n1, a1, &c1) != Status::kOk ||
             txn->Read(checking_, n2, a2, &c2) != Status::kOk) {
@@ -215,12 +261,20 @@ uint32_t SmallBankWorkload::RunOne(sim::ThreadContext* ctx, txn::TxnApi* txn, Fa
           txn->UserAbort();
           break;
         }
-        done = txn->Commit() == Status::kOk;
+        commit_status = txn->Commit();
+        done = commit_status == Status::kOk;
         break;
       }
     }
     if (done) {
       return type;
+    }
+    if (commit_status == Status::kMigrating) {
+      // The write set straddles a drain window; retrying the same account
+      // would block until the cutover completes.
+      ctx->Charge(route_backoff.NextDelay(rng));
+      pick();
+      continue;
     }
     backoff.OnAbort(ctx, rng);
   }

@@ -69,6 +69,10 @@ class SmallBankWorkload {
 
   const SmallBankConfig& config() const { return config_; }
 
+  // For wiring a MigrationSpec: the tables that move with a partition.
+  store::Table* checking_table() { return checking_; }
+  store::Table* savings_table() { return savings_; }
+
  private:
   uint64_t PickAccount(sim::ThreadContext* ctx, FastRand* rng, bool allow_remote) const;
   uint32_t PickLocalPartition(sim::ThreadContext* ctx, FastRand* rng) const;

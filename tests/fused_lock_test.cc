@@ -186,6 +186,7 @@ TEST_P(FusedLockTest, ConcurrentFusedTransfersConserveMoney) {
             if (txn.Read(table_, HomeOf(from), from, &a) != Status::kOk ||
                 txn.Read(table_, HomeOf(to), to, &b) != Status::kOk) {
               txn.UserAbort();
+              std::this_thread::yield();
               continue;
             }
             a.value -= 2;
@@ -193,11 +194,17 @@ TEST_P(FusedLockTest, ConcurrentFusedTransfersConserveMoney) {
             if (txn.Write(table_, HomeOf(from), from, &a) != Status::kOk ||
                 txn.Write(table_, HomeOf(to), to, &b) != Status::kOk) {
               txn.UserAbort();
+              std::this_thread::yield();
               continue;
             }
             if (txn.Commit() == Status::kOk) {
               break;
             }
+            // Real-time fairness: the abort-retry loop charges only virtual
+            // time, so on a loaded single-core host a retrying thread can
+            // starve the peer that holds the conflicting lock. Yield the
+            // physical CPU between retries (no virtual-time effect).
+            std::this_thread::yield();
           }
         }
       });
