@@ -1,25 +1,37 @@
 #!/usr/bin/env bash
-# Static half of the conformance wall (DESIGN.md §11):
+# Static half of the conformance wall (DESIGN.md §11, §15):
 #   1. a -Werror build (DRTMR_WERROR=ON) — [[nodiscard]] Status makes every
 #      silently dropped error a hard build failure;
 #   2. clang-tidy over src/ with the repo .clang-tidy, when the tool exists.
 #      The gcc-only container skips this phase (CI's ubuntu image runs it);
-#      the -Werror wall always runs, so phase 1 never silently disappears.
+#      the -Werror wall always runs, so phase 1 never silently disappears;
+#   3. the drtmr-lint plugin (tools/drtmr_lint): the six drtmr-* protocol
+#      checks, built out-of-tree and loaded via `clang-tidy --load`. Skipped
+#      with a notice when clang-tidy or the clang dev headers are absent.
 #
-# Usage: scripts/lint.sh [--tidy-only|--werror-only]
+# Usage: scripts/lint.sh [--tidy-only|--werror-only|--plugin-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 RUN_WERROR=1
 RUN_TIDY=1
+RUN_PLUGIN=1
 for arg in "$@"; do
   case "$arg" in
-    --tidy-only) RUN_WERROR=0 ;;
-    --werror-only) RUN_TIDY=0 ;;
-    *) echo "usage: scripts/lint.sh [--tidy-only|--werror-only]" >&2; exit 2 ;;
+    --tidy-only) RUN_WERROR=0; RUN_PLUGIN=0 ;;
+    --werror-only) RUN_TIDY=0; RUN_PLUGIN=0 ;;
+    --plugin-only) RUN_WERROR=0; RUN_TIDY=0 ;;
+    *) echo "usage: scripts/lint.sh [--tidy-only|--werror-only|--plugin-only]" >&2; exit 2 ;;
   esac
 done
+
+ensure_compile_db() {
+  if [[ ! -f build-lint/compile_commands.json ]]; then
+    cmake -B build-lint -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+}
 
 if [[ "$RUN_WERROR" == 1 ]]; then
   echo "== lint: -Werror wall =="
@@ -33,10 +45,7 @@ if [[ "$RUN_TIDY" == 1 ]]; then
     echo "== lint: clang-tidy not installed; skipping tidy phase =="
   else
     echo "== lint: clang-tidy (src/) =="
-    if [[ ! -f build-lint/compile_commands.json ]]; then
-      cmake -B build-lint -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-    fi
+    ensure_compile_db
     # run-clang-tidy parallelizes when available; fall back to a plain loop.
     mapfile -t SOURCES < <(git ls-files 'src/**/*.cc')
     if command -v run-clang-tidy >/dev/null 2>&1; then
@@ -45,6 +54,38 @@ if [[ "$RUN_TIDY" == 1 ]]; then
       for f in "${SOURCES[@]}"; do
         clang-tidy -p build-lint --quiet "$f"
       done
+    fi
+  fi
+fi
+
+if [[ "$RUN_PLUGIN" == 1 ]]; then
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "== lint: clang-tidy not installed; skipping drtmr-lint plugin phase =="
+  else
+    echo "== lint: drtmr-lint plugin (tools/drtmr_lint) =="
+    cmake -B build-lint-plugin -S tools/drtmr_lint >/dev/null
+    PLUGIN="build-lint-plugin/libdrtmr_lint.so"
+    if ! cmake --build build-lint-plugin -j "$JOBS" || [[ ! -f "$PLUGIN" ]]; then
+      echo "== lint: drtmr-lint plugin not buildable here (clang dev headers absent); skipping =="
+    elif ! clang-tidy "--load=$PLUGIN" --list-checks --checks='-*,drtmr-*' \
+        >/dev/null 2>&1; then
+      echo "== lint: plugin does not load into this clang-tidy (LLVM skew); skipping =="
+    else
+      ensure_compile_db
+      mapfile -t SOURCES < <(git ls-files 'src/**/*.cc')
+      # .clang-tidy's WarningsAsErrors '*' turns any drtmr-* finding into a
+      # non-zero exit; the fixture self-tests (ctest -L lint) keep the checks
+      # themselves honest.
+      if command -v run-clang-tidy >/dev/null 2>&1 &&
+          run-clang-tidy --help 2>/dev/null | grep -q -- '-load'; then
+        run-clang-tidy -p build-lint -j "$JOBS" -quiet \
+          "-load=$PLUGIN" "-checks=-*,drtmr-*" "${SOURCES[@]}"
+      else
+        for f in "${SOURCES[@]}"; do
+          clang-tidy -p build-lint --quiet "--load=$PLUGIN" \
+            "--checks=-*,drtmr-*" "$f"
+        done
+      fi
     fi
   fi
 fi

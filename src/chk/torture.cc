@@ -460,9 +460,11 @@ TortureResult RunTorture(const TortureOptions& opt) {
       // Wait (in real time) for some worker clock to pass the launch instant;
       // the workers finishing first is fine — the migration then runs against
       // a quiet cluster and the sweeps audit the moved placement all the same.
+      // drtmr-lint: allow(wallclock): bounds a wait on real worker threads; result unaffected
       const auto launch_deadline =
           std::chrono::steady_clock::now() + std::chrono::seconds(30);
       while (running.load(std::memory_order_relaxed) > 0 &&
+             // drtmr-lint: allow(wallclock): bounds a wait on real worker threads
              std::chrono::steady_clock::now() < launch_deadline) {
         uint64_t frontier = 0;
         for (uint32_t i = 0; i < nodes; ++i) {
@@ -572,9 +574,11 @@ TortureResult RunTorture(const TortureOptions& opt) {
     if (result.killed) {
       cluster.Kill(victim);
     }
+    // drtmr-lint: allow(wallclock): settle-wait watchdog on real membership threads
     const auto wait_deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
     bool settled = false;
     if (debug) std::fprintf(stderr, "[torture] settle-wait begin\n");
+    // drtmr-lint: allow(wallclock): settle-wait watchdog on real membership threads
     while (std::chrono::steady_clock::now() < wait_deadline) {
       const cluster::ClusterView v = coordinator.view();
       bool live_ok = true;

@@ -60,6 +60,7 @@ void MembershipService::StampEpoch(uint32_t node, uint64_t epoch) {
   uint64_t cur = bus->ReadU64(nullptr, sim::Fabric::kEpochWordOff);
   while (cur < epoch) {
     uint64_t observed = 0;
+    // drtmr-lint: allow(registered-memory): control-plane epoch stamp, deliberately unpaced
     if (bus->CasU64(nullptr, sim::Fabric::kEpochWordOff, cur, epoch, &observed)) {
       break;
     }

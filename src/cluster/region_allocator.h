@@ -8,6 +8,7 @@
 #define DRTMR_SRC_CLUSTER_REGION_ALLOCATOR_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -27,29 +28,25 @@ class RegionAllocator {
   // Returns a line-aligned offset, or kInvalidOffset when out of space.
   uint64_t Alloc(uint64_t size) {
     const uint64_t rounded = AlignUpToLine(size);
-    mu_.lock();
+    const std::lock_guard<Spinlock> g(mu_);
     auto it = free_lists_.find(rounded);
     if (it != free_lists_.end() && !it->second.empty()) {
       const uint64_t off = it->second.back();
       it->second.pop_back();
-      mu_.unlock();
       return off;
     }
     if (next_ + rounded > end_) {
-      mu_.unlock();
       return kInvalidOffset;
     }
     const uint64_t off = next_;
     next_ += rounded;
-    mu_.unlock();
     return off;
   }
 
   void Free(uint64_t offset, uint64_t size) {
     const uint64_t rounded = AlignUpToLine(size);
-    mu_.lock();
+    const std::lock_guard<Spinlock> g(mu_);
     free_lists_[rounded].push_back(offset);
-    mu_.unlock();
   }
 
   uint64_t bytes_used() const { return next_; }
@@ -58,10 +55,9 @@ class RegionAllocator {
   // not persisted (blocks freed before the snapshot stay unused — a bounded
   // leak, as after real NVRAM recovery without a heap walk).
   void RestoreWatermark(uint64_t next) {
-    mu_.lock();
+    const std::lock_guard<Spinlock> g(mu_);
     next_ = next;
     free_lists_.clear();
-    mu_.unlock();
   }
 
   static constexpr uint64_t kInvalidOffset = ~0ull;

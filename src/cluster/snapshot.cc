@@ -38,6 +38,7 @@ Status SaveClusterSnapshot(Cluster* cluster, const std::string& dir) {
     }
     SnapshotHeader hdr{kMagic, node->bus()->size(), node->allocator()->bytes_used()};
     bool ok = std::fwrite(&hdr, sizeof(hdr), 1, f) == 1 &&
+              // drtmr-lint: allow(registered-memory): whole-memory snapshot of a quiesced cluster
               std::fwrite(node->bus()->raw(), 1, node->bus()->size(), f) == node->bus()->size();
     ok = std::fclose(f) == 0 && ok;
     if (!ok) {
@@ -62,6 +63,7 @@ Status LoadClusterSnapshot(Cluster* cluster, const std::string& dir) {
       return Status::kInvalid;
     }
     const bool ok =
+        // drtmr-lint: allow(registered-memory): whole-memory restore of a quiesced cluster
         std::fread(node->bus()->raw(), 1, node->bus()->size(), f) == node->bus()->size();
     std::fclose(f);
     if (!ok) {

@@ -60,9 +60,11 @@ bool MigrationManager::DrainInflightCommits() {
   // converge within this budget means the cluster is wedged (e.g. every
   // worker frozen by a fault window) and the migration should roll back
   // rather than hang the control thread forever.
+  // drtmr-lint: allow(wallclock): wedge watchdog on real threads; never feeds protocol state
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
   for (uint32_t i = 0; i < cluster->num_nodes(); ++i) {
     while (cluster->node(i)->inflight_commits() != 0) {
+      // drtmr-lint: allow(wallclock): wedge watchdog on real threads; never feeds protocol state
       if (std::chrono::steady_clock::now() > deadline) {
         return false;
       }
@@ -92,11 +94,13 @@ void MigrationManager::PaceToWorkers(sim::ThreadContext* ctx) {
     const uint64_t f = WorkerFrontierNs();
     if (f > pace_frontier_ns_) {
       pace_frontier_ns_ = f;
+      // drtmr-lint: allow(wallclock): staleness stamp detects stopped workers, not protocol time
       pace_moved_at_ = std::chrono::steady_clock::now();
     }
   };
   observe();
   while (ctx->clock.now_ns() > pace_frontier_ns_ + kMaxLeadNs &&
+         // drtmr-lint: allow(wallclock): staleness window vs. real stopped workers
          std::chrono::steady_clock::now() - pace_moved_at_ < kStale) {
     std::this_thread::yield();
     observe();
@@ -120,6 +124,7 @@ void MigrationManager::StampMembers(uint64_t epoch) {
         break;
       }
       uint64_t obs = 0;
+      // drtmr-lint: allow(registered-memory): control-plane epoch stamp, deliberately unpaced
       if (bus->CasU64(nullptr, sim::Fabric::kEpochWordOff, cur, epoch, &obs)) {
         break;
       }

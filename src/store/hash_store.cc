@@ -49,6 +49,7 @@ uint64_t HashStore::AllocOverflowBucket() {
   // Freshly allocated memory may be recycled: zero it through the bus so
   // concurrent readers never see stale slots once linked.
   std::byte zero[kCacheLineSize] = {};
+  // drtmr-lint: allow(registered-memory): zeroing memory not yet linked/visible to any reader
   node_->bus()->Write(nullptr, off, zero, sizeof(zero));
   return off;
 }

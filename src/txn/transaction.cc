@@ -329,6 +329,16 @@ Status Transaction::ValidateRemote(uint64_t* /*unused*/) {
 Status Transaction::HtmValidateAndApply() {
   const TxnConfig& cfg = engine_->config();
   std::vector<std::byte> image;
+  // Pre-size to the largest local record so BuildImage's assign() never
+  // allocates inside the HTM region below — on real RTM a malloc inside
+  // XBEGIN..XEND is a guaranteed abort (drtmr-htm-region-purity).
+  uint64_t max_record_bytes = 0;
+  for (const WriteEntry& w : write_set_) {
+    if (IsLocal(w.access.node) && w.access.table->record_bytes() > max_record_bytes) {
+      max_record_bytes = w.access.table->record_bytes();
+    }
+  }
+  image.reserve(max_record_bytes);
   for (uint32_t attempt = 0;; ++attempt) {
     if (attempt >= cfg.htm_retry_threshold) {
       return Status::kAborted;  // no forward progress: take the fallback

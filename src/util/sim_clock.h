@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "src/util/spinlock.h"
 
@@ -58,7 +59,7 @@ class SimResource {
     if (busy_ns == 0) {
       busy_ns = 1;
     }
-    mu_.lock();
+    const std::lock_guard<Spinlock> g(mu_);
     // Keep room for the insertion (fold the oldest intervals into the floor).
     while (count_ >= kCap - 1) {
       if (At(0).end > floor_) {
@@ -84,25 +85,21 @@ class SimResource {
       max_end_ = candidate + busy_ns;
     }
     Evict();
-    mu_.unlock();
     return candidate;
   }
 
   // Furthest booked completion (diagnostics/tests).
   uint64_t free_at_ns() const {
-    mu_.lock();
-    const uint64_t v = max_end_;
-    mu_.unlock();
-    return v;
+    const std::lock_guard<Spinlock> g(mu_);
+    return max_end_;
   }
 
   void Reset() {
-    mu_.lock();
+    const std::lock_guard<Spinlock> g(mu_);
     count_ = 0;
     head_ = 0;
     floor_ = 0;
     max_end_ = 0;
-    mu_.unlock();
   }
 
  private:

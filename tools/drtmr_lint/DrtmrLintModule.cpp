@@ -1,0 +1,39 @@
+// drtmr-lint: out-of-tree clang-tidy module carrying the engine's protocol
+// invariants as compile-time checks. Load with:
+//   clang-tidy --load=libdrtmr_lint.so --checks='drtmr-*' ...
+// Each check mirrors a violation class the runtime protocol analyzer hunts
+// dynamically (DESIGN.md §15 maps them one-to-one).
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "HtmRegionPurityCheck.h"
+#include "LockRaiiCheck.h"
+#include "RegisteredMemoryCheck.h"
+#include "SeqlockDisciplineCheck.h"
+#include "StatusFlowCheck.h"
+#include "WallclockDeterminismCheck.h"
+
+namespace clang::tidy::drtmr {
+
+class DrtmrLintModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<HtmRegionPurityCheck>("drtmr-htm-region-purity");
+    Factories.registerCheck<SeqlockDisciplineCheck>("drtmr-seqlock-discipline");
+    Factories.registerCheck<WallclockDeterminismCheck>(
+        "drtmr-wallclock-determinism");
+    Factories.registerCheck<LockRaiiCheck>("drtmr-lock-raii");
+    Factories.registerCheck<StatusFlowCheck>("drtmr-status-flow");
+    Factories.registerCheck<RegisteredMemoryCheck>("drtmr-registered-memory");
+  }
+};
+
+namespace {
+ClangTidyModuleRegistry::Add<DrtmrLintModule>
+    X("drtmr-lint-module", "Protocol invariants for the drtmr engine.");
+}  // namespace
+
+}  // namespace clang::tidy::drtmr
+
+// Anchor so -load keeps the module object alive.
+volatile int DrtmrLintModuleAnchorSource = 0;

@@ -1,0 +1,80 @@
+#include "DrtmrLintUtils.h"
+
+#include "llvm/ADT/SmallString.h"
+
+namespace clang::tidy::drtmr {
+
+namespace {
+
+// Returns the text of the line containing `Offset` in `Buf`.
+llvm::StringRef LineAt(llvm::StringRef Buf, size_t Offset) {
+  if (Offset > Buf.size()) {
+    return llvm::StringRef();
+  }
+  const size_t Begin = Buf.rfind('\n', Offset);
+  const size_t Start = (Begin == llvm::StringRef::npos) ? 0 : Begin + 1;
+  size_t End = Buf.find('\n', Offset);
+  if (End == llvm::StringRef::npos) {
+    End = Buf.size();
+  }
+  return Buf.slice(Start, End);
+}
+
+// Returns the text of the line preceding the one containing `Offset`.
+llvm::StringRef PrevLineAt(llvm::StringRef Buf, size_t Offset) {
+  if (Offset > Buf.size()) {
+    return llvm::StringRef();
+  }
+  const size_t Begin = Buf.rfind('\n', Offset);
+  if (Begin == llvm::StringRef::npos || Begin == 0) {
+    return llvm::StringRef();
+  }
+  return LineAt(Buf, Begin - 1);
+}
+
+// True iff `Line` contains "drtmr-lint: allow(<Tag>):" followed by a
+// non-whitespace justification.
+bool LineHasJustifiedAllow(llvm::StringRef Line, llvm::StringRef Tag) {
+  llvm::SmallString<64> Needle("drtmr-lint: allow(");
+  Needle += Tag;
+  Needle += ")";
+  const size_t Pos = Line.find(Needle);
+  if (Pos == llvm::StringRef::npos) {
+    return false;
+  }
+  // StringRef::startswith was removed in LLVM 18; stay on the stable surface.
+  llvm::StringRef Rest = Line.drop_front(Pos + Needle.size());
+  if (Rest.empty() || Rest.front() != ':') {
+    return false;
+  }
+  return !Rest.drop_front(1).trim().empty();
+}
+
+}  // namespace
+
+bool HasJustifiedAllow(const SourceManager &SM, SourceLocation Loc,
+                       llvm::StringRef Tag) {
+  if (Loc.isInvalid()) {
+    return false;
+  }
+  const SourceLocation FileLoc = SM.getFileLoc(Loc);
+  const std::pair<FileID, unsigned> Decomposed = SM.getDecomposedLoc(FileLoc);
+  bool Invalid = false;
+  llvm::StringRef Buf = SM.getBufferData(Decomposed.first, &Invalid);
+  if (Invalid) {
+    return false;
+  }
+  return LineHasJustifiedAllow(LineAt(Buf, Decomposed.second), Tag) ||
+         LineHasJustifiedAllow(PrevLineAt(Buf, Decomposed.second), Tag);
+}
+
+bool FileMatches(const SourceManager &SM, SourceLocation Loc,
+                 llvm::StringRef Fragment) {
+  if (Loc.isInvalid()) {
+    return false;
+  }
+  const llvm::StringRef Name = SM.getFilename(SM.getFileLoc(Loc));
+  return Name.contains(Fragment);
+}
+
+}  // namespace clang::tidy::drtmr

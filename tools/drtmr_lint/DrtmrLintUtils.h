@@ -1,0 +1,32 @@
+// Shared helpers for the drtmr-* clang-tidy checks (DESIGN.md §15).
+//
+// The escape hatch: a finding is suppressed iff the flagged line (or the line
+// directly above it) carries
+//
+//   // drtmr-lint: allow(<tag>): <justification>
+//
+// with a non-empty justification after the colon. An allow() without a reason
+// does NOT suppress — the annotation is a reviewed, documented exemption, not
+// a mute button.
+#ifndef DRTMR_LINT_UTILS_H
+#define DRTMR_LINT_UTILS_H
+
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang::tidy::drtmr {
+
+// True iff `Loc`'s line or the preceding line has a justified allow(<Tag>).
+bool HasJustifiedAllow(const SourceManager &SM, SourceLocation Loc,
+                       llvm::StringRef Tag);
+
+// True iff the file containing `Loc` has any path component sequence matching
+// `Fragment` (e.g. "src/sim/" or "protocol_analyzer"). Used for the per-check
+// sanctioned-directory exclusions.
+bool FileMatches(const SourceManager &SM, SourceLocation Loc,
+                 llvm::StringRef Fragment);
+
+}  // namespace clang::tidy::drtmr
+
+#endif  // DRTMR_LINT_UTILS_H

@@ -1,0 +1,310 @@
+#include "HtmRegionPurityCheck.h"
+
+#include "DrtmrLintUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ParentMapContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Lex/Lexer.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::drtmr {
+
+namespace {
+
+constexpr llvm::StringRef kAllowTag = "htm-purity";
+
+// Container methods that may allocate; a capacity excursion or a malloc
+// inside XBEGIN..XEND is a guaranteed abort on real RTM.
+bool IsAllocatingContainerMethod(llvm::StringRef Class, llvm::StringRef Method) {
+  static const llvm::StringRef Containers[] = {
+      "std::vector",        "std::basic_string", "std::deque",
+      "std::map",           "std::unordered_map", "std::set",
+      "std::unordered_set", "std::list",          "std::multimap"};
+  static const llvm::StringRef Methods[] = {
+      "push_back", "emplace_back", "emplace", "insert",  "resize",
+      "reserve",   "assign",       "append",  "push_front", "emplace_front"};
+  bool ClassHit = false;
+  for (llvm::StringRef C : Containers) {
+    if (Class == C) {
+      ClassHit = true;
+      break;
+    }
+  }
+  if (!ClassHit) {
+    return false;
+  }
+  for (llvm::StringRef M : Methods) {
+    if (Method == M) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsAllocFunction(llvm::StringRef Name) {
+  return Name == "malloc" || Name == "calloc" || Name == "realloc" ||
+         Name == "free" || Name == "aligned_alloc" ||
+         Name == "posix_memalign" || Name == "strdup";
+}
+
+bool IsIoFunction(llvm::StringRef Name) {
+  return Name == "printf" || Name == "fprintf" || Name == "vfprintf" ||
+         Name == "puts" || Name == "fputs" || Name == "fwrite" ||
+         Name == "putchar" || Name == "fflush" || Name == "fopen" ||
+         Name == "fclose" || Name == "write";
+}
+
+// Strips a leading "std::" so <cstdio>-style std::fprintf matches too.
+llvm::StringRef StripStd(llvm::StringRef Name) {
+  if (Name.size() > 5 && Name.substr(0, 5) == "std::") {
+    return Name.drop_front(5);
+  }
+  return Name;
+}
+
+// True iff `Loc` expands (at any macro level) through DRTMR_CHECK/DRTMR_DCHECK:
+// the logging on the fatal path is fine — the process dies, the region's fate
+// is moot.
+bool InsideCheckMacro(SourceLocation Loc, const SourceManager &SM,
+                      const LangOptions &LangOpts) {
+  while (Loc.isMacroID()) {
+    const llvm::StringRef Name = Lexer::getImmediateMacroName(Loc, SM, LangOpts);
+    if (Name == "DRTMR_CHECK" || Name == "DRTMR_DCHECK") {
+      return true;
+    }
+    Loc = SM.getImmediateMacroCallerLoc(Loc);
+  }
+  return false;
+}
+
+}  // namespace
+
+void HtmRegionPurityCheck::registerMatchers(MatchFinder *Finder) {
+  // `sim::HtmTxn* htm = <engine>->Begin(...)`: the guard declaration that
+  // opens the lexical region.
+  Finder->addMatcher(
+      declStmt(containsDeclaration(
+                   0, varDecl(hasType(pointerType(pointee(hasDeclaration(
+                                  cxxRecordDecl(hasName("::drtmr::sim::HtmTxn")))))),
+                              hasInitializer(expr()))
+                          .bind("guard")))
+          .bind("decl"),
+      this);
+}
+
+void HtmRegionPurityCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *DS = Result.Nodes.getNodeAs<DeclStmt>("decl");
+  const auto *Guard = Result.Nodes.getNodeAs<VarDecl>("guard");
+  if (DS == nullptr || Guard == nullptr) {
+    return;
+  }
+  const SourceManager &SM = *Result.SourceManager;
+  // The simulator's own sources implement the machinery being modeled.
+  if (FileMatches(SM, DS->getBeginLoc(), "src/sim/")) {
+    return;
+  }
+  ASTContext &Ctx = *Result.Context;
+  const auto Parents = Ctx.getParents(*DS);
+  if (Parents.empty()) {
+    return;
+  }
+  const auto *Block = Parents[0].get<CompoundStmt>();
+  if (Block == nullptr) {
+    return;
+  }
+  unsigned Idx = 0;
+  for (const Stmt *Child : Block->body()) {
+    ++Idx;
+    if (Child == DS) {
+      break;
+    }
+  }
+  ScanBlock(Block, Idx, /*Active=*/true, Guard, Ctx);
+}
+
+void HtmRegionPurityCheck::ScanBlock(const CompoundStmt *Block,
+                                     unsigned StartIdx, bool Active,
+                                     const VarDecl *Guard, ASTContext &Ctx) {
+  unsigned Idx = 0;
+  for (const Stmt *Child : Block->body()) {
+    if (Idx++ < StartIdx) {
+      continue;
+    }
+    if (ScanStmt(Child, Active, Guard, Ctx)) {
+      // Commit()/Abort() ran unconditionally: the remainder of THIS block is
+      // outside the region.
+      Active = false;
+    }
+  }
+}
+
+bool HtmRegionPurityCheck::ScanStmt(const Stmt *S, bool Active,
+                                    const VarDecl *Guard, ASTContext &Ctx) {
+  if (S == nullptr) {
+    return false;
+  }
+  if (const auto *CS = dyn_cast<CompoundStmt>(S)) {
+    ScanBlock(CS, 0, Active, Guard, Ctx);
+    return false;  // a bare block's deactivation does not leak out (paranoia;
+                   // an unconditional end call inside still silenced its own
+                   // tail, which is where violations would sit)
+  }
+  if (const auto *If = dyn_cast<IfStmt>(S)) {
+    const bool CondEnds = EndsRegion(If->getCond(), Guard);
+    if (Active) {
+      FlagForbidden(If->getCond(), Guard, Ctx);
+    }
+    // Branches run after the condition: if the condition itself ended the
+    // region (e.g. `if (htm->Commit() == Status::kOk)`), they are clean.
+    const bool BranchActive = Active && !CondEnds;
+    ScanStmt(If->getThen(), BranchActive, Guard, Ctx);
+    ScanStmt(If->getElse(), BranchActive, Guard, Ctx);
+    return CondEnds;
+  }
+  if (const auto *W = dyn_cast<WhileStmt>(S)) {
+    if (Active) {
+      FlagForbidden(W->getCond(), Guard, Ctx);
+    }
+    ScanStmt(W->getBody(), Active, Guard, Ctx);
+    return false;
+  }
+  if (const auto *F = dyn_cast<ForStmt>(S)) {
+    if (Active) {
+      FlagForbidden(F->getInit(), Guard, Ctx);
+      FlagForbidden(F->getCond(), Guard, Ctx);
+      FlagForbidden(F->getInc(), Guard, Ctx);
+    }
+    ScanStmt(F->getBody(), Active, Guard, Ctx);
+    return false;
+  }
+  if (const auto *F = dyn_cast<CXXForRangeStmt>(S)) {
+    if (Active) {
+      FlagForbidden(F->getRangeInit(), Guard, Ctx);
+    }
+    ScanStmt(F->getBody(), Active, Guard, Ctx);
+    return false;
+  }
+  if (const auto *D = dyn_cast<DoStmt>(S)) {
+    ScanStmt(D->getBody(), Active, Guard, Ctx);
+    if (Active) {
+      FlagForbidden(D->getCond(), Guard, Ctx);
+    }
+    return false;
+  }
+  if (const auto *Sw = dyn_cast<SwitchStmt>(S)) {
+    if (Active) {
+      FlagForbidden(Sw->getCond(), Guard, Ctx);
+    }
+    ScanStmt(Sw->getBody(), Active, Guard, Ctx);
+    return false;
+  }
+  // Plain statement (expression, decl, return, ...): flag its whole subtree,
+  // then see whether it unconditionally ends the region.
+  if (Active) {
+    FlagForbidden(S, Guard, Ctx);
+  }
+  return EndsRegion(S, Guard);
+}
+
+bool HtmRegionPurityCheck::EndsRegion(const Stmt *S, const VarDecl *Guard) const {
+  if (S == nullptr) {
+    return false;
+  }
+  if (const auto *Call = dyn_cast<CXXMemberCallExpr>(S)) {
+    const CXXMethodDecl *MD = Call->getMethodDecl();
+    if (MD != nullptr &&
+        (MD->getName() == "Commit" || MD->getName() == "Abort")) {
+      const Expr *Obj = Call->getImplicitObjectArgument();
+      if (Obj != nullptr) {
+        Obj = Obj->IgnoreParenImpCasts();
+        if (const auto *DRE = dyn_cast<DeclRefExpr>(Obj)) {
+          if (DRE->getDecl() == Guard) {
+            return true;
+          }
+        }
+      }
+    }
+  }
+  for (const Stmt *Child : S->children()) {
+    if (EndsRegion(Child, Guard)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void HtmRegionPurityCheck::FlagForbidden(const Stmt *S, const VarDecl *Guard,
+                                         ASTContext &Ctx) {
+  if (S == nullptr) {
+    return;
+  }
+  // Deferred work in a lambda body does not run inside the region.
+  if (isa<LambdaExpr>(S)) {
+    return;
+  }
+  const SourceManager &SM = Ctx.getSourceManager();
+  const LangOptions &LO = Ctx.getLangOpts();
+
+  const auto Report = [&](SourceLocation Loc, llvm::StringRef What,
+                          llvm::StringRef Why) {
+    if (Loc.isInvalid() || InsideCheckMacro(Loc, SM, LO) ||
+        HasJustifiedAllow(SM, Loc, kAllowTag)) {
+      return;
+    }
+    diag(Loc, "%0 inside an HTM region: %1; on real RTM this aborts the "
+              "region (guaranteed fallback)")
+        << What << Why;
+  };
+
+  if (const auto *New = dyn_cast<CXXNewExpr>(S)) {
+    Report(New->getBeginLoc(), "heap allocation", "operator new");
+  } else if (const auto *Del = dyn_cast<CXXDeleteExpr>(S)) {
+    Report(Del->getBeginLoc(), "heap free", "operator delete");
+  } else if (const auto *MC = dyn_cast<CXXMemberCallExpr>(S)) {
+    const CXXMethodDecl *MD = MC->getMethodDecl();
+    if (MD != nullptr && MD->getParent() != nullptr) {
+      const std::string Class = MD->getParent()->getQualifiedNameAsString();
+      const llvm::StringRef Method = MD->getName();
+      if (Class == "drtmr::sim::Fabric" || Class == "drtmr::sim::RdmaNic") {
+        Report(MC->getBeginLoc(), "fabric verb post",
+               "the NIC doorbell is I/O");
+      } else if (Class == "drtmr::sim::MemoryBus") {
+        Report(MC->getBeginLoc(), "raw bus access",
+               "non-transactional access bypasses the read/write sets");
+      } else if ((Class == "drtmr::SimClock" || Class == "drtmr::sim::SimClock") &&
+                 (Method == "Advance" || Method == "AdvanceTo" ||
+                  Method == "Reset")) {
+        Report(MC->getBeginLoc(), "virtual-clock mutation",
+               "use ThreadContext::Charge, which books cost transactionally");
+      } else if (IsAllocatingContainerMethod(Class, Method)) {
+        Report(MC->getBeginLoc(), "potentially allocating container call",
+               Method == "reserve" || Method == "resize" || Method == "assign"
+                   ? "may call operator new"
+                   : "may grow and call operator new");
+      }
+    }
+  } else if (const auto *CE = dyn_cast<CallExpr>(S)) {
+    if (const FunctionDecl *FD = CE->getDirectCallee()) {
+      const llvm::StringRef Name =
+          StripStd(llvm::StringRef(FD->getQualifiedNameAsString()));
+      if (IsAllocFunction(Name)) {
+        Report(CE->getBeginLoc(), "heap allocation", "libc allocator call");
+      } else if (IsIoFunction(Name)) {
+        Report(CE->getBeginLoc(), "I/O call", "stdio inside XBEGIN..XEND");
+      }
+    }
+  } else if (const auto *CC = dyn_cast<CXXConstructExpr>(S)) {
+    const CXXConstructorDecl *CD = CC->getConstructor();
+    if (CD != nullptr && CD->getParent() != nullptr &&
+        CD->getParent()->getQualifiedNameAsString() == "drtmr::LogMessage") {
+      Report(CC->getBeginLoc(), "logging", "LogMessage writes to stderr");
+    }
+  }
+
+  for (const Stmt *Child : S->children()) {
+    FlagForbidden(Child, Guard, Ctx);
+  }
+}
+
+}  // namespace clang::tidy::drtmr

@@ -1,0 +1,41 @@
+// drtmr-htm-region-purity: no heap allocation, no fabric verb posts, no
+// logging/IO, and no direct virtual-clock mutation lexically inside an HTM
+// region (between `sim::HtmTxn* t = engine->Begin(...)` and the Commit()/
+// Abort() that ends it).
+//
+// RTM aborts on illegal instructions, ring transitions, and capacity
+// excursions ("Inherent Limitations of Hybrid Transactional Memory",
+// PAPERS.md); a verb post inside XBEGIN..XEND is a guaranteed fallback on
+// real hardware even though the simulator only dooms the region at runtime.
+// The check is lexical and per-block: statements in the remainder of a block
+// after a Commit()/Abort() on the guard are out of the region, but the
+// region stays active after a conditional branch that ends it (the non-taken
+// path is still transactional).
+#ifndef DRTMR_LINT_HTM_REGION_PURITY_CHECK_H
+#define DRTMR_LINT_HTM_REGION_PURITY_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::drtmr {
+
+class HtmRegionPurityCheck : public ClangTidyCheck {
+public:
+  HtmRegionPurityCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+private:
+  void ScanBlock(const CompoundStmt *Block, unsigned StartIdx, bool Active,
+                 const VarDecl *Guard, ASTContext &Ctx);
+  // Scans one statement with the region `Active`; returns true if this
+  // statement unconditionally ends the region for the rest of its block.
+  bool ScanStmt(const Stmt *S, bool Active, const VarDecl *Guard,
+                ASTContext &Ctx);
+  void FlagForbidden(const Stmt *S, const VarDecl *Guard, ASTContext &Ctx);
+  bool EndsRegion(const Stmt *S, const VarDecl *Guard) const;
+};
+
+}  // namespace clang::tidy::drtmr
+
+#endif  // DRTMR_LINT_HTM_REGION_PURITY_CHECK_H

@@ -1,0 +1,205 @@
+#include "LockRaiiCheck.h"
+
+#include "DrtmrLintUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Analysis/CFG.h"
+#include "clang/Lex/Lexer.h"
+#include "llvm/ADT/DenseSet.h"
+#include "llvm/ADT/SmallVector.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::drtmr {
+
+namespace {
+
+constexpr llvm::StringRef kAllowTag = "lock-raii";
+
+// The object a lock/unlock/guard refers to, keyed by its spelling. Text
+// matching is deliberate: `pump_mu_[i].lock()` and `pump_mu_[i].unlock()`
+// pair up without alias analysis, and a renamed spelling on the unlock side
+// is suspicious enough to flag anyway.
+std::string ExprKey(const Expr *E, const SourceManager &SM,
+                    const LangOptions &LO) {
+  if (E == nullptr) {
+    return std::string();
+  }
+  E = E->IgnoreParenImpCasts();
+  // Strip an address-of / dereference so `mu.lock()` and `(&mu)->unlock()`
+  // share a key.
+  if (const auto *UO = dyn_cast<UnaryOperator>(E)) {
+    if (UO->getOpcode() == UO_AddrOf || UO->getOpcode() == UO_Deref) {
+      E = UO->getSubExpr()->IgnoreParenImpCasts();
+    }
+  }
+  const CharSourceRange Range =
+      CharSourceRange::getTokenRange(E->getSourceRange());
+  return Lexer::getSourceText(Range, SM, LO).str();
+}
+
+bool IsLockableClass(const CXXRecordDecl *RD) {
+  if (RD == nullptr) {
+    return false;
+  }
+  const std::string Q = RD->getQualifiedNameAsString();
+  return Q == "drtmr::Spinlock" || Q == "std::mutex" ||
+         Q == "std::recursive_mutex" || Q == "std::shared_mutex" ||
+         Q == "std::timed_mutex";
+}
+
+bool IsGuardClass(const CXXRecordDecl *RD) {
+  if (RD == nullptr) {
+    return false;
+  }
+  const std::string Q = RD->getQualifiedNameAsString();
+  return Q == "std::lock_guard" || Q == "std::unique_lock" ||
+         Q == "std::scoped_lock" || Q == "std::shared_lock";
+}
+
+// True iff the subtree releases (or adopts into RAII) the lock named `Key`:
+// an unlock() member call on it, or a guard constructed over it.
+bool SubtreeReleases(const Stmt *S, llvm::StringRef Key,
+                     const SourceManager &SM, const LangOptions &LO) {
+  if (S == nullptr) {
+    return false;
+  }
+  if (const auto *MC = dyn_cast<CXXMemberCallExpr>(S)) {
+    const CXXMethodDecl *MD = MC->getMethodDecl();
+    if (MD != nullptr && MD->getName() == "unlock" &&
+        IsLockableClass(MD->getParent()) &&
+        ExprKey(MC->getImplicitObjectArgument(), SM, LO) == Key) {
+      return true;
+    }
+  }
+  if (const auto *CC = dyn_cast<CXXConstructExpr>(S)) {
+    if (IsGuardClass(CC->getType()->getAsCXXRecordDecl()) &&
+        CC->getNumArgs() >= 1 &&
+        ExprKey(CC->getArg(0), SM, LO) == Key) {
+      return true;
+    }
+  }
+  for (const Stmt *Child : S->children()) {
+    if (SubtreeReleases(Child, Key, SM, LO)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void LockRaiiCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasName("lock"),
+                               ofClass(anyOf(hasName("::drtmr::Spinlock"),
+                                             hasName("::std::mutex"),
+                                             hasName("::std::recursive_mutex"),
+                                             hasName("::std::shared_mutex"),
+                                             hasName("::std::timed_mutex"))))),
+          forFunction(functionDecl(hasBody(compoundStmt())).bind("fn")))
+          .bind("lock"),
+      this);
+}
+
+void LockRaiiCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Lock = Result.Nodes.getNodeAs<CXXMemberCallExpr>("lock");
+  const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (Lock == nullptr || Fn == nullptr) {
+    return;
+  }
+  ASTContext &Ctx = *Result.Context;
+  const SourceManager &SM = *Result.SourceManager;
+  const LangOptions &LO = Ctx.getLangOpts();
+  const SourceLocation Loc = Lock->getBeginLoc();
+  // The simulator's striped bus engine does hand-ordered multi-stripe
+  // locking; it is the machinery, not protocol code.
+  if (FileMatches(SM, Loc, "src/sim/")) {
+    return;
+  }
+  if (HasJustifiedAllow(SM, Loc, kAllowTag)) {
+    return;
+  }
+
+  const std::string Key = ExprKey(Lock->getImplicitObjectArgument(), SM, LO);
+  if (Key.empty()) {
+    return;
+  }
+
+  const std::unique_ptr<CFG> TheCFG =
+      CFG::buildCFG(Fn, Fn->getBody(), &Ctx, CFG::BuildOptions());
+  if (TheCFG == nullptr) {
+    return;
+  }
+
+  // Locate the block holding this lock call, and whether a release follows
+  // later in the same block.
+  const CFGBlock *LockBlock = nullptr;
+  bool ReleasedInBlock = false;
+  for (const CFGBlock *B : *TheCFG) {
+    bool SeenLock = false;
+    for (const CFGElement &El : *B) {
+      const auto CS = El.getAs<CFGStmt>();
+      if (!CS) {
+        continue;
+      }
+      const Stmt *S = CS->getStmt();
+      if (S == Lock) {
+        SeenLock = true;
+        LockBlock = B;
+        continue;
+      }
+      if (SeenLock && SubtreeReleases(S, Key, SM, LO)) {
+        ReleasedInBlock = true;
+        break;
+      }
+    }
+    if (LockBlock != nullptr) {
+      break;
+    }
+  }
+  if (LockBlock == nullptr || ReleasedInBlock) {
+    return;
+  }
+
+  // BFS over successors; a block containing a release is a barrier. Reaching
+  // the exit block means some path leaks the lock.
+  llvm::DenseSet<const CFGBlock *> Visited;
+  llvm::SmallVector<const CFGBlock *, 16> Work;
+  const auto Push = [&](const CFGBlock *B) {
+    if (B != nullptr && Visited.insert(B).second) {
+      Work.push_back(B);
+    }
+  };
+  for (const CFGBlock::AdjacentBlock &Succ : LockBlock->succs()) {
+    Push(Succ.getReachableBlock());
+  }
+  while (!Work.empty()) {
+    const CFGBlock *B = Work.pop_back_val();
+    if (B == &TheCFG->getExit()) {
+      diag(Loc,
+           "lock acquired here can reach the end of %0 without an unlock or "
+           "RAII guard on some path; use std::lock_guard / "
+           "std::unique_lock(..., std::adopt_lock) so every exit releases it")
+          << Fn;
+      return;
+    }
+    bool Barrier = false;
+    for (const CFGElement &El : *B) {
+      const auto CS = El.getAs<CFGStmt>();
+      if (CS && SubtreeReleases(CS->getStmt(), Key, SM, LO)) {
+        Barrier = true;
+        break;
+      }
+    }
+    if (Barrier) {
+      continue;
+    }
+    for (const CFGBlock::AdjacentBlock &Succ : B->succs()) {
+      Push(Succ.getReachableBlock());
+    }
+  }
+}
+
+}  // namespace clang::tidy::drtmr

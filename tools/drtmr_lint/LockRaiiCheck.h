@@ -1,0 +1,25 @@
+// drtmr-lock-raii: a manual lock() on a Spinlock / std::mutex must reach an
+// unlock() (or hand ownership to an RAII guard, e.g.
+// `std::unique_lock<Spinlock> g(mu, std::adopt_lock)`) on EVERY CFG path to
+// the function's exit. An early return between lock and unlock leaks the
+// lock; in this engine a leaked pump/stripe lock wedges a replication lane
+// or the whole bus — failures the torture sweeps only catch if a fault
+// window happens to drive the leaking path.
+#ifndef DRTMR_LINT_LOCK_RAII_CHECK_H
+#define DRTMR_LINT_LOCK_RAII_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::drtmr {
+
+class LockRaiiCheck : public ClangTidyCheck {
+public:
+  LockRaiiCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::drtmr
+
+#endif  // DRTMR_LINT_LOCK_RAII_CHECK_H

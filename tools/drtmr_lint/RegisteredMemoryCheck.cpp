@@ -1,0 +1,72 @@
+#include "RegisteredMemoryCheck.h"
+
+#include "DrtmrLintUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::drtmr {
+
+namespace {
+constexpr llvm::StringRef kAllowTag = "registered-memory";
+}
+
+void RegisteredMemoryCheck::registerMatchers(MatchFinder *Finder) {
+  const auto BusClass = cxxRecordDecl(hasName("::drtmr::sim::MemoryBus"));
+
+  // raw(): the backing-array escape hatch. Reads through it are as invisible
+  // to the analyzer as writes, so the bare call is the finding.
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasName("raw"), ofClass(BusClass))))
+          .bind("raw"),
+      this);
+
+  // Mutating bus call with a nullptr ctx: the write itself is fine, the
+  // missing provenance is not. Ctx-less READS are deliberately not flagged —
+  // they are benign and widespread (dumps, assertions, bootstrap).
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(
+              hasAnyName("Write", "WriteU64", "CasU64", "FetchAddU64"),
+              ofClass(BusClass))),
+          hasArgument(0, expr(ignoringParenImpCasts(cxxNullPtrLiteralExpr()))))
+          .bind("mut"),
+      this);
+}
+
+void RegisteredMemoryCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  const auto *Raw = Result.Nodes.getNodeAs<CXXMemberCallExpr>("raw");
+  const auto *Mut = Result.Nodes.getNodeAs<CXXMemberCallExpr>("mut");
+  const Expr *E = Raw != nullptr ? static_cast<const Expr *>(Raw)
+                                 : static_cast<const Expr *>(Mut);
+  if (E == nullptr) {
+    return;
+  }
+  const SourceLocation Loc = E->getBeginLoc();
+  // Sanctioned privileged writers: the bus itself, the checkers that verify
+  // it, and recovery's log-replay path (which runs while the analyzer's
+  // ownership map is being rebuilt).
+  if (FileMatches(SM, Loc, "src/sim/") || FileMatches(SM, Loc, "src/chk/") ||
+      FileMatches(SM, Loc, "src/rep/recovery.cc")) {
+    return;
+  }
+  if (HasJustifiedAllow(SM, Loc, kAllowTag)) {
+    return;
+  }
+  if (Raw != nullptr) {
+    diag(Loc,
+         "MemoryBus::raw() bypasses cost charging and the protocol "
+         "analyzer's shadow state; use ctx-charged accessors or justify "
+         "with '// drtmr-lint: allow(registered-memory): <reason>'");
+  } else {
+    diag(Loc,
+         "mutating MemoryBus call with nullptr ctx: the write lands with no "
+         "latency charge and no analyzer provenance; pass the real ctx or "
+         "justify with '// drtmr-lint: allow(registered-memory): <reason>'");
+  }
+}
+
+}  // namespace clang::tidy::drtmr

@@ -1,0 +1,25 @@
+// drtmr-registered-memory: engine code may only mutate simulated remote
+// memory through context-charged MemoryBus calls (the ctx carries the cost
+// model and the protocol analyzer's provenance). A mutating bus call with a
+// nullptr ctx, or a raw() escape hatch, bypasses both — the write lands with
+// no latency charge and no analyzer shadow, which is exactly the "unlocked
+// write" class the runtime analyzer hunts. Confined to sim/ (the machinery),
+// chk/ (the checkers themselves), and recovery's privileged writer.
+#ifndef DRTMR_LINT_REGISTERED_MEMORY_CHECK_H
+#define DRTMR_LINT_REGISTERED_MEMORY_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::drtmr {
+
+class RegisteredMemoryCheck : public ClangTidyCheck {
+public:
+  RegisteredMemoryCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::drtmr
+
+#endif  // DRTMR_LINT_REGISTERED_MEMORY_CHECK_H

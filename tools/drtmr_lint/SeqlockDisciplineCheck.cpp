@@ -1,0 +1,76 @@
+#include "SeqlockDisciplineCheck.h"
+
+#include "DrtmrLintUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::drtmr {
+
+namespace {
+constexpr llvm::StringRef kAllowTag = "seqlock";
+
+AST_MATCHER(VarDecl, isRecordMetaOffset) {
+  const std::string Q = Node.getQualifiedNameAsString();
+  return Q == "drtmr::store::RecordLayout::kLockOff" ||
+         Q == "drtmr::store::RecordLayout::kSeqOff" ||
+         Q == "drtmr::store::RecordLayout::kIncOff";
+}
+}  // namespace
+
+void SeqlockDisciplineCheck::registerMatchers(MatchFinder *Finder) {
+  const auto MetaOffsetRef =
+      declRefExpr(to(varDecl(isRecordMetaOffset()))).bind("off");
+
+  // Raw byte-level copy into/out of a metadata word: memcpy/memset/memmove
+  // with any argument computed from a metadata offset. The sanctioned copies
+  // live behind RecordLayout's accessors in store/ — passing
+  // `image.data() + kSeqOff` into a bus/NIC/HTM verb is NOT matched here
+  // (the callee is the instrumented operation, not memcpy).
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::memcpy", "::std::memcpy",
+                                              "::memset", "::std::memset",
+                                              "::memmove", "::std::memmove"))),
+               hasAnyArgument(expr(hasDescendant(MetaOffsetRef))))
+          .bind("raw"),
+      this);
+
+  // Direct dereference of a pointer computed from a metadata offset
+  // (`*(uint64_t*)(rec + kLockOff)` and friends).
+  Finder->addMatcher(
+      unaryOperator(hasOperatorName("*"),
+                    hasUnaryOperand(expr(hasDescendant(MetaOffsetRef))))
+          .bind("raw"),
+      this);
+
+  // Any reinterpret_cast seeded from a metadata offset — the usual prelude
+  // to a typed store that bypasses the accessors.
+  Finder->addMatcher(
+      cxxReinterpretCastExpr(hasDescendant(MetaOffsetRef)).bind("raw"), this);
+}
+
+void SeqlockDisciplineCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Raw = Result.Nodes.getNodeAs<Expr>("raw");
+  if (Raw == nullptr) {
+    return;
+  }
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = Raw->getBeginLoc();
+  // Sanctioned accessor set: RecordLayout itself (store/) and the analyzer's
+  // shadow bookkeeping, which reads its own copies, never bus memory.
+  if (FileMatches(SM, Loc, "src/store/") ||
+      FileMatches(SM, Loc, "protocol_analyzer")) {
+    return;
+  }
+  if (HasJustifiedAllow(SM, Loc, kAllowTag)) {
+    return;
+  }
+  diag(Loc,
+       "raw access to a record lock/seq/incarnation word outside the "
+       "sanctioned accessors; go through RecordLayout or an instrumented "
+       "bus/NIC/HTM operation so the seqlock protocol and the runtime "
+       "analyzer can see it");
+}
+
+}  // namespace clang::tidy::drtmr

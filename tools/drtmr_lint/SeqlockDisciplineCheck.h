@@ -1,0 +1,26 @@
+// drtmr-seqlock-discipline: the record metadata words (lock / incarnation /
+// seqnum at RecordLayout::kLockOff / kIncOff / kSeqOff) may only be touched
+// through the sanctioned accessors in store/ (RecordLayout::Get*/Set*) or
+// through the instrumented bus / NIC / HTM operations that the runtime
+// protocol analyzer shadows. A raw memcpy or pointer dereference computed
+// from those offsets is invisible to both the seqlock protocol and the
+// analyzer — exactly the access the torn-read machinery (§4.3) cannot
+// defend against.
+#ifndef DRTMR_LINT_SEQLOCK_DISCIPLINE_CHECK_H
+#define DRTMR_LINT_SEQLOCK_DISCIPLINE_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::drtmr {
+
+class SeqlockDisciplineCheck : public ClangTidyCheck {
+public:
+  SeqlockDisciplineCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::drtmr
+
+#endif  // DRTMR_LINT_SEQLOCK_DISCIPLINE_CHECK_H

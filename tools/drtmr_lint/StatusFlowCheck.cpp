@@ -1,0 +1,141 @@
+#include "StatusFlowCheck.h"
+
+#include "DrtmrLintUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ParentMapContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::drtmr {
+
+namespace {
+
+constexpr llvm::StringRef kAllowTag = "status-flow";
+
+// Collects reads/writes of one variable inside a statement tree. A
+// DeclRefExpr is a *write* only when it is exactly the LHS of an assignment;
+// anything else (comparison, return, (void) cast, passing by reference)
+// counts as examining the value.
+void CollectUses(const Stmt *S, const VarDecl *Var, unsigned &Reads,
+                 unsigned &Writes) {
+  if (S == nullptr) {
+    return;
+  }
+  if (const auto *BO = dyn_cast<BinaryOperator>(S)) {
+    if (BO->isAssignmentOp()) {
+      const Expr *LHS = BO->getLHS()->IgnoreParenImpCasts();
+      if (const auto *DRE = dyn_cast<DeclRefExpr>(LHS)) {
+        if (DRE->getDecl() == Var) {
+          ++Writes;
+          CollectUses(BO->getRHS(), Var, Reads, Writes);
+          return;
+        }
+      }
+    }
+  }
+  if (const auto *DRE = dyn_cast<DeclRefExpr>(S)) {
+    if (DRE->getDecl() == Var) {
+      ++Reads;
+      return;
+    }
+  }
+  for (const Stmt *Child : S->children()) {
+    CollectUses(Child, Var, Reads, Writes);
+  }
+}
+
+}  // namespace
+
+void StatusFlowCheck::registerMatchers(MatchFinder *Finder) {
+  const auto StatusType = hasType(hasCanonicalType(
+      hasDeclaration(enumDecl(hasName("::drtmr::Status")))));
+
+  // (1) Status on the left of a comma: evaluated, discarded, and outside
+  // what compilers diagnose for [[nodiscard]].
+  Finder->addMatcher(
+      binaryOperator(hasOperatorName(","),
+                     hasLHS(expr(ignoringParenImpCasts(
+                         expr(StatusType, callExpr()).bind("comma")))))
+          .bind("commaop"),
+      this);
+
+  // (2) A Status-typed ternary used as a statement.
+  Finder->addMatcher(
+      conditionalOperator(StatusType).bind("ternary"), this);
+
+  // (3) A local Status that is written but never examined.
+  Finder->addMatcher(
+      varDecl(hasLocalStorage(), unless(parmVarDecl()), StatusType,
+              hasInitializer(expr()),
+              forFunction(functionDecl(hasBody(compoundStmt())).bind("fn")))
+          .bind("var"),
+      this);
+}
+
+void StatusFlowCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  ASTContext &Ctx = *Result.Context;
+
+  if (const auto *Comma = Result.Nodes.getNodeAs<Expr>("comma")) {
+    const SourceLocation Loc = Comma->getBeginLoc();
+    if (!HasJustifiedAllow(SM, Loc, kAllowTag)) {
+      diag(Loc, "Status discarded on the left of a comma expression; "
+                "[[nodiscard]] cannot see it — handle it or cast to void "
+                "with a reason");
+    }
+    return;
+  }
+
+  if (const auto *Tern = Result.Nodes.getNodeAs<ConditionalOperator>("ternary")) {
+    // Only a ternary whose value is thrown away: climb through parens,
+    // casts, and cleanups; flag iff the parent is a statement context.
+    const Stmt *Node = Tern;
+    while (true) {
+      const auto Parents = Ctx.getParents(*Node);
+      if (Parents.empty()) {
+        return;
+      }
+      const Stmt *Parent = Parents[0].get<Stmt>();
+      if (Parent == nullptr) {
+        return;
+      }
+      if (isa<ParenExpr>(Parent) || isa<ExprWithCleanups>(Parent) ||
+          isa<ImplicitCastExpr>(Parent) || isa<ConstantExpr>(Parent)) {
+        Node = Parent;
+        continue;
+      }
+      if (!isa<CompoundStmt>(Parent)) {
+        return;  // the value is consumed
+      }
+      break;
+    }
+    const SourceLocation Loc = Tern->getBeginLoc();
+    if (!HasJustifiedAllow(SM, Loc, kAllowTag)) {
+      diag(Loc, "Status-valued ternary used as a statement discards both "
+                "arms' results; [[nodiscard]] cannot see through ?:");
+    }
+    return;
+  }
+
+  const auto *Var = Result.Nodes.getNodeAs<VarDecl>("var");
+  const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (Var == nullptr || Fn == nullptr) {
+    return;
+  }
+  unsigned Reads = 0;
+  unsigned Writes = 0;
+  CollectUses(Fn->getBody(), Var, Reads, Writes);
+  if (Reads > 0) {
+    return;
+  }
+  const SourceLocation Loc = Var->getLocation();
+  if (HasJustifiedAllow(SM, Loc, kAllowTag)) {
+    return;
+  }
+  diag(Loc, "Status stored in %0 is never examined on any path; the error "
+            "it carries is silently dropped")
+      << Var;
+}
+
+}  // namespace clang::tidy::drtmr

@@ -1,0 +1,27 @@
+// drtmr-status-flow: [[nodiscard]] on drtmr::Status catches a discarded
+// direct call, but not a Status laundered through expression forms the
+// attribute does not reach:
+//   * the left operand of a comma expression,
+//   * a ternary used as a statement (`ok ? DoA() : DoB();`),
+//   * a local Status that is assigned and then never examined.
+// A silently dropped Status here is a silently dropped kStaleEpoch /
+// kMigrating / kConflict — i.e. an epoch-fencing or admission decision that
+// never happened.
+#ifndef DRTMR_LINT_STATUS_FLOW_CHECK_H
+#define DRTMR_LINT_STATUS_FLOW_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::drtmr {
+
+class StatusFlowCheck : public ClangTidyCheck {
+public:
+  StatusFlowCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::drtmr
+
+#endif  // DRTMR_LINT_STATUS_FLOW_CHECK_H

@@ -1,0 +1,90 @@
+#include "WallclockDeterminismCheck.h"
+
+#include "DrtmrLintUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::drtmr {
+
+namespace {
+constexpr llvm::StringRef kAllowTag = "wallclock";
+}
+
+void WallclockDeterminismCheck::registerMatchers(MatchFinder *Finder) {
+  // Wall clocks. hasName matches through inline namespaces, so the libstdc++
+  // spellings resolve.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("::std::chrono::steady_clock::now",
+                              "::std::chrono::system_clock::now",
+                              "::std::chrono::high_resolution_clock::now"))))
+          .bind("clock"),
+      this);
+
+  // libc time and entropy sources.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::time", "::gettimeofday", "::clock_gettime", "::clock",
+                   "::rand", "::srand", "::rand_r", "::random", "::srandom"))))
+          .bind("libc"),
+      this);
+
+  // OS entropy: any std::random_device construction.
+  Finder->addMatcher(
+      cxxConstructExpr(hasType(cxxRecordDecl(hasName("::std::random_device"))))
+          .bind("entropy"),
+      this);
+
+  // Default-constructed std random engines: an unseeded stream is a
+  // different kind of nondeterminism bug (implementation-pinned but not
+  // seed-derived); every stream must derive from the run seed
+  // (util/test_seed.h, FastRand).
+  Finder->addMatcher(
+      cxxConstructExpr(
+          hasType(hasUnqualifiedDesugaredType(recordType(hasDeclaration(
+              namedDecl(hasAnyName("::std::mersenne_twister_engine",
+                                   "::std::linear_congruential_engine",
+                                   "::std::subtract_with_carry_engine")))))),
+          argumentCountIs(0))
+          .bind("unseeded"),
+      this);
+}
+
+void WallclockDeterminismCheck::check(const MatchFinder::MatchResult &Result) {
+  const Expr *E = Result.Nodes.getNodeAs<Expr>("clock");
+  llvm::StringRef What = "wall-clock read";
+  if (E == nullptr) {
+    E = Result.Nodes.getNodeAs<Expr>("libc");
+    What = "libc time/entropy call";
+  }
+  if (E == nullptr) {
+    E = Result.Nodes.getNodeAs<Expr>("entropy");
+    What = "std::random_device (OS entropy)";
+  }
+  if (E == nullptr) {
+    E = Result.Nodes.getNodeAs<Expr>("unseeded");
+    What = "default-seeded random engine";
+  }
+  if (E == nullptr) {
+    return;
+  }
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = E->getBeginLoc();
+  // sim/ owns the boundary between real and virtual time.
+  if (FileMatches(SM, Loc, "src/sim/")) {
+    return;
+  }
+  if (HasJustifiedAllow(SM, Loc, kAllowTag)) {
+    return;
+  }
+  diag(Loc,
+       "%0 in engine code: behavior must be a pure function of the seed and "
+       "virtual time (route through sim, derive from the run seed, or "
+       "justify a real-time watchdog with "
+       "'// drtmr-lint: allow(wallclock): <reason>')")
+      << What;
+}
+
+}  // namespace clang::tidy::drtmr

@@ -1,0 +1,27 @@
+// drtmr-wallclock-determinism: the engine runs on virtual time (sim::SimClock
+// / ThreadContext::Charge) and seeded FastRand streams; the torture harness,
+// serializability checker, and bench gate all depend on runs being a pure
+// function of the seed. Reading a wall clock or an OS entropy source from
+// protocol code silently breaks that contract on exactly the runs a sweep
+// cannot reproduce. Banned outside sim/: std::chrono::*_clock::now, libc
+// time sources, rand/srand, std::random_device, and default-seeded random
+// engines. Real-time *watchdogs* (bounding a wait on real threads) are legal
+// but must carry a justified `// drtmr-lint: allow(wallclock): ...`.
+#ifndef DRTMR_LINT_WALLCLOCK_DETERMINISM_CHECK_H
+#define DRTMR_LINT_WALLCLOCK_DETERMINISM_CHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::drtmr {
+
+class WallclockDeterminismCheck : public ClangTidyCheck {
+public:
+  WallclockDeterminismCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::drtmr
+
+#endif  // DRTMR_LINT_WALLCLOCK_DETERMINISM_CHECK_H

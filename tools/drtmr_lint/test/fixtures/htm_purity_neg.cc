@@ -1,0 +1,65 @@
+// Negative fixture for drtmr-htm-region-purity: nothing here may be flagged.
+#include "stubs.h"
+
+using drtmr::Status;
+using drtmr::sim::HtmEngine;
+using drtmr::sim::HtmTxn;
+
+// Transactional accessors and cost booking through the context are the
+// sanctioned operations inside a region.
+void CleanRegion(HtmEngine *engine, drtmr::sim::ThreadContext *ctx) {
+  HtmTxn *htm = engine->Begin(ctx);
+  unsigned long v = 0;
+  if (htm->ReadU64(64, &v) != Status::kOk) {
+    htm->Abort();
+    return;
+  }
+  (void)htm->WriteU64(64, v + 1);
+  ctx->Charge(12);
+  (void)htm->Commit();
+}
+
+// Code after an unconditional Commit is outside the region.
+void IoAfterCommit(HtmEngine *engine, drtmr::sim::ThreadContext *ctx) {
+  HtmTxn *htm = engine->Begin(ctx);
+  (void)htm->WriteU64(0, 1);
+  (void)htm->Commit();
+  printf("after commit: fine\n");
+}
+
+// A Commit in the if-condition ends the region before either branch runs.
+void IoAfterCommitInCondition(HtmEngine *engine,
+                              drtmr::sim::ThreadContext *ctx) {
+  HtmTxn *htm = engine->Begin(ctx);
+  if (htm->Commit() == Status::kOk) {
+    printf("committed\n");
+  } else {
+    printf("aborted\n");
+  }
+}
+
+// DRTMR_CHECK logs only on the fatal path, where the process dies anyway.
+void CheckMacroInsideRegion(HtmEngine *engine, drtmr::sim::ThreadContext *ctx,
+                            unsigned long v) {
+  HtmTxn *htm = engine->Begin(ctx);
+  DRTMR_CHECK(v != 0);
+  (void)htm->WriteU64(0, v);
+  (void)htm->Commit();
+}
+
+// Work captured in a lambda is deferred; it does not run inside the region.
+void LambdaBodyIsDeferred(HtmEngine *engine, drtmr::sim::ThreadContext *ctx,
+                          std::vector<int> *out) {
+  HtmTxn *htm = engine->Begin(ctx);
+  auto defer = [out]() { out->push_back(1); };
+  (void)htm->Commit();
+  defer();
+}
+
+// A justified allow-comment silences a finding.
+void JustifiedException(HtmEngine *engine, drtmr::sim::ThreadContext *ctx) {
+  HtmTxn *htm = engine->Begin(ctx);
+  // drtmr-lint: allow(htm-purity): diagnostic-only build, stripped in release
+  printf("probe\n");
+  (void)htm->Commit();
+}

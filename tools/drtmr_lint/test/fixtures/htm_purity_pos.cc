@@ -1,0 +1,50 @@
+// Positive fixture for drtmr-htm-region-purity: every statement below sits
+// lexically inside an open HTM region and must be flagged.
+#include "stubs.h"
+
+using drtmr::Status;
+using drtmr::sim::HtmEngine;
+using drtmr::sim::HtmTxn;
+
+void AllocationsInsideRegion(HtmEngine *engine, drtmr::sim::ThreadContext *ctx,
+                             std::vector<int> *scratch) {
+  HtmTxn *htm = engine->Begin(ctx);
+  int *leak = new int[8];          // WANT: heap allocation
+  scratch->push_back(1);           // WANT: potentially allocating container call
+  void *raw = malloc(64);          // WANT: heap allocation
+  (void)leak;
+  (void)raw;
+  (void)htm->Commit();
+}
+
+void IoAndLoggingInsideRegion(HtmEngine *engine,
+                              drtmr::sim::ThreadContext *ctx) {
+  HtmTxn *htm = engine->Begin(ctx);
+  printf("inside region\n");           // WANT: I/O call
+  DRTMR_LOG(Info) << "inside region";  // WANT: logging
+  (void)htm->Commit();
+}
+
+void VerbsAndClockInsideRegion(HtmEngine *engine,
+                               drtmr::sim::ThreadContext *ctx,
+                               drtmr::sim::Fabric *fabric,
+                               drtmr::sim::MemoryBus *bus,
+                               drtmr::SimClock *clock) {
+  HtmTxn *htm = engine->Begin(ctx);
+  fabric->PostWrite(1, 0, nullptr, 0);  // WANT: fabric verb post
+  bus->WriteU64(ctx, 0, 7);             // WANT: raw bus access
+  clock->Advance(100);                  // WANT: virtual-clock mutation
+  (void)htm->Commit();
+}
+
+void ViolationAfterConditionalAbortStillInRegion(
+    HtmEngine *engine, drtmr::sim::ThreadContext *ctx, bool doomed) {
+  HtmTxn *htm = engine->Begin(ctx);
+  if (doomed) {
+    htm->Abort();
+    return;
+  }
+  // The abort above was branch-local; this path is still inside the region.
+  puts("still inside");  // WANT: I/O call
+  (void)htm->Commit();
+}

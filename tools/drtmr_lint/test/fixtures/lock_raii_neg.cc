@@ -1,0 +1,58 @@
+// Negative fixture for drtmr-lock-raii: every path releases, so the check
+// must stay silent.
+#include "stubs.h"
+
+int StraightLine(drtmr::Spinlock &mu, int *counter) {
+  mu.lock();
+  const int v = ++*counter;
+  mu.unlock();
+  return v;
+}
+
+// Handing a manually acquired lock to an RAII guard covers every later exit.
+int AdoptedIntoGuard(drtmr::Spinlock &mu, bool fast_path, int *counter) {
+  mu.lock();
+  std::unique_lock<drtmr::Spinlock> g(mu, std::adopt_lock);
+  if (fast_path) {
+    return 1;
+  }
+  return ++*counter;
+}
+
+// Unlock on both sides of a branch.
+int BothBranchesRelease(std::mutex &mu, int mode) {
+  mu.lock();
+  if (mode == 0) {
+    mu.unlock();
+    return 0;
+  }
+  mu.unlock();
+  return mode;
+}
+
+// Lock/unlock per loop iteration: the backedge never escapes with the lock.
+void PerIterationLock(drtmr::Spinlock &mu, int *items, int n) {
+  for (int i = 0; i < n; ++i) {
+    mu.lock();
+    ++items[i];
+    mu.unlock();
+  }
+}
+
+// Pure RAII (no manual lock()) is not even matched.
+int GuardOnly(std::mutex &mu, int *counter) {
+  std::lock_guard<std::mutex> g(mu);
+  return ++*counter;
+}
+
+// try_lock-else-lock handoff into an adopting guard (the replication pump's
+// shape after the RAII conversion).
+void ConditionalAcquire(drtmr::Spinlock &mu, bool wait, int *counter) {
+  if (wait) {
+    mu.lock();
+  } else if (!mu.try_lock()) {
+    return;
+  }
+  std::unique_lock<drtmr::Spinlock> g(mu, std::adopt_lock);
+  ++*counter;
+}

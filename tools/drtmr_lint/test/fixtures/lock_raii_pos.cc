@@ -1,0 +1,26 @@
+// Positive fixture for drtmr-lock-raii: manual lock() calls with at least one
+// CFG path to the function exit that never releases.
+#include "stubs.h"
+
+int EarlyReturnLeaksSpinlock(drtmr::Spinlock &mu, bool fast_path) {
+  mu.lock();  // WANT: without an unlock or RAII guard
+  if (fast_path) {
+    return 1;  // leaks mu
+  }
+  mu.unlock();
+  return 0;
+}
+
+int BranchMissesUnlock(std::mutex &mu, int mode) {
+  mu.lock();  // WANT: without an unlock or RAII guard
+  if (mode == 0) {
+    mu.unlock();
+    return 0;
+  }
+  return mode;  // leaks mu
+}
+
+void NoReleaseAtAll(drtmr::Spinlock &mu, int *counter) {
+  mu.lock();  // WANT: without an unlock or RAII guard
+  ++*counter;
+}

@@ -1,0 +1,23 @@
+// Negative fixture for drtmr-registered-memory: ctx-charged mutations and
+// ctx-less READS are fine; a justified raw() is silenced.
+#include "stubs.h"
+
+using drtmr::sim::MemoryBus;
+using drtmr::sim::ThreadContext;
+
+void ChargedWrites(MemoryBus *bus, ThreadContext *ctx) {
+  bus->WriteU64(ctx, 64, 7);
+  (void)bus->CasU64(ctx, 64, 0, 1);
+  (void)bus->FetchAddU64(ctx, 64, 1);
+}
+
+// Reads with no ctx are benign (dumps, assertions, bootstrap): not flagged.
+unsigned long CtxLessReadIsFine(MemoryBus *bus) {
+  return bus->ReadU64(nullptr, 64);
+}
+
+// A justified allow-comment silences the escape hatch.
+unsigned char *JustifiedRaw(MemoryBus *bus) {
+  // drtmr-lint: allow(registered-memory): startup checksum before any traffic
+  return bus->raw();
+}

@@ -1,0 +1,21 @@
+// Positive fixture for drtmr-registered-memory: raw() escapes and ctx-less
+// mutating bus calls outside the sanctioned writers.
+#include "stubs.h"
+
+using drtmr::sim::MemoryBus;
+
+unsigned char *RawEscapeHatch(MemoryBus *bus) {
+  return bus->raw();  // WANT: raw() bypasses cost charging
+}
+
+void CtxLessWrite(MemoryBus *bus) {
+  bus->WriteU64(nullptr, 64, 7);  // WANT: nullptr ctx
+}
+
+void CtxLessCas(MemoryBus *bus) {
+  (void)bus->CasU64(nullptr, 64, 0, 1);  // WANT: nullptr ctx
+}
+
+void CtxLessFetchAdd(MemoryBus *bus) {
+  (void)bus->FetchAddU64(nullptr, 64, 1);  // WANT: nullptr ctx
+}

@@ -1,0 +1,35 @@
+// Negative fixture for drtmr-seqlock-discipline: sanctioned uses of the
+// metadata offsets — instrumented bus/NIC/HTM operations and the store/
+// accessors — must stay silent.
+#include "stubs.h"
+
+using drtmr::store::RecordLayout;
+
+// Passing an offset into an instrumented operation is the sanctioned path:
+// the callee is the bus/HTM verb, which the runtime analyzer observes.
+void OffsetIntoInstrumentedVerbs(drtmr::sim::MemoryBus *bus,
+                                 drtmr::sim::ThreadContext *ctx,
+                                 drtmr::sim::HtmTxn *htm,
+                                 unsigned long rec_base) {
+  (void)bus->ReadU64(ctx, rec_base + RecordLayout::kSeqOff);
+  bus->WriteU64(ctx, rec_base + RecordLayout::kLockOff, 1);
+  unsigned long inc = 0;
+  (void)htm->ReadU64(rec_base + RecordLayout::kIncOff, &inc);
+}
+
+// The store/ accessor functions are the sanctioned CPU-side path.
+void ThroughAccessors(unsigned char *rec) {
+  const unsigned long seq = drtmr::store::LoadSeq(rec);
+  drtmr::store::StoreSeq(rec, seq + 2);
+}
+
+// Arithmetic on the offsets without a raw load/store is fine (e.g. sizing).
+unsigned long MetadataSpanBytes() {
+  return RecordLayout::kSeqOff + 8 - RecordLayout::kLockOff;
+}
+
+// A justified allow-comment silences a finding.
+void JustifiedRawPeek(const unsigned char *rec, unsigned long *out) {
+  // drtmr-lint: allow(seqlock): read-only crash-dump formatter, no protocol effect
+  memcpy(out, rec + RecordLayout::kSeqOff, 8);
+}

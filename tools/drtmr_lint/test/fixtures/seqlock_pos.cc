@@ -1,0 +1,22 @@
+// Positive fixture for drtmr-seqlock-discipline: raw loads/stores of record
+// metadata words, computed from RecordLayout offsets, outside store/.
+#include "stubs.h"
+
+using drtmr::store::RecordLayout;
+
+void RawMemcpyOfSeqWord(unsigned char *rec, unsigned long *out) {
+  memcpy(out, rec + RecordLayout::kSeqOff, 8);  // WANT: raw access to a record
+}
+
+void RawDerefStoreOfLockWord(unsigned char *rec) {
+  *reinterpret_cast<unsigned long *>(rec + RecordLayout::kLockOff) = 1;  // WANT: raw access to a record
+}
+
+void RawCastOfIncarnationWord(unsigned char *rec) {
+  auto *inc = reinterpret_cast<unsigned long *>(rec + RecordLayout::kIncOff);  // WANT: raw access to a record
+  (void)inc;
+}
+
+void RawMemsetOverMetadata(unsigned char *rec) {
+  memset(rec + RecordLayout::kLockOff, 0, 24);  // WANT: raw access to a record
+}

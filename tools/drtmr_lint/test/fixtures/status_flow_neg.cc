@@ -1,0 +1,41 @@
+// Negative fixture for drtmr-status-flow: properly examined Status values.
+#include "stubs.h"
+
+using drtmr::Status;
+
+Status Prepare();
+Status Apply();
+Status Rollback();
+
+// Compared: examined.
+bool Checked() {
+  Status s = Prepare();
+  return s == Status::kOk;
+}
+
+// Reassigned in a retry loop but examined after.
+bool RetryLoop(int tries) {
+  Status s = Prepare();
+  for (int i = 0; i < tries && s != Status::kOk; ++i) {
+    s = Apply();
+  }
+  return s == Status::kOk;
+}
+
+// Ternary whose value is consumed.
+Status Forwarded(bool ok) {
+  return ok ? Apply() : Rollback();
+}
+
+// Ternary assigned into an examined local.
+bool TernaryConsumed(bool ok) {
+  const Status s = ok ? Apply() : Rollback();
+  return s != Status::kAborted;
+}
+
+// Explicit void-cast is an examined (deliberate) discard — and a visible one,
+// unlike a comma operand.
+void DeliberateDiscard() {
+  Status s = Rollback();
+  (void)s;
+}

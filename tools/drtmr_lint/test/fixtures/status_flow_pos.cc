@@ -1,0 +1,29 @@
+// Positive fixture for drtmr-status-flow: Status values laundered past
+// [[nodiscard]] through expression forms the attribute cannot reach.
+#include "stubs.h"
+
+using drtmr::Status;
+
+Status Prepare();
+Status Apply();
+Status Rollback();
+int Bump();
+
+void CommaLaundersStatus() {
+  (Prepare(), Bump());  // WANT: left of a comma expression
+}
+
+void TernaryAsStatement(bool ok) {
+  ok ? Apply() : Rollback();  // WANT: ternary used as a statement
+}
+
+void StatusNeverExamined() {
+  Status s = Prepare();  // WANT: never examined
+  Bump();
+}
+
+void StatusOnlyReassigned() {
+  Status s = Prepare();  // WANT: never examined
+  s = Apply();
+  Bump();
+}

@@ -1,0 +1,198 @@
+// Self-contained declarations for drtmr-lint fixtures. The fixtures compile
+// with -nostdinc++ so the self-tests do not depend on a system libstdc++;
+// everything a check matches on is declared here with the exact qualified
+// names the matchers look for. Signatures are shape-compatible with the real
+// engine headers but deliberately minimal.
+#ifndef DRTMR_LINT_TEST_STUBS_H
+#define DRTMR_LINT_TEST_STUBS_H
+
+using size_type = unsigned long;
+
+extern "C" {
+void *malloc(size_type);
+void *calloc(size_type, size_type);
+void free(void *);
+int printf(const char *, ...);
+int puts(const char *);
+void *memcpy(void *, const void *, size_type);
+void *memset(void *, int, size_type);
+long time(long *);
+int gettimeofday(void *, void *);
+int clock_gettime(int, void *);
+int rand(void);
+void srand(unsigned);
+}
+
+namespace std {
+
+template <class T>
+class vector {
+ public:
+  vector();
+  void push_back(const T &);
+  void resize(size_type);
+  void reserve(size_type);
+  void assign(size_type, const T &);
+  size_type size() const;
+  T *data();
+};
+
+class mutex {
+ public:
+  void lock();
+  void unlock();
+  bool try_lock();
+};
+
+struct adopt_lock_t {};
+inline constexpr adopt_lock_t adopt_lock{};
+
+template <class M>
+class lock_guard {
+ public:
+  explicit lock_guard(M &);
+  lock_guard(M &, adopt_lock_t);
+  ~lock_guard();
+};
+
+template <class M>
+class unique_lock {
+ public:
+  unique_lock();
+  explicit unique_lock(M &);
+  unique_lock(M &, adopt_lock_t);
+  ~unique_lock();
+};
+
+namespace chrono {
+struct steady_clock {
+  static long now();
+};
+struct system_clock {
+  static long now();
+};
+struct high_resolution_clock {
+  static long now();
+};
+}  // namespace chrono
+
+class random_device {
+ public:
+  random_device();
+  unsigned operator()();
+};
+
+template <class UIntType, int StateSize>
+class mersenne_twister_engine {
+ public:
+  mersenne_twister_engine();
+  explicit mersenne_twister_engine(UIntType seed);
+  UIntType operator()();
+};
+using mt19937 = mersenne_twister_engine<unsigned, 624>;
+
+}  // namespace std
+
+namespace drtmr {
+
+enum class [[nodiscard]] Status : unsigned char {
+  kOk = 0,
+  kConflict,
+  kStaleEpoch,
+  kMigrating,
+  kAborted,
+};
+
+class Spinlock {
+ public:
+  void lock();
+  void unlock();
+  bool try_lock();
+};
+
+enum class LogLevel { Debug, Info, Warn, Error, Fatal };
+
+class LogMessage {
+ public:
+  LogMessage(const char *file, int line, LogLevel lvl);
+  ~LogMessage();
+  LogMessage &operator<<(const char *);
+  LogMessage &operator<<(long);
+};
+
+class SimClock {
+ public:
+  void Advance(unsigned long ticks);
+  void AdvanceTo(unsigned long t);
+  void Reset();
+  unsigned long Now() const;
+};
+
+namespace store {
+struct RecordLayout {
+  static constexpr unsigned long kLockOff = 0;
+  static constexpr unsigned long kIncOff = 8;
+  static constexpr unsigned long kSeqOff = 16;
+};
+unsigned long LoadSeq(const unsigned char *rec);
+void StoreSeq(unsigned char *rec, unsigned long seq);
+}  // namespace store
+
+namespace sim {
+
+class ThreadContext {
+ public:
+  void Charge(unsigned long ticks);
+};
+
+class MemoryBus {
+ public:
+  unsigned char *raw();
+  void Write(ThreadContext *ctx, unsigned long addr, const void *src,
+             unsigned long len);
+  void WriteU64(ThreadContext *ctx, unsigned long addr, unsigned long v);
+  bool CasU64(ThreadContext *ctx, unsigned long addr, unsigned long expect,
+              unsigned long desired);
+  unsigned long FetchAddU64(ThreadContext *ctx, unsigned long addr,
+                            unsigned long d);
+  unsigned long ReadU64(ThreadContext *ctx, unsigned long addr);
+  void Read(ThreadContext *ctx, unsigned long addr, void *dst,
+            unsigned long len);
+};
+
+class HtmTxn {
+ public:
+  Status Read(unsigned long offset, void *dst, unsigned long len);
+  Status Write(unsigned long offset, const void *src, unsigned long len);
+  Status ReadU64(unsigned long offset, unsigned long *value);
+  Status WriteU64(unsigned long offset, unsigned long value);
+  Status Commit();
+  void Abort();
+};
+
+class HtmEngine {
+ public:
+  HtmTxn *Begin(ThreadContext *ctx);
+};
+
+class Fabric {
+ public:
+  void PostWrite(int node, unsigned long addr, const void *src,
+                 unsigned long len);
+  void PostRead(int node, unsigned long addr, void *dst, unsigned long len);
+};
+
+class RdmaNic {
+ public:
+  void PostSend(int qp, const void *buf, unsigned long len);
+};
+
+}  // namespace sim
+}  // namespace drtmr
+
+#define DRTMR_LOG(lvl) \
+  ::drtmr::LogMessage(__FILE__, __LINE__, ::drtmr::LogLevel::lvl)
+#define DRTMR_CHECK(cond) \
+  if (!(cond)) DRTMR_LOG(Fatal) << "check failed: " #cond
+
+#endif  // DRTMR_LINT_TEST_STUBS_H

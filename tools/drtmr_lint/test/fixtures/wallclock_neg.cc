@@ -1,0 +1,26 @@
+// Negative fixture for drtmr-wallclock-determinism: seed-derived streams and
+// justified real-time watchdogs must stay silent.
+#include "stubs.h"
+
+// A stream seeded from the run seed is deterministic.
+unsigned SeededEngine(unsigned run_seed) {
+  std::mt19937 eng(run_seed);
+  return eng();
+}
+
+// Virtual time is the sanctioned clock.
+unsigned long VirtualTime(drtmr::SimClock *clock) {
+  return clock->Now();
+}
+
+// Real-time watchdogs are allowed with a justification, same line...
+long WatchdogSameLine() {
+  return time(nullptr);  // drtmr-lint: allow(wallclock): hang watchdog, never feeds protocol state
+}
+
+// ...or on the preceding line.
+long WatchdogPrevLine() {
+  // drtmr-lint: allow(wallclock): wall-clock budget for the torture harness
+  long now = std::chrono::steady_clock::now();
+  return now;
+}

@@ -1,0 +1,27 @@
+// Positive fixture for drtmr-wallclock-determinism: wall clocks, libc time,
+// OS entropy, and unseeded engines in engine code.
+#include "stubs.h"
+
+long ChronoClocks() {
+  long a = std::chrono::steady_clock::now();           // WANT: wall-clock read
+  long b = std::chrono::system_clock::now();           // WANT: wall-clock read
+  long c = std::chrono::high_resolution_clock::now();  // WANT: wall-clock read
+  return a + b + c;
+}
+
+long LibcTimeAndEntropy() {
+  long t = time(nullptr);  // WANT: libc time/entropy call
+  int r = rand();          // WANT: libc time/entropy call
+  srand(42);               // WANT: libc time/entropy call
+  return t + r;
+}
+
+unsigned OsEntropy() {
+  std::random_device rd;  // WANT: std::random_device
+  return rd();
+}
+
+unsigned UnseededEngine() {
+  std::mt19937 eng;  // WANT: default-seeded random engine
+  return eng();
+}

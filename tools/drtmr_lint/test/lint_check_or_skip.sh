@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs a drtmr-lint fixture test, or exits 77 (ctest's SKIP_RETURN_CODE)
+# when the plugin toolchain is not available on this machine.
+#
+# Usage: lint_check_or_skip.sh CLANG_TIDY|MISSING PLUGIN|MISSING CHECK FIXTURE...
+set -u
+
+CLANG_TIDY="${1:-MISSING}"
+PLUGIN="${2:-MISSING}"
+shift 2 || true
+
+if [ "${CLANG_TIDY}" = "MISSING" ] || ! command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
+  echo "SKIP: clang-tidy not available"
+  exit 77
+fi
+if [ "${PLUGIN}" = "MISSING" ] || [ ! -f "${PLUGIN}" ]; then
+  echo "SKIP: drtmr_lint plugin not built (clang dev headers absent?)"
+  exit 77
+fi
+# The plugin must actually load into this clang-tidy (an LLVM version skew
+# shows up here, not at build time).
+if ! "${CLANG_TIDY}" "--load=${PLUGIN}" --list-checks --checks='-*,drtmr-*' \
+    >/dev/null 2>&1; then
+  echo "SKIP: plugin does not load into ${CLANG_TIDY} (LLVM version skew?)"
+  exit 77
+fi
+
+exec python3 "$(dirname "$0")/run_check_test.py" "${CLANG_TIDY}" "${PLUGIN}" "$@"

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Fixture driver for the drtmr-lint clang-tidy plugin.
+
+Usage:
+    run_check_test.py CLANG_TIDY PLUGIN CHECK FIXTURE [FIXTURE...]
+
+For each fixture file:
+  * run `CLANG_TIDY --load=PLUGIN --checks=-*,CHECK FIXTURE -- <flags>`,
+  * collect `warning: ... [CHECK]` diagnostics,
+  * compare against the fixture's `// WANT: <substr>` markers:
+      - every WANT substring must appear in at least one diagnostic line,
+      - every diagnostic line must be claimed by at least one WANT
+        (so a fixture with no WANT markers asserts the check stays silent).
+
+A hard compiler error in a fixture is always a failure (the fixture itself
+is broken, not the check). Exit 0 on success, 1 on any mismatch.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+
+def parse_wants(fixture):
+    wants = []
+    with open(fixture, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            m = re.search(r"//\s*WANT:\s*(.+?)\s*$", line)
+            if m:
+                wants.append((lineno, m.group(1)))
+    return wants
+
+
+def run_clang_tidy(clang_tidy, plugin, check, fixture):
+    fixture_dir = os.path.dirname(os.path.abspath(fixture))
+    cmd = [
+        clang_tidy,
+        "--load=" + plugin,
+        "--checks=-*," + check,
+        "--quiet",
+        fixture,
+        "--",
+        "-std=c++17",
+        "-nostdinc++",
+        "-I",
+        fixture_dir,
+    ]
+    proc = subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    return proc.stdout
+
+
+def check_fixture(clang_tidy, plugin, check, fixture):
+    out = run_clang_tidy(clang_tidy, plugin, check, fixture)
+    failures = []
+
+    # A compile error means the fixture (or stubs.h) is broken.
+    for line in out.splitlines():
+        if " error: " in line:
+            failures.append("compiler error in fixture: %s" % line.strip())
+
+    diag_re = re.compile(r"warning: (.*) \[%s\]" % re.escape(check))
+    diags = []
+    for line in out.splitlines():
+        m = diag_re.search(line)
+        if m and os.path.basename(fixture) in line:
+            diags.append(line.strip())
+
+    wants = parse_wants(fixture)
+
+    for lineno, want in wants:
+        if not any(want in d for d in diags):
+            failures.append(
+                "line %d: expected a diagnostic containing %r, got none"
+                % (lineno, want)
+            )
+    for d in diags:
+        if not any(want in d for _, want in wants):
+            failures.append("unexpected diagnostic: %s" % d)
+
+    name = os.path.basename(fixture)
+    if failures:
+        print("FAIL %s (%d diagnostics, %d WANT markers)" % (name, len(diags), len(wants)))
+        for f in failures:
+            print("  " + f)
+        if out.strip():
+            print("  --- clang-tidy output ---")
+            for line in out.splitlines():
+                print("  " + line)
+        return False
+    print("PASS %s (%d diagnostics matched %d WANT markers)" % (name, len(diags), len(wants)))
+    return True
+
+
+def main(argv):
+    if len(argv) < 5:
+        print(__doc__)
+        return 2
+    clang_tidy, plugin, check = argv[1], argv[2], argv[3]
+    fixtures = argv[4:]
+    ok = True
+    for fixture in fixtures:
+        if not check_fixture(clang_tidy, plugin, check, fixture):
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
